@@ -1,0 +1,1 @@
+"""Figure/table regenerators for the paper's evaluation (see DESIGN.md)."""

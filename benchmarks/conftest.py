@@ -1,0 +1,74 @@
+"""Shared infrastructure for the figure/table regenerators.
+
+Each ``test_fig*.py`` / ``test_table*.py`` module regenerates one
+artifact from the paper's evaluation (§V): it runs the relevant
+benchmark × configuration matrix on the simulated JIT, prints the same
+rows/series the paper reports, and asserts the paper's *qualitative*
+shape (who wins, roughly by how much) — absolute cycle counts live in a
+synthetic cost model and are not expected to match the paper's
+wall-clock numbers.
+
+By default the matrix runs over a representative seven-benchmark subset
+(one per workload family) so ``pytest benchmarks/ --benchmark-only``
+stays laptop-friendly; set ``REPRO_BENCH_FULL=1`` for all 28 benchmarks
+(this is what EXPERIMENTS.md records).
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.bench.harness import QUICK_BENCHMARKS
+
+#: Benchmarks used by default in each figure regenerator.
+DEFAULT_SET = QUICK_BENCHMARKS
+
+#: Number of VM instances per data point (the paper uses 5).
+INSTANCES = 2
+
+
+def figure_benchmarks():
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return None  # harness default: all 28
+    return list(DEFAULT_SET)
+
+
+def geomean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedups(results, baseline, config):
+    """Per-benchmark baseline/config time ratios."""
+    out = {}
+    for name, row in results.items():
+        base = row[baseline].mean_cycles
+        other = row[config].mean_cycles
+        out[name] = base / max(1.0, other)
+    return out
+
+
+@pytest.fixture
+def steady_engine_factory():
+    """Builds a warmed-up engine for host-time benchmarking of one
+    simulated steady-state iteration."""
+
+    def make(benchmark_name="factorie", config_name="incremental", warmup=8):
+        from repro.bench.configs import CONFIG_FACTORIES
+        from repro.bench.suite import get_benchmark
+        from repro.jit import Engine
+
+        spec = get_benchmark(benchmark_name)
+        engine = Engine(
+            spec.load(),
+            spec.jit_config_factory(),
+            inliner=CONFIG_FACTORIES[config_name](),
+        )
+        for _ in range(warmup):
+            engine.run_iteration("Main", "run")
+        return engine
+
+    return make

@@ -1,0 +1,122 @@
+"""Extra ablations (§IV heuristics) beyond the paper's figures.
+
+DESIGN.md's E8: each mechanism the implementation section describes is
+exercised on a targeted micro-workload where its absence is measurable:
+
+- the exploration penalty ψ (Eq. 7) keeps one deep subtree from
+  monopolizing expansion;
+- the recursion penalty ψ_r (Eq. 14) keeps recursive methods from
+  exploding the root graph;
+- polymorphic inlining (typeswitch) beats leaving dispatched callsites
+  virtual;
+- the optimizer budget (§II.3 non-linearity) actually reduces
+  optimization effort on oversized graphs.
+"""
+
+from repro.baselines import tuned_inliner
+from repro.bench.suite import get_benchmark
+from repro.core import IncrementalInliner, InlinerParams
+from repro.jit import Engine, JitConfig
+from repro.opts.pipeline import OptimizerConfig
+
+
+def _steady(program, inliner, iterations=10, jit_config=None):
+    engine = Engine(program, jit_config or JitConfig(hot_threshold=25), inliner=inliner)
+    last = None
+    for _ in range(iterations):
+        last = engine.run_iteration("Main", "run")
+    return last, engine
+
+
+class TestRecursionPenalty:
+    def test_recursion_bounded(self, benchmark):
+        """kiama's strategies recurse; without ψ_r the call tree would
+        chase the recursion. With it, compilation stays bounded."""
+        spec = get_benchmark("kiama")
+        program = spec.load()
+        result, engine = _steady(program, tuned_inliner(0.1))
+        for record in engine.compiler.records:
+            assert record.graph_nodes < InlinerParams.scaled(0.1).max_root_size
+        engine2 = Engine(program, spec.jit_config_factory(), inliner=tuned_inliner(0.1))
+        for _ in range(8):
+            engine2.run_iteration("Main", "run")
+        benchmark(engine2.run_iteration, "Main", "run")
+
+
+class TestTypeswitchValue:
+    def test_polymorphic_inlining_helps(self, benchmark):
+        """Disabling typeswitch speculation (max 0 targets) on a
+        dispatch-heavy benchmark costs performance."""
+        spec = get_benchmark("factorie")
+        program = spec.load()
+        with_ts, _ = _steady(program, tuned_inliner(0.1))
+        no_ts_params = InlinerParams.scaled(0.1)
+        no_ts_params.max_typeswitch_targets = 0
+        without_ts, _ = _steady(program, IncrementalInliner(no_ts_params))
+        print(
+            "\nfactorie steady cycles: with typeswitch %d, without %d"
+            % (with_ts.total_cycles, without_ts.total_cycles)
+        )
+        assert with_ts.value == without_ts.value
+        assert with_ts.total_cycles <= without_ts.total_cycles * 1.02
+        engine = Engine(program, spec.jit_config_factory(), inliner=tuned_inliner(0.1))
+        for _ in range(8):
+            engine.run_iteration("Main", "run")
+        benchmark(engine.run_iteration, "Main", "run")
+
+
+class TestOptimizerBudget:
+    def test_budget_shrinks_effort(self, benchmark):
+        config = OptimizerConfig(max_iterations=3, budget_nodes=100)
+        assert config.iterations_for(50) == 3
+        assert config.iterations_for(150) == 2
+        assert config.iterations_for(350) == 1
+        assert config.iterations_for(10_000) == 1
+
+        # And a tiny budget measurably changes compilation behaviour on
+        # a real benchmark (less optimization on big inlined roots).
+        spec = get_benchmark("scalariform")
+        program = spec.load()
+        generous, _ = _steady(program, tuned_inliner(0.1))
+        starved_config = JitConfig(
+            hot_threshold=25,
+            optimizer=OptimizerConfig(max_iterations=1, budget_nodes=16),
+        )
+        starved, _ = _steady(
+            program, tuned_inliner(0.1), jit_config=starved_config
+        )
+        print(
+            "\nscalariform steady: generous optimizer %d, starved %d"
+            % (generous.total_cycles, starved.total_cycles)
+        )
+        assert generous.value == starved.value
+        assert generous.total_cycles <= starved.total_cycles * 1.05
+        engine = Engine(program, spec.jit_config_factory(), inliner=tuned_inliner(0.1))
+        for _ in range(8):
+            engine.run_iteration("Main", "run")
+        benchmark(engine.run_iteration, "Main", "run")
+
+
+class TestExplorationPenalty:
+    def test_psi_spreads_exploration(self, benchmark):
+        """With ψ disabled (p1 = p2 = 0, no cutoff bonus), expansion can
+        sink its whole budget into one subtree; the tuned ψ must not be
+        slower than that degenerate policy on a wide-call-tree workload."""
+        spec = get_benchmark("scalac")
+        program = spec.load()
+        tuned, _ = _steady(program, tuned_inliner(0.1))
+        flat_params = InlinerParams.scaled(0.1)
+        flat_params.p1 = 0.0
+        flat_params.p2 = 0.0
+        flat_params.b1 = 0.0
+        flat, _ = _steady(program, IncrementalInliner(flat_params))
+        print(
+            "\nscalac steady: tuned psi %d, disabled psi %d"
+            % (tuned.total_cycles, flat.total_cycles)
+        )
+        assert tuned.value == flat.value
+        assert tuned.total_cycles <= flat.total_cycles * 1.10
+        engine = Engine(program, spec.jit_config_factory(), inliner=tuned_inliner(0.1))
+        for _ in range(8):
+            engine.run_iteration("Main", "run")
+        benchmark(engine.run_iteration, "Main", "run")

@@ -1,0 +1,55 @@
+"""Figure 10 — installed code size bars.
+
+The paper compares machine code installed by Graal-with-new-inliner,
+C2, and a first-tier-only configuration, observing: (1) the new inliner
+usually installs more code than C2-style inlining; (2) on some
+benchmarks it installs a comparable amount yet runs faster (the
+inliner's wins are not purely "more code = more speed"); and (3) a
+baseline tier that compiles everything it runs (our no-inline compiler
+stands in for C1) shows that second-tier code size is not the dominant
+share of what a VM installs overall.
+"""
+
+from benchmarks.conftest import INSTANCES, figure_benchmarks
+from repro.bench.harness import print_table, run_matrix
+
+CONFIGS = ["incremental", "greedy", "c2", "no-inline"]
+
+
+def test_fig10_code_size(benchmark, steady_engine_factory):
+    results = run_matrix(
+        CONFIGS, benchmarks=figure_benchmarks(), instances=INSTANCES
+    )
+    print_table(
+        results, CONFIGS, metric="code",
+        title="Figure 10: installed machine code (instructions)",
+    )
+    print_table(
+        results, CONFIGS, metric="time",
+        title="Figure 10 companion: steady cycles",
+    )
+
+    more_than_c2 = 0
+    faster_with_similar_code = 0
+    for name, row in results.items():
+        inc, c2 = row["incremental"], row["c2"]
+        if inc.installed_size >= c2.installed_size:
+            more_than_c2 += 1
+        if (
+            inc.installed_size <= 1.3 * c2.installed_size
+            and inc.mean_cycles < 0.97 * c2.mean_cycles
+        ):
+            faster_with_similar_code += 1
+
+    # Shape (1): the new inliner usually installs at least as much code.
+    assert more_than_c2 >= len(results) // 2, (
+        "expected the incremental inliner to install >= C2-sized code "
+        "on most benchmarks (got %d/%d)" % (more_than_c2, len(results))
+    )
+    print(
+        "installed >= C2 code on %d/%d benchmarks; faster-with-similar-code "
+        "on %d" % (more_than_c2, len(results), faster_with_similar_code)
+    )
+
+    engine = steady_engine_factory("stmbench7", "incremental")
+    benchmark(engine.run_iteration, "Main", "run")

@@ -1,0 +1,76 @@
+"""Figure 5 — warmup curves.
+
+The paper shows per-iteration times for selected benchmarks to
+demonstrate that the new inliner "does not incur a significant
+compilation overhead": warmup curves under the incremental inliner
+stabilize after a similar number of iterations as the baselines.
+
+We regenerate the series (per-iteration total cycles, including the
+cycles the JIT itself consumes) for the same kind of benchmark
+selection, print them, and assert both properties the figure conveys:
+(1) every configuration converges to a steady state, and (2) the
+incremental inliner's steady state arrives within a few iterations of
+greedy's.
+"""
+
+from benchmarks.conftest import INSTANCES
+from repro.bench.configs import CONFIG_FACTORIES
+from repro.bench.measurement import measure_benchmark
+from repro.bench.suite import get_benchmark
+
+WARMUP_BENCHMARKS = ["factorie", "jython", "scalariform"]
+CONFIGS = ["greedy", "incremental"]
+ITERATIONS = 14
+
+
+def _stabilization_point(curve, tolerance=0.15):
+    """First iteration from which the curve stays within *tolerance*
+    of its final steady value."""
+    steady = sum(curve[-4:]) / 4.0
+    for index, value in enumerate(curve):
+        tail = curve[index:]
+        if all(abs(v - steady) <= tolerance * steady for v in tail):
+            return index
+    return len(curve) - 1
+
+
+def test_fig5_warmup_curves(benchmark, steady_engine_factory):
+    print("\n== Figure 5: warmup curves (per-iteration cycles) ==")
+    stabilization = {}
+    for name in WARMUP_BENCHMARKS:
+        spec = get_benchmark(name)
+        program = spec.load()
+        for config in CONFIGS:
+            measurement = measure_benchmark(
+                program,
+                CONFIG_FACTORIES[config],
+                benchmark_name=name,
+                config_name=config,
+                instances=1,
+                iterations=ITERATIONS,
+                jit_config_factory=spec.jit_config_factory,
+            )
+            curve = measurement.warmup_curves[0]
+            stabilization[(name, config)] = _stabilization_point(curve)
+            print(
+                "%-12s %-12s %s"
+                % (name, config, " ".join("%7d" % v for v in curve))
+            )
+
+    for name in WARMUP_BENCHMARKS:
+        incremental = stabilization[(name, "incremental")]
+        greedy = stabilization[(name, "greedy")]
+        # Both must actually reach steady state inside the run...
+        assert incremental < ITERATIONS - 1, name
+        assert greedy < ITERATIONS - 1, name
+        # ...and the new inliner must not warm up dramatically later
+        # (the paper's "warmup curves reach stability after a similar
+        # time"; we allow a few iterations of slack).
+        assert incremental <= greedy + 4, (
+            "%s: incremental stabilizes at %d vs greedy %d"
+            % (name, incremental, greedy)
+        )
+
+    # Host-time benchmark of one steady iteration (pytest-benchmark).
+    engine = steady_engine_factory("factorie", "incremental")
+    benchmark(engine.run_iteration, "Main", "run")

@@ -1,0 +1,62 @@
+"""Figure 9 — the headline comparison.
+
+Four bars per benchmark in the paper: the proposed inliner, the same
+inliner without deep trials, open-source Graal's greedy inliner, and
+HotSpot C2. The claims we reproduce:
+
+1. the proposed inliner outperforms the greedy baseline overall (the
+   paper: "on all benchmarks except pmd ... in some cases by several
+   times");
+2. it outperforms the C2-style baseline overall, with the largest wins
+   on the abstraction-heavy (Scala-flavoured) workloads;
+3. deep inlining trials contribute on the Scala-flavoured side
+   (actors/factorie/scaladoc/gauss-mix-style benchmarks) while having
+   little effect on the Java-flavoured DaCapo side.
+"""
+
+from benchmarks.conftest import INSTANCES, figure_benchmarks, geomean, speedups
+from repro.bench.harness import print_table, run_matrix
+
+CONFIGS = ["incremental", "shallow-trials", "greedy", "c2", "no-inline"]
+
+
+def test_fig9_comparison(benchmark, steady_engine_factory):
+    results = run_matrix(
+        CONFIGS, benchmarks=figure_benchmarks(), instances=INSTANCES
+    )
+    print_table(
+        results, CONFIGS, metric="time",
+        title="Figure 9: proposed vs baselines (steady cycles)",
+    )
+    print_table(
+        results,
+        ["incremental", "shallow-trials", "greedy", "c2"],
+        metric="speedup",
+        baseline="c2",
+        title="Figure 9 normalized: speedup over C2",
+    )
+
+    vs_greedy = speedups(results, "greedy", "incremental")
+    vs_c2 = speedups(results, "c2", "incremental")
+    vs_none = speedups(results, "no-inline", "incremental")
+    print("geomean speedup vs greedy: %.3f" % geomean(vs_greedy.values()))
+    print("geomean speedup vs c2:     %.3f" % geomean(vs_c2.values()))
+    print("geomean speedup vs none:   %.3f" % geomean(vs_none.values()))
+
+    # Claim 1 & 2: overall wins (allowing individual losses like pmd /
+    # lusearch / scalatest in the paper).
+    assert geomean(vs_greedy.values()) >= 1.0
+    assert geomean(vs_c2.values()) >= 1.0
+    # Inlining at all is a large win over no inlining.
+    assert geomean(vs_none.values()) > 1.5
+
+    # Claim 3: deep trials matter somewhere (≥3% on some benchmark).
+    deep_gain = speedups(results, "shallow-trials", "incremental")
+    print("deep-trial gains: %s" % {k: round(v, 3) for k, v in deep_gain.items()})
+    assert max(deep_gain.values()) >= 1.02, (
+        "deep trials contributed nowhere: %r" % deep_gain
+    )
+    assert geomean(deep_gain.values()) >= 0.99  # and never hurt overall
+
+    engine = steady_engine_factory("gauss-mix", "incremental")
+    benchmark(engine.run_iteration, "Main", "run")

@@ -1,0 +1,42 @@
+"""Compare every inlining policy on benchmarks from the paper's suite.
+
+Runs the measurement protocol of §V (multiple VM instances, steady
+state = mean of the last 40% of iterations) for a chosen benchmark set
+and prints time, speedup-vs-C2 and installed-code tables.
+
+Run:  python examples/compare_inliners.py [benchmark ...]
+      python examples/compare_inliners.py factorie gauss-mix
+"""
+
+import sys
+
+from repro.bench.harness import print_table, run_matrix
+
+DEFAULT = ["factorie", "scalariform", "gauss-mix", "stmbench7"]
+CONFIGS = ["no-inline", "greedy", "c2", "shallow-trials", "incremental"]
+
+
+def main():
+    names = sys.argv[1:] or DEFAULT
+    print("benchmarks: %s" % ", ".join(names))
+    print("configs:    %s" % ", ".join(CONFIGS))
+    print("(protocol: 2 VM instances, steady mean of trailing 40%)")
+
+    def progress(bench, config, measurement):
+        print("  measured %-12s %-16s %10.0f cycles" % (
+            bench, config, measurement.mean_cycles))
+
+    results = run_matrix(CONFIGS, benchmarks=names, instances=2, progress=progress)
+    print_table(results, CONFIGS, metric="time", title="steady cycles (mean ± std)")
+    print_table(
+        results,
+        ["greedy", "c2", "shallow-trials", "incremental"],
+        metric="speedup",
+        baseline="c2",
+        title="speedup relative to the C2-style baseline",
+    )
+    print_table(results, CONFIGS, metric="code", title="installed machine code")
+
+
+if __name__ == "__main__":
+    main()

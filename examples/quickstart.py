@@ -1,0 +1,58 @@
+"""Quickstart: compile a minij program, run it on the tiered VM with the
+incremental inliner, and watch warmup happen.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines import tuned_inliner
+from repro.jit import Engine, JitConfig
+from repro.lang import compile_source
+
+SOURCE = """
+// A tiny abstraction-heavy workload: generic sequence + lambda.
+object Main {
+  def run(): int {
+    var xs: IntArraySeq = new IntArraySeq(8);
+    var i: int = 0;
+    while (i < 100) { xs.add(i); i = i + 1; }
+    var squares: int = xs.fold(0, fun (acc: int, x: int): int => acc + x * x);
+    var evens: int = xs.countWhere(fun (x: int): bool => (x & 1) == 0);
+    return squares + evens;
+  }
+}
+"""
+
+
+def main():
+    program = compile_source(SOURCE)
+    print("compiled %d classes, %d bytecodes of guest code" % (
+        len(program.classes), program.total_code_size()))
+
+    engine = Engine(
+        program,
+        JitConfig(hot_threshold=25),
+        inliner=tuned_inliner(size_factor=0.1),
+    )
+    print("\niter   total-cycles   interpreted   compiled   jit-time   installed")
+    for iteration in range(10):
+        r = engine.run_iteration("Main", "run")
+        print("%4d %14d %13d %10d %10d %11d" % (
+            iteration, r.total_cycles, r.interpreted_cycles,
+            r.compiled_cycles, r.compile_cycles, r.installed_size))
+    print("\nresult: %d (expected %d)" % (
+        r.value, sum(x * x for x in range(100)) + 50))
+
+    print("\ninlining decisions made by the incremental inliner:")
+    for record in engine.compiler.records:
+        report = record.inline_report
+        if report is not None and report.inline_count:
+            print("  %-22s rounds=%d expanded=%d inlined=%d typeswitches=%d" % (
+                record.method.qualified_name, report.rounds,
+                report.expansions, report.inline_count,
+                report.typeswitch_count))
+            for name in report.inlined_methods:
+                print("      inlined %s" % name)
+
+
+if __name__ == "__main__":
+    main()

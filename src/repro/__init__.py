@@ -1,0 +1,45 @@
+"""Reproduction of "An Optimization-Driven Incremental Inline
+Substitution Algorithm for Just-in-Time Compilers" (Prokopec, Duboscq,
+Leopoldseder, Würthinger; CGO 2019) on a from-scratch JIT substrate.
+
+Quick tour (see README.md for the full map):
+
+>>> from repro import compile_source, Engine, JitConfig, tuned_inliner
+>>> program = compile_source('''
+... object Main { def run(): int { return 21 * 2; } }
+... ''')
+>>> engine = Engine(program, JitConfig(), inliner=tuned_inliner())
+>>> engine.run_iteration("Main", "run").value
+42
+
+Subpackages:
+
+- :mod:`repro.core` — the paper's incremental inliner (the contribution)
+- :mod:`repro.baselines` — greedy / C2-style / ablation policies
+- :mod:`repro.lang` — the minij front end and standard library
+- :mod:`repro.bytecode` / :mod:`repro.runtime` / :mod:`repro.interp` —
+  the bytecode world and its profiling interpreter
+- :mod:`repro.ir` / :mod:`repro.opts` / :mod:`repro.backend` — SSA IR,
+  optimizer, machine backend and cost model
+- :mod:`repro.jit` — the tiered virtual machine
+- :mod:`repro.bench` — the paper's evaluation suite and harness
+- :mod:`repro.tools` — CLI entry points (run / trace / disasm / bench)
+"""
+
+__version__ = "1.0.0"
+
+from repro.baselines import tuned_inliner
+from repro.core import IncrementalInliner, InlinerParams, InlineTracer
+from repro.jit import Engine, JitConfig
+from repro.lang import compile_source
+
+__all__ = [
+    "__version__",
+    "compile_source",
+    "Engine",
+    "JitConfig",
+    "IncrementalInliner",
+    "InlinerParams",
+    "InlineTracer",
+    "tuned_inliner",
+]

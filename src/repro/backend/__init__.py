@@ -1,0 +1,26 @@
+"""Compiled-code backend: lowering, machine model, cycle accounting.
+
+The paper evaluates wall-clock time on real hardware; our substitute is
+a deterministic cycle model. What matters for reproducing the paper's
+*shapes* is that the model prices exactly the effects inlining trades
+between:
+
+- call overheads (direct < virtual < interface dispatch),
+- the optimizations inlining unlocks (fewer executed instructions),
+- code-size pressure (an instruction-cache model that taxes every
+  compiled method entry once total installed code exceeds capacity),
+- the interpreter/compiled-tier gap (hot code must get compiled at all).
+"""
+
+from repro.backend.costmodel import CostModel
+from repro.backend.lowering import lower_graph
+from repro.backend.machine import MachineCode, MachineExecutor
+from repro.backend.icache import ICacheModel
+
+__all__ = [
+    "CostModel",
+    "lower_graph",
+    "MachineCode",
+    "MachineExecutor",
+    "ICacheModel",
+]

@@ -1,0 +1,96 @@
+"""The cycle cost model.
+
+All performance numbers in the reproduction are sums of these constants.
+They are loosely calibrated to a modern OoO core's *amortized* costs
+(an add is 1, a well-predicted call sequence around 10, megamorphic
+dispatch several times that, interpretation an order of magnitude above
+compiled code), which is the calibration that matters for the paper's
+qualitative claims.
+"""
+
+from repro.ir import nodes as n
+
+
+class CostModel:
+    """Cycle prices for machine operations and tier transitions."""
+
+    # Compiled-code operation costs.
+    ARITHMETIC = 1
+    COMPARE = 1
+    MOVE = 1
+    BRANCH = 1
+    JUMP = 1
+    FIELD_ACCESS = 3
+    ARRAY_ACCESS = 3
+    ARRAY_LENGTH = 2
+    STATIC_ACCESS = 2
+    ALLOC_OBJECT = 16
+    ALLOC_ARRAY = 20
+    TYPE_CHECK = 2
+    EXACT_CHECK = 1
+    CAST = 2
+    RETURN = 2
+
+    # Call overheads (caller side: argument shuffle, call, return).
+    CALL_DIRECT = 10
+    CALL_VIRTUAL = 26
+    CALL_INTERFACE = 32
+    CALL_NATIVE = 6
+
+    # Callee prologue charged at every compiled method entry.
+    METHOD_ENTRY = 4
+
+    # Interpreter tier: cycles per executed bytecode.
+    INTERPRETED_OP = 22
+
+    # JIT compilation cost: cycles per IR node processed per pass-ish
+    # unit of work (charged to the iteration the compile happens in).
+    COMPILE_PER_NODE = 40
+
+    def node_cost(self, node):
+        """Cost contribution of one IR node to its block's cycle count."""
+        t = type(node)
+        if t in (n.ConstIntNode, n.ConstNullNode, n.ParamNode, n.PiNode):
+            return 0
+        if t is n.BinOpNode or t is n.NegNode:
+            return self.ARITHMETIC
+        if t is n.CompareNode:
+            return self.COMPARE
+        if t is n.PhiNode:
+            return 0  # phis cost via edge moves
+        if t in (n.LoadFieldNode, n.StoreFieldNode):
+            return self.FIELD_ACCESS
+        if t in (n.LoadStaticNode, n.StoreStaticNode):
+            return self.STATIC_ACCESS
+        if t in (n.ArrayLoadNode, n.ArrayStoreNode):
+            return self.ARRAY_ACCESS
+        if t is n.ArrayLengthNode:
+            return self.ARRAY_LENGTH
+        if t is n.NewNode:
+            return self.ALLOC_OBJECT
+        if t is n.NewArrayNode:
+            return self.ALLOC_ARRAY
+        if t is n.InstanceOfNode:
+            return self.EXACT_CHECK if node.exact else self.TYPE_CHECK
+        if t is n.CheckCastNode:
+            return self.CAST
+        if t is n.InvokeNode:
+            return self.call_cost(node.kind)
+        if t is n.IfNode:
+            return self.BRANCH
+        if t is n.GotoNode:
+            return self.JUMP
+        if t is n.ReturnNode:
+            return self.RETURN
+        return 1
+
+    def call_cost(self, kind):
+        if kind in ("static", "special", "direct"):
+            return self.CALL_DIRECT
+        if kind == "virtual":
+            return self.CALL_VIRTUAL
+        return self.CALL_INTERFACE
+
+    def compile_cost(self, node_count, passes=1):
+        """Cycles charged for compiling a graph of *node_count* nodes."""
+        return node_count * self.COMPILE_PER_NODE * max(1, passes)

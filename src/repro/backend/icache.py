@@ -1,0 +1,37 @@
+"""Instruction-cache pressure model.
+
+The paper's §II (point 3) argues inlining is non-linear partly because
+"excessive inlining can put more pressure on limited hardware resources,
+such as the instruction cache". We model that with a global tax: once
+the total installed machine code exceeds the modelled cache capacity,
+every compiled-method entry pays a penalty growing with the excess
+(capped — a real cache degrades, it does not fall off a cliff).
+
+The default capacity is deliberately sized so the paper-tuned inliner
+fits comfortably on our miniature benchmarks while pathological
+fixed-threshold configurations (T_i = 6000-style over-inlining) do not.
+"""
+
+
+class ICacheModel:
+    """Entry-penalty model parameterized by capacity and slope."""
+
+    def __init__(self, capacity=60_000, penalty=40, max_ratio=4.0):
+        """
+        Args:
+            capacity: machine instructions that fit without penalty.
+            penalty: cycles charged per method entry per 100% excess.
+            max_ratio: penalty growth saturates at this excess ratio.
+        """
+        self.capacity = capacity
+        self.penalty = penalty
+        self.max_ratio = max_ratio
+
+    def entry_penalty(self, installed_total):
+        """Cycles added to each compiled-method entry."""
+        if installed_total <= self.capacity:
+            return 0
+        excess = (installed_total - self.capacity) / self.capacity
+        if excess > self.max_ratio:
+            excess = self.max_ratio
+        return int(self.penalty * excess)

@@ -1,0 +1,288 @@
+"""IR → machine code lowering.
+
+Register allocation is trivial (one virtual register per SSA value plus
+one scratch register for phi-cycle breaking); what this pass actually
+has to get right is control flow:
+
+- phis become *parallel copies* on incoming edges, sequentialized with
+  the classic cycle-breaking algorithm;
+- conditional edges that carry moves get a branch stub appended after
+  the block layout (edge splitting);
+- every block is prefixed with a ``COST`` pseudo-instruction carrying
+  its precomputed cycle price from the :class:`~repro.backend.costmodel.CostModel`.
+"""
+
+from repro.backend import machine as m
+from repro.backend.costmodel import CostModel
+from repro.errors import CompileError
+from repro.ir import nodes as n
+from repro.ir import stamps as st
+
+
+_BINOP_TO_MACHINE = {
+    "ADD": m.M_ADD,
+    "SUB": m.M_SUB,
+    "MUL": m.M_MUL,
+    "DIV": m.M_DIV,
+    "REM": m.M_REM,
+    "AND": m.M_AND,
+    "OR": m.M_OR,
+    "XOR": m.M_XOR,
+    "SHL": m.M_SHL,
+    "SHR": m.M_SHR,
+}
+
+_CMP_TO_MACHINE = {
+    "EQ": m.M_EQ,
+    "NE": m.M_NE,
+    "LT": m.M_LT,
+    "LE": m.M_LE,
+    "GT": m.M_GT,
+    "GE": m.M_GE,
+    "REF_EQ": m.M_REFEQ,
+    "REF_NE": m.M_REFNE,
+}
+
+
+def lower_graph(graph, cost_model=None):
+    """Lower *graph* to :class:`~repro.backend.machine.MachineCode`."""
+    return _Lowering(graph, cost_model or CostModel()).run()
+
+
+class _Lowering:
+    def __init__(self, graph, cost_model):
+        self.graph = graph
+        self.cost = cost_model
+        self.regs = {}
+        self.next_reg = 0
+        self.instrs = []
+        self.block_offsets = {}
+        self.fixups = []  # (instr index, operand slot, target block)
+        self.stubs = []  # (stub label id, moves, target block)
+        self.stub_offsets = {}
+
+    # -- registers ---------------------------------------------------------
+
+    def _reg(self, node):
+        reg = self.regs.get(node)
+        if reg is None:
+            reg = self.next_reg
+            self.next_reg += 1
+            self.regs[node] = reg
+        return reg
+
+    # -- main ---------------------------------------------------------------
+
+    def run(self):
+        graph = self.graph
+        order = graph.reverse_postorder()
+        for param in graph.params:
+            self._reg(param)  # registers 0..n-1 hold the arguments
+        for block in order:
+            self.block_offsets[block] = len(self.instrs)
+            self._emit_block(block, order)
+        self._emit_stubs()
+        self._patch_fixups()
+        return m.MachineCode(
+            graph.method, self.instrs, self.next_reg + 1, self.cost.METHOD_ENTRY
+        )
+
+    def _emit(self, *instr):
+        self.instrs.append(instr)
+        return len(self.instrs) - 1
+
+    def _emit_jump_to(self, block):
+        index = self._emit(m.M_JMP, -1)
+        self.fixups.append((index, 1, block))
+
+    def _emit_block(self, block, order):
+        cost = sum(self.cost.node_cost(node) for node in block.instrs)
+        if block.terminator is not None:
+            cost += self.cost.node_cost(block.terminator)
+        self._emit(m.M_COST, cost)
+        for node in block.instrs:
+            self._emit_node(node)
+        term = block.terminator
+        if isinstance(term, n.ReturnNode):
+            value = term.value()
+            if value is None:
+                self._emit(m.M_RET)
+            else:
+                self._emit(m.M_RETV, self._reg(value))
+        elif isinstance(term, n.GotoNode):
+            self._emit_moves(self._edge_moves(block, term.target))
+            self._emit_jump_to(term.target)
+        elif isinstance(term, n.IfNode):
+            true_moves = self._edge_moves(block, term.true_block)
+            false_moves = self._edge_moves(block, term.false_block)
+            cond = self._reg(term.inputs[0])
+            if true_moves:
+                stub = len(self.stubs)
+                self.stubs.append((stub, true_moves, term.true_block))
+                index = self._emit(m.M_BR, cond, -1)
+                self.fixups.append((index, 2, ("stub", stub)))
+            else:
+                index = self._emit(m.M_BR, cond, -1)
+                self.fixups.append((index, 2, term.true_block))
+            self._emit_moves(false_moves)
+            self._emit_jump_to(term.false_block)
+        elif term is None:
+            raise CompileError("block B%d has no terminator" % block.id)
+        else:
+            raise CompileError("unknown terminator %r" % (term,))
+
+    # -- nodes -----------------------------------------------------------------
+
+    def _emit_node(self, node):
+        t = type(node)
+        if t is n.ConstIntNode:
+            self._emit(m.M_MOVI, self._reg(node), node.value)
+        elif t is n.ConstNullNode:
+            self._emit(m.M_MOVNULL, self._reg(node))
+        elif t is n.BinOpNode:
+            self._emit(
+                _BINOP_TO_MACHINE[node.op],
+                self._reg(node),
+                self._reg(node.inputs[0]),
+                self._reg(node.inputs[1]),
+            )
+        elif t is n.NegNode:
+            self._emit(m.M_NEG, self._reg(node), self._reg(node.inputs[0]))
+        elif t is n.CompareNode:
+            self._emit(
+                _CMP_TO_MACHINE[node.op],
+                self._reg(node),
+                self._reg(node.inputs[0]),
+                self._reg(node.inputs[1]),
+            )
+        elif t is n.NewNode:
+            self._emit(m.M_NEW, self._reg(node), node.class_name)
+        elif t is n.NewArrayNode:
+            self._emit(
+                m.M_NEWARR,
+                self._reg(node),
+                self._reg(node.inputs[0]),
+                node.elem_type,
+            )
+        elif t is n.ArrayLoadNode:
+            self._emit(
+                m.M_ALOAD,
+                self._reg(node),
+                self._reg(node.inputs[0]),
+                self._reg(node.inputs[1]),
+            )
+        elif t is n.ArrayStoreNode:
+            self._emit(
+                m.M_ASTORE,
+                self._reg(node.inputs[0]),
+                self._reg(node.inputs[1]),
+                self._reg(node.inputs[2]),
+            )
+        elif t is n.ArrayLengthNode:
+            self._emit(m.M_ALEN, self._reg(node), self._reg(node.inputs[0]))
+        elif t is n.LoadFieldNode:
+            self._emit(
+                m.M_GETF,
+                self._reg(node),
+                self._reg(node.inputs[0]),
+                node.field_name,
+            )
+        elif t is n.StoreFieldNode:
+            self._emit(
+                m.M_PUTF,
+                self._reg(node.inputs[0]),
+                node.field_name,
+                self._reg(node.inputs[1]),
+            )
+        elif t is n.LoadStaticNode:
+            self._emit(
+                m.M_GETS, self._reg(node), node.class_name, node.field_name
+            )
+        elif t is n.StoreStaticNode:
+            self._emit(
+                m.M_PUTS,
+                node.class_name,
+                node.field_name,
+                self._reg(node.inputs[0]),
+            )
+        elif t is n.InstanceOfNode:
+            opcode = m.M_ISEXACT if node.exact else m.M_ISINST
+            self._emit(
+                opcode, self._reg(node), self._reg(node.inputs[0]), node.type_name
+            )
+        elif t is n.CheckCastNode:
+            self._emit(
+                m.M_CAST, self._reg(node), self._reg(node.inputs[0]), node.type_name
+            )
+        elif t is n.PiNode:
+            self._emit(m.M_MOV, self._reg(node), self._reg(node.inputs[0]))
+        elif t is n.InvokeNode:
+            self._emit_invoke(node)
+        else:
+            raise CompileError("cannot lower node %r" % (node,))
+
+    def _emit_invoke(self, node):
+        result = self._reg(node) if node.stamp.kind != st.Stamp.VOID else -1
+        arg_regs = tuple(self._reg(a) for a in node.inputs)
+        if node.kind in ("static", "special", "direct"):
+            if node.target is None:
+                raise CompileError("direct call without target: %r" % (node,))
+            self._emit(m.M_CALL, result, node.target, arg_regs)
+        else:
+            self._emit(m.M_VCALL, result, node.method_name, arg_regs)
+
+    # -- phi moves -----------------------------------------------------------------
+
+    def _edge_moves(self, pred, succ):
+        """Parallel copies for the edge *pred*→*succ*."""
+        if not succ.phis:
+            return []
+        index = succ.pred_index(pred)
+        moves = []
+        for phi in succ.phis:
+            source = phi.inputs[index]
+            if source is None:
+                continue
+            dst = self._reg(phi)
+            src = self._reg(source)
+            if dst != src:
+                moves.append((dst, src))
+        return moves
+
+    def _emit_moves(self, moves):
+        """Sequentialize a parallel copy, breaking cycles with a temp."""
+        pending = dict(moves)  # dst -> src
+        temp = self.next_reg  # reserved scratch register
+        while pending:
+            sources = set(pending.values())
+            ready = [d for d in pending if d not in sources]
+            if ready:
+                for dst in ready:
+                    self._emit(m.M_MOV, dst, pending.pop(dst))
+                continue
+            # Pure cycle: save one destination into the scratch register
+            # and redirect its readers there.
+            dst = next(iter(pending))
+            self._emit(m.M_MOV, temp, dst)
+            for d, s in list(pending.items()):
+                if s == dst:
+                    pending[d] = temp
+            # dst is no longer anyone's source: safe next round.
+
+    # -- stubs and fixups ---------------------------------------------------------------
+
+    def _emit_stubs(self):
+        for stub_id, moves, target in self.stubs:
+            self.stub_offsets[stub_id] = len(self.instrs)
+            self._emit_moves(moves)
+            self._emit_jump_to(target)
+
+    def _patch_fixups(self):
+        for index, slot, target in self.fixups:
+            if isinstance(target, tuple) and target[0] == "stub":
+                offset = self.stub_offsets[target[1]]
+            else:
+                offset = self.block_offsets[target]
+            instr = list(self.instrs[index])
+            instr[slot] = offset
+            self.instrs[index] = tuple(instr)

@@ -1,0 +1,296 @@
+"""The linear machine: instruction set, code container, executor.
+
+Lowered code is a list of tuples ``(opcode, a, b, c)`` over virtual
+registers. The executor is a straightforward dispatch loop; cycle
+accounting is block-granular — lowering prefixes each basic block with
+a ``COST`` pseudo-instruction carrying the block's precomputed cycle
+price, so executing a block costs one extra Python dispatch, not one
+per instruction.
+"""
+
+from repro.errors import (
+    BoundsTrap,
+    CastTrap,
+    NullPointerTrap,
+    VMError,
+)
+from repro.interp.interpreter import int_div, int_rem, wrap64
+from repro.runtime.values import ArrayRef, ObjRef, NULL
+from repro.runtime.intrinsics import intrinsic_function
+
+# Machine opcodes (ints for fast comparison).
+M_COST = 0
+M_MOVI = 1
+M_MOV = 2
+M_MOVNULL = 3
+M_ADD = 4
+M_SUB = 5
+M_MUL = 6
+M_DIV = 7
+M_REM = 8
+M_NEG = 9
+M_AND = 10
+M_OR = 11
+M_XOR = 12
+M_SHL = 13
+M_SHR = 14
+M_EQ = 15
+M_NE = 16
+M_LT = 17
+M_LE = 18
+M_GT = 19
+M_GE = 20
+M_REFEQ = 21
+M_REFNE = 22
+M_JMP = 23
+M_BR = 24
+M_RET = 25
+M_RETV = 26
+M_NEW = 27
+M_NEWARR = 28
+M_ALOAD = 29
+M_ASTORE = 30
+M_ALEN = 31
+M_GETF = 32
+M_PUTF = 33
+M_GETS = 34
+M_PUTS = 35
+M_ISINST = 36
+M_ISEXACT = 37
+M_CAST = 38
+M_CALL = 39
+M_VCALL = 40
+
+_NAMES = {
+    value: name[2:]
+    for name, value in list(globals().items())
+    if name.startswith("M_")
+}
+
+
+class MachineCode:
+    """Compiled machine code for one root method.
+
+    Attributes:
+        method: the root :class:`~repro.bytecode.method.Method`.
+        instrs: list of instruction tuples.
+        num_regs: virtual register count.
+        entry_cost: prologue cycles charged on entry.
+        size: installed-code size (number of machine instructions) —
+            the unit reported in the paper's Figure 10 / Table I.
+    """
+
+    __slots__ = ("method", "instrs", "num_regs", "entry_cost", "size")
+
+    def __init__(self, method, instrs, num_regs, entry_cost):
+        self.method = method
+        self.instrs = instrs
+        self.num_regs = num_regs
+        self.entry_cost = entry_cost
+        self.size = len(instrs)
+
+    def listing(self):
+        """Human-readable disassembly (for tests and debugging)."""
+        lines = []
+        for index, instr in enumerate(self.instrs):
+            op = instr[0]
+            args = ", ".join(str(a) for a in instr[1:] if a is not None)
+            lines.append("%4d: %-8s %s" % (index, _NAMES.get(op, "?"), args))
+        return "\n".join(lines)
+
+
+class MachineExecutor:
+    """Executes :class:`MachineCode` against a VM state.
+
+    The executor is deliberately free of policy: tier transfer decisions
+    live in the dispatch callable (the JIT engine), which is invoked for
+    every CALL/VCALL.
+    """
+
+    def __init__(self, vm, dispatch, cycle_sink):
+        """
+        Args:
+            vm: the :class:`~repro.runtime.vmstate.VMState`.
+            dispatch: ``(method, args) -> value`` used for all calls.
+            cycle_sink: object with an ``add_compiled_cycles(n)`` method.
+        """
+        self.vm = vm
+        self.dispatch = dispatch
+        self.cycle_sink = cycle_sink
+
+    def execute(self, code, args):
+        vm = self.vm
+        program = vm.program
+        dispatch = self.dispatch
+        instrs = code.instrs
+        regs = [NULL] * code.num_regs
+        for index, arg in enumerate(args):
+            regs[index] = arg
+        cycles = code.entry_cost
+        pc = 0
+        while True:
+            instr = instrs[pc]
+            op = instr[0]
+            if op == M_COST:
+                cycles += instr[1]
+            elif op == M_MOVI:
+                regs[instr[1]] = instr[2]
+            elif op == M_MOV:
+                regs[instr[1]] = regs[instr[2]]
+            elif op == M_MOVNULL:
+                regs[instr[1]] = NULL
+            elif op == M_ADD:
+                regs[instr[1]] = wrap64(regs[instr[2]] + regs[instr[3]])
+            elif op == M_SUB:
+                regs[instr[1]] = wrap64(regs[instr[2]] - regs[instr[3]])
+            elif op == M_MUL:
+                regs[instr[1]] = wrap64(regs[instr[2]] * regs[instr[3]])
+            elif op == M_DIV:
+                regs[instr[1]] = wrap64(int_div(regs[instr[2]], regs[instr[3]]))
+            elif op == M_REM:
+                regs[instr[1]] = int_rem(regs[instr[2]], regs[instr[3]])
+            elif op == M_NEG:
+                regs[instr[1]] = wrap64(-regs[instr[2]])
+            elif op == M_AND:
+                regs[instr[1]] = regs[instr[2]] & regs[instr[3]]
+            elif op == M_OR:
+                regs[instr[1]] = regs[instr[2]] | regs[instr[3]]
+            elif op == M_XOR:
+                regs[instr[1]] = regs[instr[2]] ^ regs[instr[3]]
+            elif op == M_SHL:
+                regs[instr[1]] = wrap64(regs[instr[2]] << (regs[instr[3]] & 63))
+            elif op == M_SHR:
+                regs[instr[1]] = regs[instr[2]] >> (regs[instr[3]] & 63)
+            elif op == M_EQ:
+                regs[instr[1]] = 1 if regs[instr[2]] == regs[instr[3]] else 0
+            elif op == M_NE:
+                regs[instr[1]] = 1 if regs[instr[2]] != regs[instr[3]] else 0
+            elif op == M_LT:
+                regs[instr[1]] = 1 if regs[instr[2]] < regs[instr[3]] else 0
+            elif op == M_LE:
+                regs[instr[1]] = 1 if regs[instr[2]] <= regs[instr[3]] else 0
+            elif op == M_GT:
+                regs[instr[1]] = 1 if regs[instr[2]] > regs[instr[3]] else 0
+            elif op == M_GE:
+                regs[instr[1]] = 1 if regs[instr[2]] >= regs[instr[3]] else 0
+            elif op == M_REFEQ:
+                regs[instr[1]] = 1 if regs[instr[2]] is regs[instr[3]] else 0
+            elif op == M_REFNE:
+                regs[instr[1]] = 1 if regs[instr[2]] is not regs[instr[3]] else 0
+            elif op == M_JMP:
+                pc = instr[1]
+                continue
+            elif op == M_BR:
+                if regs[instr[1]] != 0:
+                    pc = instr[2]
+                    continue
+            elif op == M_RET:
+                self.cycle_sink.add_compiled_cycles(cycles)
+                return NULL
+            elif op == M_RETV:
+                self.cycle_sink.add_compiled_cycles(cycles)
+                return regs[instr[1]]
+            elif op == M_NEW:
+                regs[instr[1]] = vm.allocate(instr[2])
+            elif op == M_NEWARR:
+                length = regs[instr[2]]
+                if length < 0:
+                    raise BoundsTrap("negative array length %d" % length)
+                regs[instr[1]] = vm.allocate_array(instr[3], length)
+            elif op == M_ALOAD:
+                array = regs[instr[2]]
+                index = regs[instr[3]]
+                if array is NULL:
+                    raise NullPointerTrap("ALOAD")
+                data = array.data
+                if not (0 <= index < len(data)):
+                    raise BoundsTrap("%d / %d" % (index, len(data)))
+                regs[instr[1]] = data[index]
+            elif op == M_ASTORE:
+                array = regs[instr[1]]
+                index = regs[instr[2]]
+                if array is NULL:
+                    raise NullPointerTrap("ASTORE")
+                data = array.data
+                if not (0 <= index < len(data)):
+                    raise BoundsTrap("%d / %d" % (index, len(data)))
+                data[index] = regs[instr[3]]
+            elif op == M_ALEN:
+                array = regs[instr[2]]
+                if array is NULL:
+                    raise NullPointerTrap("ARRAYLEN")
+                regs[instr[1]] = len(array.data)
+            elif op == M_GETF:
+                obj = regs[instr[2]]
+                if obj is NULL:
+                    raise NullPointerTrap("GETFIELD %s" % instr[3])
+                regs[instr[1]] = obj.fields[instr[3]]
+            elif op == M_PUTF:
+                obj = regs[instr[1]]
+                if obj is NULL:
+                    raise NullPointerTrap("PUTFIELD %s" % instr[2])
+                obj.fields[instr[2]] = regs[instr[3]]
+            elif op == M_GETS:
+                regs[instr[1]] = vm.get_static(instr[2], instr[3])
+            elif op == M_PUTS:
+                vm.put_static(instr[1], instr[2], regs[instr[3]])
+            elif op == M_ISINST:
+                value = regs[instr[2]]
+                if value is NULL:
+                    regs[instr[1]] = 0
+                else:
+                    type_name = (
+                        value.class_name
+                        if isinstance(value, ObjRef)
+                        else value.type_name
+                    )
+                    regs[instr[1]] = (
+                        1 if program.is_subtype(type_name, instr[3]) else 0
+                    )
+            elif op == M_ISEXACT:
+                value = regs[instr[2]]
+                regs[instr[1]] = (
+                    1
+                    if isinstance(value, ObjRef) and value.class_name == instr[3]
+                    else 0
+                )
+            elif op == M_CAST:
+                value = regs[instr[2]]
+                if value is not NULL:
+                    type_name = (
+                        value.class_name
+                        if isinstance(value, ObjRef)
+                        else value.type_name
+                    )
+                    if not program.is_subtype(type_name, instr[3]):
+                        raise CastTrap("%s -> %s" % (type_name, instr[3]))
+                regs[instr[1]] = value
+            elif op == M_CALL:
+                # instr: (op, result_reg, target_method, arg_regs)
+                target = instr[2]
+                call_args = [regs[r] for r in instr[3]]
+                if target.is_native:
+                    value = intrinsic_function(target.name)(vm, *call_args)
+                else:
+                    self.cycle_sink.add_compiled_cycles(cycles)
+                    cycles = 0
+                    value = dispatch(target, call_args)
+                if instr[1] >= 0:
+                    regs[instr[1]] = value
+            elif op == M_VCALL:
+                # instr: (op, result_reg, method_name, arg_regs)
+                call_args = [regs[r] for r in instr[3]]
+                receiver = call_args[0]
+                if receiver is NULL:
+                    raise NullPointerTrap("call %s" % instr[2])
+                if isinstance(receiver, ArrayRef):
+                    raise VMError("virtual call on array receiver")
+                target = program.resolve_method(receiver.class_name, instr[2])
+                self.cycle_sink.add_compiled_cycles(cycles)
+                cycles = 0
+                value = dispatch(target, call_args)
+                if instr[1] >= 0:
+                    regs[instr[1]] = value
+            else:
+                raise VMError("bad machine opcode %d" % op)
+            pc += 1

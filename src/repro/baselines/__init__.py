@@ -1,0 +1,34 @@
+"""Comparison inlining policies (§V).
+
+- :class:`~repro.baselines.greedy.GreedyInliner` — the open-source-Graal
+  / Steiner-style inliner: depth-first, single-method-at-a-time, fixed
+  size thresholds, no exploration phase, no clustering;
+- :class:`~repro.baselines.c2like.C2Inliner` — a HotSpot-C2-shaped
+  policy: trivial methods inlined during parsing, hot methods inlined in
+  a later greedy phase, smaller budgets, bimorphic typeswitches;
+- :func:`~repro.baselines.variants.fixed_threshold_inliner`,
+  :func:`~repro.baselines.variants.one_by_one_inliner`,
+  :func:`~repro.baselines.variants.shallow_trials_inliner` — ablations
+  of the paper's algorithm used in Figures 6–9 (each is the full
+  incremental inliner with exactly one heuristic replaced).
+"""
+
+from repro.baselines.greedy import GreedyInliner
+from repro.baselines.c2like import C2Inliner
+from repro.baselines.variants import (
+    clustering_inliner,
+    fixed_threshold_inliner,
+    one_by_one_inliner,
+    shallow_trials_inliner,
+    tuned_inliner,
+)
+
+__all__ = [
+    "GreedyInliner",
+    "C2Inliner",
+    "clustering_inliner",
+    "fixed_threshold_inliner",
+    "one_by_one_inliner",
+    "shallow_trials_inliner",
+    "tuned_inliner",
+]

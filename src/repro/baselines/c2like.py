@@ -1,0 +1,113 @@
+"""A HotSpot-C2-shaped inlining policy.
+
+The paper describes C2's approach (§V): "inlines a single-method at a
+time (first only trivial methods during bytecode parsing, and larger
+methods in a separate, later phase), with a greedy heuristic that is
+similar to the one used in basic Graal". C2's budgets are famously
+tighter than Graal EE's — it installs noticeably less code (Table I) —
+and its devirtualization speculates at most two receiver types
+(bimorphic inline cache).
+
+Phase 1 (parse-time stand-in): inline every trivial callee
+(≤ ``trivial_size``) transitively. Phase 2: one pass over the surviving
+hot callsites, inlining callees up to ``max_callee_size`` while the
+root stays under a firm budget.
+"""
+
+from repro.baselines.common import inline_direct_call, speculate_dispatch
+from repro.core.inliner import InlineReport
+from repro.ir.frequency import annotate_frequencies
+
+
+class C2Inliner:
+    """Two-phase trivial-then-hot inliner with tight budgets."""
+
+    name = "c2"
+
+    def __init__(
+        self,
+        trivial_size=8,
+        max_callee_size=35,
+        hot_frequency=3.0,
+        max_root_size=350,
+        max_depth=9,
+        max_targets=2,
+        min_probability=0.85,
+    ):
+        self.trivial_size = trivial_size
+        self.max_callee_size = max_callee_size
+        self.hot_frequency = hot_frequency
+        self.max_root_size = max_root_size
+        self.max_depth = max_depth
+        self.max_targets = max_targets
+        self.min_probability = min_probability
+
+    def run(self, graph, context):
+        report = InlineReport()
+        self._parse_phase(graph, context, report)
+        context.pipeline.simplify_only(graph)
+        annotate_frequencies(graph)
+        self._late_phase(graph, context, report)
+        context.pipeline.simplify_only(graph)
+        annotate_frequencies(graph)
+        report.rounds = 2
+        report.final_root_size = graph.node_count()
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _parse_phase(self, graph, context, report):
+        """Trivial inlining, transitively, as the bytecode parser would."""
+        work = [(invoke, 0) for invoke in graph.invokes()]
+        while work:
+            invoke, depth = work.pop()
+            if invoke.block is None or depth >= self.max_depth:
+                continue
+            target = invoke.target
+            if invoke.is_dispatched or target is None:
+                continue
+            if target.is_native or target.is_abstract or target.never_inline:
+                continue
+            if len(target.code) > self.trivial_size and not target.force_inline:
+                continue
+            before = {id(i) for i in graph.invokes()}
+            inline_direct_call(graph, invoke, context, report)
+            for new_invoke in graph.invokes():
+                if id(new_invoke) not in before:
+                    work.append((new_invoke, depth + 1))
+
+    def _late_phase(self, graph, context, report):
+        """Hot-callsite inlining with a firm root budget."""
+        work = [(invoke, 0) for invoke in graph.invokes()]
+        while work:
+            invoke, depth = work.pop()
+            if invoke.block is None or depth >= self.max_depth:
+                continue
+            if graph.node_count() >= self.max_root_size:
+                break
+            if invoke.is_dispatched:
+                if invoke.frequency >= 1.0:
+                    arms = speculate_dispatch(
+                        graph,
+                        invoke,
+                        context,
+                        self.max_targets,
+                        self.min_probability,
+                        report,
+                    )
+                    work.extend((arm, depth) for arm in arms)
+                continue
+            target = invoke.target
+            if target is None or target.is_native or target.is_abstract:
+                continue
+            if target.never_inline:
+                continue
+            hot = invoke.frequency >= self.hot_frequency
+            limit = self.max_callee_size if hot else self.trivial_size
+            if len(target.code) > limit and not target.force_inline:
+                continue
+            before = {id(i) for i in graph.invokes()}
+            inline_direct_call(graph, invoke, context, report)
+            for new_invoke in graph.invokes():
+                if id(new_invoke) not in before:
+                    work.append((new_invoke, depth + 1))

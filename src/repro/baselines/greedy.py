@@ -1,0 +1,102 @@
+"""The greedy single-method inliner.
+
+Models the inliner in the open-source Graal that the paper compares
+against (§V, "Comparison against alternatives"): "akin to the inlining
+algorithm for JIT compilers described by Steiner et al., which does not
+have an exploration phase". Depth-first over the callsites of the
+method being compiled: each direct call whose callee is small enough is
+inlined immediately and its body re-scanned, until a root-size budget
+runs out. Monomorphic (and optionally polymorphic) dispatched calls are
+speculated through a typeswitch first. Decisions are per-callsite with
+fixed thresholds — no clustering, no cost-benefit tuples, no adaptive
+thresholds, no deep trials.
+"""
+
+from repro.baselines.common import inline_direct_call, speculate_dispatch
+from repro.core.inliner import InlineReport
+from repro.ir import nodes as n
+from repro.ir.frequency import annotate_frequencies
+
+
+class GreedyInliner:
+    """Depth-first fixed-threshold inliner.
+
+    Args:
+        trivial_size: callees up to this IR size always inline.
+        max_callee_size: largest callee considered at a hot callsite.
+        hot_frequency: callsite frequency above which the larger
+            threshold applies.
+        max_root_size: inlining budget for the root graph.
+        max_depth: maximum substitution depth.
+        max_targets: typeswitch arms speculated at dispatched calls.
+    """
+
+    name = "greedy"
+
+    def __init__(
+        self,
+        trivial_size=12,
+        max_callee_size=60,
+        hot_frequency=2.0,
+        max_root_size=600,
+        max_depth=9,
+        max_targets=1,
+        min_probability=0.9,
+    ):
+        self.trivial_size = trivial_size
+        self.max_callee_size = max_callee_size
+        self.hot_frequency = hot_frequency
+        self.max_root_size = max_root_size
+        self.max_depth = max_depth
+        self.max_targets = max_targets
+        self.min_probability = min_probability
+
+    def run(self, graph, context):
+        report = InlineReport()
+        report.rounds = 1
+        work = [(invoke, 0) for invoke in graph.invokes()]
+        while work:
+            invoke, depth = work.pop()
+            if invoke.block is None:
+                continue  # optimized away meanwhile
+            if graph.node_count() >= self.max_root_size:
+                break
+            if depth >= self.max_depth:
+                continue
+            if invoke.is_dispatched:
+                arms = speculate_dispatch(
+                    graph,
+                    invoke,
+                    context,
+                    self.max_targets,
+                    self.min_probability,
+                    report,
+                )
+                work.extend((arm, depth) for arm in arms)
+                continue
+            target = invoke.target
+            if target is None or target.is_native or target.is_abstract:
+                continue
+            if target.never_inline:
+                continue
+            if not self._worth_inlining(invoke, target, context):
+                continue
+            before = {id(i) for i in graph.invokes()}
+            inline_direct_call(graph, invoke, context, report)
+            for new_invoke in graph.invokes():
+                if id(new_invoke) not in before:
+                    work.append((new_invoke, depth + 1))
+        context.pipeline.simplify_only(graph)
+        annotate_frequencies(graph)
+        report.final_root_size = graph.node_count()
+        return report
+
+    def _worth_inlining(self, invoke, target, context):
+        if target.force_inline:
+            return True
+        size = len(target.code)
+        if size <= self.trivial_size:
+            return True
+        if invoke.frequency >= self.hot_frequency:
+            return size <= self.max_callee_size
+        return size <= self.trivial_size * 2

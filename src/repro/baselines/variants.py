@@ -1,0 +1,78 @@
+"""Ablation variants of the incremental inliner (§V's experiments).
+
+Each factory returns the *full* incremental inliner with exactly one
+heuristic replaced — matching the paper's methodology of "leaving all
+other aspects of the algorithm as-is".
+"""
+
+from repro.core.inliner import IncrementalInliner
+from repro.core.params import InlinerParams
+
+
+def _params(size_factor):
+    return InlinerParams.scaled(size_factor)
+
+
+def tuned_inliner(size_factor=0.1, **param_overrides):
+    """The paper's tuned configuration (adaptive + clustering + deep)."""
+    params = _params(size_factor)
+    for name, value in param_overrides.items():
+        setattr(params, name, value)
+    inliner = IncrementalInliner(params)
+    inliner.name = "incremental"
+    return inliner
+
+
+def fixed_threshold_inliner(te=None, ti=None, size_factor=0.1):
+    """Fixed expansion/inlining thresholds (Figures 6 and 7).
+
+    *te* and *ti* are in paper units (call-tree / root node counts on
+    Graal-sized graphs) and are scaled like every other size-typed
+    constant; pass None to keep the corresponding threshold adaptive.
+    """
+    params = _params(size_factor)
+    inliner = IncrementalInliner(
+        params,
+        adaptive_expansion=te is None,
+        adaptive_inlining=ti is None,
+        fixed_te=int(te * size_factor) if te is not None else 1000,
+        fixed_ti=int(ti * size_factor) if ti is not None else 3000,
+    )
+    inliner.name = "fixed(te=%s,ti=%s)" % (te, ti)
+    return inliner
+
+
+def one_by_one_inliner(t1=None, t2=None, size_factor=0.1):
+    """The 1-by-1 analysis policy (Figure 8): every method is its own
+    cluster; optionally overrides the Eq. 12 constants, which is the
+    sweep the paper runs."""
+    params = _params(size_factor)
+    if t1 is not None:
+        params.t1 = t1
+    if t2 is not None:
+        params.t2 = t2 * size_factor
+    inliner = IncrementalInliner(params, clustering=False)
+    inliner.name = "1-by-1(t1=%s,t2=%s)" % (t1, t2)
+    return inliner
+
+
+def clustering_inliner(t1=None, t2=None, size_factor=0.1):
+    """Clustering with the same (t1, t2) override hooks, for the
+    sensitivity comparison of Figure 8."""
+    params = _params(size_factor)
+    if t1 is not None:
+        params.t1 = t1
+    if t2 is not None:
+        params.t2 = t2 * size_factor
+    inliner = IncrementalInliner(params, clustering=True)
+    inliner.name = "cluster(t1=%s,t2=%s)" % (t1, t2)
+    return inliner
+
+
+def shallow_trials_inliner(size_factor=0.1):
+    """Deep trials disabled (Figure 9's "no deep trials" bars):
+    callsites are specialized only in the root compilation method."""
+    params = _params(size_factor)
+    inliner = IncrementalInliner(params, deep_trials=False)
+    inliner.name = "shallow-trials"
+    return inliner

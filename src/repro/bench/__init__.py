@@ -1,0 +1,32 @@
+"""The evaluation harness (§V).
+
+- :mod:`programs <repro.bench.programs>` — 28 minij benchmark programs
+  named after the paper's suites (DaCapo, Scala DaCapo, Spark-Perf,
+  Neo4J, Dotty, STMBench7), each modelled on the dominant workload
+  shape of its namesake;
+- :mod:`measurement <repro.bench.measurement>` — the paper's protocol:
+  several fresh VM instances per data point, steady-state mean of the
+  last 40% (at most 20) of the iterations, mean ± std, installed code
+  size;
+- :mod:`configs <repro.bench.configs>` — the inliner configurations the
+  figures compare;
+- :mod:`harness <repro.bench.harness>` — benchmark × configuration
+  sweeps with table rendering for each figure.
+"""
+
+from repro.bench.suite import all_benchmarks, get_benchmark, BenchmarkSpec
+from repro.bench.measurement import measure_benchmark, Measurement
+from repro.bench.configs import CONFIG_FACTORIES, make_config
+from repro.bench.harness import run_matrix, format_table
+
+__all__ = [
+    "all_benchmarks",
+    "get_benchmark",
+    "BenchmarkSpec",
+    "measure_benchmark",
+    "Measurement",
+    "CONFIG_FACTORIES",
+    "make_config",
+    "run_matrix",
+    "format_table",
+]

@@ -1,0 +1,71 @@
+"""Named inliner configurations for the evaluation figures.
+
+Every entry is a zero-argument factory returning a fresh inlining
+policy — fresh per VM instance, since policies are stateless apart from
+their parameters but cheap to recreate.
+
+The ``SIZE_FACTOR`` rescales the paper's Graal-calibrated size
+constants to our miniature graphs (see ``repro.core.params``); the
+fixed-threshold sweep values are the paper's T_e/T_i values in paper
+units and are scaled by the same factor inside the factory.
+"""
+
+from repro.baselines import (
+    C2Inliner,
+    GreedyInliner,
+    clustering_inliner,
+    fixed_threshold_inliner,
+    one_by_one_inliner,
+    shallow_trials_inliner,
+    tuned_inliner,
+)
+
+#: Common scale between paper-sized Graal graphs and ours.
+SIZE_FACTOR = 0.1
+
+#: T_e sweep of Figure 6 (paper units).
+TE_SWEEP = [500, 1000, 3000, 5000, 7000]
+
+#: T_i sweep of Figure 7 (paper units).
+TI_SWEEP = [1000, 3000, 6000]
+
+#: (t1, t2) sweep of Figure 8 (paper units for t2).
+T1T2_SWEEP = [(0.0001, 1440), (0.005, 120), (0.02, 60)]
+
+
+def make_config(name):
+    """Resolve a configuration name to a policy factory."""
+    return CONFIG_FACTORIES[name]
+
+
+def _fixed_te(te):
+    return lambda: fixed_threshold_inliner(te=te, size_factor=SIZE_FACTOR)
+
+
+def _fixed_ti(ti):
+    return lambda: fixed_threshold_inliner(ti=ti, size_factor=SIZE_FACTOR)
+
+
+def _one_by_one(t1, t2):
+    return lambda: one_by_one_inliner(t1=t1, t2=t2, size_factor=SIZE_FACTOR)
+
+
+def _cluster(t1, t2):
+    return lambda: clustering_inliner(t1=t1, t2=t2, size_factor=SIZE_FACTOR)
+
+
+CONFIG_FACTORIES = {
+    "no-inline": lambda: None,
+    "incremental": lambda: tuned_inliner(SIZE_FACTOR),
+    "greedy": GreedyInliner,
+    "c2": C2Inliner,
+    "shallow-trials": lambda: shallow_trials_inliner(SIZE_FACTOR),
+}
+
+for _te in TE_SWEEP:
+    CONFIG_FACTORIES["te-%d" % _te] = _fixed_te(_te)
+for _ti in TI_SWEEP:
+    CONFIG_FACTORIES["ti-%d" % _ti] = _fixed_ti(_ti)
+for _t1, _t2 in T1T2_SWEEP:
+    CONFIG_FACTORIES["1by1-%g-%d" % (_t1, _t2)] = _one_by_one(_t1, _t2)
+    CONFIG_FACTORIES["cluster-%g-%d" % (_t1, _t2)] = _cluster(_t1, _t2)

@@ -1,0 +1,118 @@
+"""The measurement protocol of §V.
+
+"For each datapoint, we executed the measurements in 5 separate JVM
+instances, and we report both the mean and standard deviation. In each
+JVM instance, we measured peak performance – we repeated each benchmark
+a predefined number of times, and we computed the average of the last
+40% (but at most 20) repetitions."
+
+A VM instance here is a fresh :class:`~repro.jit.engine.Engine`:
+zeroed statics, empty profiles, empty code cache, instance-specific
+PRNG seed. Instances default to 3 (not 5) to keep the full sweep
+tractable on a laptop; the protocol is otherwise identical and the
+instance count is a parameter.
+"""
+
+import math
+
+from repro.jit.config import JitConfig
+from repro.jit.engine import Engine
+
+
+class Measurement:
+    """One benchmark × configuration data point."""
+
+    __slots__ = (
+        "benchmark",
+        "config_name",
+        "mean_cycles",
+        "std_cycles",
+        "installed_size",
+        "values",
+        "warmup_curves",
+        "compilations",
+    )
+
+    def __init__(self, benchmark, config_name):
+        self.benchmark = benchmark
+        self.config_name = config_name
+        self.mean_cycles = 0.0
+        self.std_cycles = 0.0
+        self.installed_size = 0
+        self.values = []
+        self.warmup_curves = []
+        self.compilations = 0
+
+    def __repr__(self):
+        return "<%s/%s %.0f ±%.0f cycles, %d code>" % (
+            self.benchmark,
+            self.config_name,
+            self.mean_cycles,
+            self.std_cycles,
+            self.installed_size,
+        )
+
+
+def steady_window(iterations):
+    """Number of trailing iterations averaged for the steady state."""
+    return max(1, min(20, int(iterations * 0.4)))
+
+
+def measure_benchmark(
+    program,
+    inliner_factory,
+    benchmark_name="bench",
+    config_name="config",
+    entry=("Main", "run"),
+    instances=3,
+    iterations=12,
+    jit_config_factory=None,
+    base_seed=0x5EED,
+):
+    """Run one benchmark under one configuration.
+
+    Args:
+        program: the shared :class:`~repro.bytecode.program.Program`
+            (static state lives in each engine's VMState, so sharing
+            the immutable bytecode across instances is safe).
+        inliner_factory: zero-argument callable creating a fresh
+            inlining policy (or returning None for the interpreter-fed
+            no-inlining compiler).
+        jit_config_factory: optional callable creating the
+            :class:`~repro.jit.config.JitConfig` per instance.
+    """
+    result = Measurement(benchmark_name, config_name)
+    steady_means = []
+    window = steady_window(iterations)
+    for instance in range(instances):
+        config = (
+            jit_config_factory() if jit_config_factory is not None else JitConfig()
+        )
+        engine = Engine(
+            program,
+            config,
+            inliner=inliner_factory() if inliner_factory is not None else None,
+            seed=base_seed + 7919 * instance,
+        )
+        curve = []
+        value = None
+        for _ in range(iterations):
+            iteration = engine.run_iteration(entry[0], entry[1])
+            curve.append(iteration.total_cycles)
+            value = iteration.value
+        steady = curve[-window:]
+        steady_means.append(sum(steady) / len(steady))
+        result.warmup_curves.append(curve)
+        result.values.append(value)
+        result.installed_size = max(
+            result.installed_size, engine.code_cache.total_size
+        )
+        result.compilations += engine.compilation_count
+    result.mean_cycles = sum(steady_means) / len(steady_means)
+    if len(steady_means) > 1:
+        mean = result.mean_cycles
+        variance = sum((m - mean) ** 2 for m in steady_means) / (
+            len(steady_means) - 1
+        )
+        result.std_cycles = math.sqrt(variance)
+    return result

@@ -1,0 +1,18 @@
+"""The benchmark programs, one module per paper benchmark.
+
+Each module defines:
+
+- ``SOURCE`` — the minij program; entry point ``Main.run(): int``
+  returning a checksum (used to cross-validate configurations);
+- ``DESCRIPTION`` — what workload shape of the namesake it models;
+- ``ITERATIONS`` — measured repetitions per VM instance (chosen per
+  benchmark so the steady state is reached well before the window the
+  protocol averages, exactly as the paper chooses repetitions per
+  benchmark);
+- optionally ``make_jit_config`` — per-benchmark VM settings.
+
+Workload sizes are chosen so a steady-state iteration executes tens of
+thousands of guest operations: large enough for profiles and tier
+transitions to behave realistically, small enough that the full
+evaluation matrix runs on a laptop.
+"""

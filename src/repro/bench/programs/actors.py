@@ -1,0 +1,110 @@
+"""actors — Scala actors message passing.
+
+Mailbox-driven actors exchanging boxed messages through a scheduler
+abstraction: every send is an allocation, every receive a double
+dispatch through the behavior trait, and the scheduler loop drives it
+all through `Seq.foreach` with a lambda. Deep inlining trials are worth
+≈8% here in the paper.
+"""
+
+DESCRIPTION = "mailbox actors with behavior dispatch under a scheduler loop"
+ITERATIONS = 14
+
+SOURCE = """
+class Message {
+  var kind: int;
+  var payload: int;
+  var sender: int;
+  def init(kind: int, payload: int, sender: int): void {
+    this.kind = kind; this.payload = payload; this.sender = sender;
+  }
+}
+
+trait Behavior {
+  def receive(m: Message, ctx: Scheduler): void;
+}
+
+class Actor {
+  var id: int;
+  var mailbox: ArraySeq;
+  var behavior: Behavior;
+  var processed: int;
+  def init(id: int, behavior: Behavior): void {
+    this.id = id;
+    this.mailbox = new ArraySeq(8);
+    this.behavior = behavior;
+    this.processed = 0;
+  }
+}
+
+class Scheduler {
+  var actors: ArraySeq;
+  var delivered: int;
+  def init(): void { this.actors = new ArraySeq(8); this.delivered = 0; }
+  def spawn(b: Behavior): Actor {
+    var a: Actor = new Actor(this.actors.length(), b);
+    this.actors.add(a);
+    return a;
+  }
+  def send(target: int, m: Message): void {
+    var a: Actor = this.actors.get(target) as Actor;
+    a.mailbox.add(m);
+    this.delivered = this.delivered + 1;
+  }
+  def drainOne(a: Actor): void {
+    var box: ArraySeq = a.mailbox;
+    a.mailbox = new ArraySeq(8);
+    var self: Scheduler = this;
+    box.foreach(fun (msg: Message): void {
+      a.behavior.receive(msg, self);
+      a.processed = a.processed + 1;
+    });
+  }
+  def step(): void {
+    var self: Scheduler = this;
+    this.actors.foreach(fun (obj: Actor): void { self.drainOne(obj); });
+  }
+}
+
+class PingPong implements Behavior {
+  var peer: int;
+  var hops: int;
+  def init(peer: int): void { this.peer = peer; this.hops = 0; }
+  def receive(m: Message, ctx: Scheduler): void {
+    this.hops = this.hops + 1;
+    if (m.payload > 0) {
+      ctx.send(this.peer, new Message(0, m.payload - 1, 0));
+    }
+  }
+}
+
+class Accumulator implements Behavior {
+  var total: int;
+  def init(): void { this.total = 0; }
+  def receive(m: Message, ctx: Scheduler): void {
+    this.total = this.total + m.payload;
+    if ((m.payload & 7) == 0 && m.payload > 0) {
+      ctx.send(m.sender, new Message(1, m.payload / 2, 0));
+    }
+  }
+}
+
+object Main {
+  def run(): int {
+    var sched: Scheduler = new Scheduler();
+    var ping: Actor = sched.spawn(new PingPong(1));
+    var pong: Actor = sched.spawn(new PingPong(0));
+    var acc: Actor = sched.spawn(new Accumulator());
+    sched.send(0, new Message(0, 40, 2));
+    var i: int = 0;
+    while (i < 60) {
+      sched.send(2, new Message(1, i, 0));
+      sched.step();
+      i = i + 1;
+    }
+    var accB: Behavior = acc.behavior;
+    var total: int = (accB as Accumulator).total;
+    return total + sched.delivered + ping.processed + pong.processed;
+  }
+}
+"""

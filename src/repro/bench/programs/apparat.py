@@ -1,0 +1,94 @@
+"""apparat — ActionScript bytecode optimization (Scala).
+
+apparat runs dataflow passes over bytecode arrays using Scala
+collection combinators. We model an optimization pipeline on int
+"instruction" streams: each pass is a lambda-driven transform
+(peephole, constant-fold markers, dead-marker removal) composed through
+a `Seq` of pass objects. The paper reports ≈1.7× over C2 here.
+"""
+
+DESCRIPTION = "lambda-composed dataflow passes over instruction streams"
+ITERATIONS = 14
+
+SOURCE = """
+trait Pass {
+  def apply(code: IntArraySeq): IntArraySeq;
+}
+
+class Peephole implements Pass {
+  def apply(code: IntArraySeq): IntArraySeq {
+    var out: IntArraySeq = new IntArraySeq(code.length());
+    var i: int = 0;
+    while (i < code.length()) {
+      var op: int = code.get(i);
+      if (op == 1 && i + 1 < code.length() && code.get(i + 1) == 2) {
+        out.add(3);
+        i = i + 2;
+      } else {
+        out.add(op);
+        i = i + 1;
+      }
+    }
+    return out;
+  }
+}
+
+class FoldMarks implements Pass {
+  def apply(code: IntArraySeq): IntArraySeq {
+    var out: IntArraySeq = new IntArraySeq(code.length());
+    code.foreach(fun (op: int): void {
+      if (op >= 10) { out.add(op - 10); } else { out.add(op); }
+    });
+    return out;
+  }
+}
+
+class StripDead implements Pass {
+  def apply(code: IntArraySeq): IntArraySeq {
+    var out: IntArraySeq = new IntArraySeq(code.length());
+    code.foreach(fun (op: int): void {
+      if (op != 0) { out.add(op); }
+    });
+    return out;
+  }
+}
+
+object Main {
+  static var passes: ArraySeq;
+  static var input: IntArraySeq;
+
+  def setup(): void {
+    var passes: ArraySeq = new ArraySeq(4);
+    passes.add(new Peephole());
+    passes.add(new FoldMarks());
+    passes.add(new StripDead());
+    Main.passes = passes;
+    var input: IntArraySeq = new IntArraySeq(400);
+    var x: int = 7;
+    var i: int = 0;
+    while (i < 400) {
+      x = (x * 31 + 17) % 23;
+      input.add(x);
+      i = i + 1;
+    }
+    Main.input = input;
+  }
+
+  def run(): int {
+    if (Main.passes == null) { Main.setup(); }
+    var code: IntArraySeq = Main.input;
+    var round: int = 0;
+    while (round < 2) {
+      var i: int = 0;
+      while (i < Main.passes.length()) {
+        var pass: Pass = Main.passes.get(i) as Pass;
+        code = pass.apply(code);
+        i = i + 1;
+      }
+      round = round + 1;
+    }
+    var check: int = code.fold(0, fun (a: int, b: int): int => (a * 3 + b) & 1048575);
+    return check + code.length();
+  }
+}
+"""

@@ -1,0 +1,124 @@
+"""avrora — AVR microcontroller simulation.
+
+The real avrora interprets AVR machine code: a tight dispatch loop over
+instruction objects mutating a register file. We model exactly that: a
+polymorphic ``Instr.exec`` hierarchy with more concrete subclasses than
+the typeswitch budget (3 targets at ≥10%), so the inliner must pick the
+hot targets and leave a virtual fallback — avrora is a benchmark where
+the paper reports only modest differences between inliners.
+"""
+
+DESCRIPTION = "instruction-dispatch simulator loop over a register machine"
+ITERATIONS = 12
+
+SOURCE = """
+trait Instr {
+  def exec(m: Machine): void;
+}
+
+class Machine {
+  var regs: int[];
+  var mem: int[];
+  var pc: int;
+  var cycles: int;
+  def init(): void {
+    this.regs = new int[32];
+    this.mem = new int[256];
+    this.pc = 0;
+    this.cycles = 0;
+  }
+}
+
+class AddI implements Instr {
+  var d: int; var a: int; var b: int;
+  def init(d: int, a: int, b: int): void { this.d = d; this.a = a; this.b = b; }
+  def exec(m: Machine): void {
+    m.regs[this.d] = m.regs[this.a] + m.regs[this.b];
+    m.pc = m.pc + 1;
+    m.cycles = m.cycles + 1;
+  }
+}
+
+class SubI implements Instr {
+  var d: int; var a: int; var b: int;
+  def init(d: int, a: int, b: int): void { this.d = d; this.a = a; this.b = b; }
+  def exec(m: Machine): void {
+    m.regs[this.d] = m.regs[this.a] - m.regs[this.b];
+    m.pc = m.pc + 1;
+    m.cycles = m.cycles + 1;
+  }
+}
+
+class LdI implements Instr {
+  var d: int; var addr: int;
+  def init(d: int, addr: int): void { this.d = d; this.addr = addr; }
+  def exec(m: Machine): void {
+    m.regs[this.d] = m.mem[this.addr];
+    m.pc = m.pc + 1;
+    m.cycles = m.cycles + 2;
+  }
+}
+
+class StI implements Instr {
+  var s: int; var addr: int;
+  def init(s: int, addr: int): void { this.s = s; this.addr = addr; }
+  def exec(m: Machine): void {
+    m.mem[this.addr] = m.regs[this.s];
+    m.pc = m.pc + 1;
+    m.cycles = m.cycles + 2;
+  }
+}
+
+class BrNz implements Instr {
+  var r: int; var target: int;
+  def init(r: int, target: int): void { this.r = r; this.target = target; }
+  def exec(m: Machine): void {
+    if (m.regs[this.r] != 0) { m.pc = this.target; } else { m.pc = m.pc + 1; }
+    m.cycles = m.cycles + 1;
+  }
+}
+
+class Halt implements Instr {
+  def exec(m: Machine): void { m.pc = 0 - 1; }
+}
+
+object Main {
+  static var rom: Instr[];
+
+  def setup(): void {
+    // A countdown kernel: r1 = 120; loop { mem ops; r1 -= 1 } until 0.
+    var rom: Instr[] = new Instr[12];
+    rom[0] = new LdI(1, 0);
+    rom[1] = new AddI(2, 2, 1);
+    rom[2] = new StI(2, 1);
+    rom[3] = new LdI(3, 1);
+    rom[4] = new AddI(4, 3, 2);
+    rom[5] = new SubI(1, 1, 5);
+    rom[6] = new StI(4, 2);
+    rom[7] = new AddI(6, 6, 4);
+    rom[8] = new BrNz(1, 1);
+    rom[9] = new Halt();
+    Main.rom = rom;
+  }
+
+  def run(): int {
+    if (Main.rom == null) { Main.setup(); }
+    var m: Machine = new Machine();
+    var rounds: int = 0;
+    var sum: int = 0;
+    while (rounds < 3) {
+      m.pc = 0;
+      m.mem[0] = 80 + rounds;
+      m.regs[5] = 1;
+      var steps: int = 0;
+      while (m.pc >= 0 && steps < 1500) {
+        Main.rom[m.pc].exec(m);
+        steps = steps + 1;
+      }
+      sum = sum + m.regs[6] + m.cycles;
+      rounds = rounds + 1;
+    }
+    return sum;
+  }
+}
+"""

@@ -1,0 +1,99 @@
+"""batik — SVG rasterization.
+
+batik renders vector shapes. We model the hot inner phase: rasterizing
+a shape list (rectangles, circles, triangles) into a coverage grid with
+fixed-point arithmetic. The shape loop is polymorphic; the per-pixel
+math is small leaf methods that only pay off when inlined into the
+scanline loop.
+"""
+
+DESCRIPTION = "fixed-point shape rasterization into a coverage grid"
+ITERATIONS = 12
+
+SOURCE = """
+trait Shape {
+  def covers(x: int, y: int): bool;
+  def bboxLo(): int;
+  def bboxHi(): int;
+}
+
+class Rect implements Shape {
+  var x0: int; var y0: int; var x1: int; var y1: int;
+  def init(x0: int, y0: int, x1: int, y1: int): void {
+    this.x0 = x0; this.y0 = y0; this.x1 = x1; this.y1 = y1;
+  }
+  def covers(x: int, y: int): bool {
+    return x >= this.x0 && x < this.x1 && y >= this.y0 && y < this.y1;
+  }
+  def bboxLo(): int { return this.y0; }
+  def bboxHi(): int { return this.y1; }
+}
+
+class Circle implements Shape {
+  var cx: int; var cy: int; var r: int;
+  def init(cx: int, cy: int, r: int): void {
+    this.cx = cx; this.cy = cy; this.r = r;
+  }
+  def covers(x: int, y: int): bool {
+    var dx: int = x - this.cx;
+    var dy: int = y - this.cy;
+    return dx * dx + dy * dy <= this.r * this.r;
+  }
+  def bboxLo(): int { return this.cy - this.r; }
+  def bboxHi(): int { return this.cy + this.r; }
+}
+
+class Tri implements Shape {
+  var ax: int; var ay: int; var size: int;
+  def init(ax: int, ay: int, size: int): void {
+    this.ax = ax; this.ay = ay; this.size = size;
+  }
+  def covers(x: int, y: int): bool {
+    var dx: int = x - this.ax;
+    var dy: int = y - this.ay;
+    return dx >= 0 && dy >= 0 && dx + dy <= this.size;
+  }
+  def bboxLo(): int { return this.ay; }
+  def bboxHi(): int { return this.ay + this.size; }
+}
+
+object Main {
+  static var shapes: ArraySeq;
+
+  def setup(): void {
+    var shapes: ArraySeq = new ArraySeq(8);
+    var i: int = 0;
+    while (i < 4) {
+      shapes.add(new Rect(i * 5, i * 3, i * 5 + 12, i * 3 + 9));
+      shapes.add(new Circle(20 + i * 4, 30 + i * 2, 5 + (i % 3)));
+      shapes.add(new Tri(i * 6, 40 - i * 2, 8 + i));
+      i = i + 1;
+    }
+    Main.shapes = shapes;
+  }
+
+  def run(): int {
+    if (Main.shapes == null) { Main.setup(); }
+    var coverage: int = 0;
+    var s: int = 0;
+    while (s < Main.shapes.length()) {
+      var shape: Shape = Main.shapes.get(s) as Shape;
+      var lo: int = shape.bboxLo();
+      var hi: int = shape.bboxHi();
+      if (lo < 0) { lo = 0; }
+      if (hi > 28) { hi = 28; }
+      var y: int = lo;
+      while (y < hi) {
+        var x: int = 0;
+        while (x < 28) {
+          if (shape.covers(x, y)) { coverage = coverage + 1; }
+          x = x + 1;
+        }
+        y = y + 1;
+      }
+      s = s + 1;
+    }
+    return coverage;
+  }
+}
+"""

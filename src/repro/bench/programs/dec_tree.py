@@ -1,0 +1,124 @@
+"""dec-tree — decision tree training/prediction (Spark MLLib).
+
+MLLib's tree code evaluates candidate splits over feature vectors
+behind an impurity abstraction. We model: prediction sweeps through an
+existing tree (polymorphic internal/leaf nodes), plus best-split
+scanning with an ``Impurity`` strategy object per candidate threshold.
+"""
+
+DESCRIPTION = "split scanning with impurity strategies plus tree prediction"
+ITERATIONS = 14
+
+SOURCE = """
+trait TreeNode {
+  def predict(features: int[]): int;
+}
+
+class Leaf implements TreeNode {
+  var label: int;
+  def init(label: int): void { this.label = label; }
+  def predict(features: int[]): int { return this.label; }
+}
+
+class Split implements TreeNode {
+  var feature: int;
+  var threshold: int;
+  var left: TreeNode;
+  var right: TreeNode;
+  def init(feature: int, threshold: int, left: TreeNode, right: TreeNode): void {
+    this.feature = feature; this.threshold = threshold;
+    this.left = left; this.right = right;
+  }
+  def predict(features: int[]): int {
+    if (features[this.feature] <= this.threshold) {
+      return this.left.predict(features);
+    }
+    return this.right.predict(features);
+  }
+}
+
+trait Impurity {
+  def score(leftPos: int, leftTotal: int, rightPos: int, rightTotal: int): int;
+}
+
+class Gini implements Impurity {
+  def score(leftPos: int, leftTotal: int, rightPos: int, rightTotal: int): int {
+    if (leftTotal == 0 || rightTotal == 0) { return 0; }
+    var lp: int = (leftPos << 8) / leftTotal;
+    var rp: int = (rightPos << 8) / rightTotal;
+    var lg: int = (lp * (256 - lp)) >> 8;
+    var rg: int = (rp * (256 - rp)) >> 8;
+    return 256 - (lg * leftTotal + rg * rightTotal) / (leftTotal + rightTotal);
+  }
+}
+
+object Main {
+  static var data: int[];     // rows of 4 features + label
+  static var tree: TreeNode;
+
+  def setup(): void {
+    var n: int = 160;
+    var data: int[] = new int[n * 5];
+    var x: int = 3;
+    var i: int = 0;
+    while (i < n) {
+      var f0: int = 0;
+      x = (x * 29 + 7) % 511;  f0 = x;       data[i * 5] = x;
+      x = (x * 29 + 7) % 511;  data[i * 5 + 1] = x;
+      x = (x * 29 + 7) % 511;  data[i * 5 + 2] = x;
+      x = (x * 29 + 7) % 511;  data[i * 5 + 3] = x;
+      if (f0 > 255) { data[i * 5 + 4] = 1; } else { data[i * 5 + 4] = 0; }
+      i = i + 1;
+    }
+    Main.data = data;
+    Main.tree = new Split(0, 255,
+        new Split(1, 128, new Leaf(0), new Leaf(0)),
+        new Split(2, 300, new Leaf(1), new Leaf(1)));
+  }
+
+  def bestSplit(feature: int, imp: Impurity): int {
+    var n: int = Main.data.length / 5;
+    var best: int = 0;
+    var bestScore: int = 0 - 1;
+    var t: int = 32;
+    while (t < 512) {
+      var lp: int = 0; var lt: int = 0; var rp: int = 0; var rt: int = 0;
+      var i: int = 0;
+      while (i < n) {
+        var v: int = Main.data[i * 5 + feature];
+        var label: int = Main.data[i * 5 + 4];
+        if (v <= t) { lt = lt + 1; lp = lp + label; }
+        else { rt = rt + 1; rp = rp + label; }
+        i = i + 1;
+      }
+      var s: int = imp.score(lp, lt, rp, rt);
+      if (s > bestScore) { bestScore = s; best = t; }
+      t = t + 96;
+    }
+    return best + bestScore;
+  }
+
+  def run(): int {
+    if (Main.data == null) { Main.setup(); }
+    var imp: Impurity = new Gini();
+    var acc: int = 0;
+    var f: int = 0;
+    while (f < 4) {
+      acc = acc + Main.bestSplit(f, imp);
+      f = f + 1;
+    }
+    var n: int = Main.data.length / 5;
+    var i: int = 0;
+    var features: int[] = new int[4];
+    while (i < n) {
+      features[0] = Main.data[i * 5];
+      features[1] = Main.data[i * 5 + 1];
+      features[2] = Main.data[i * 5 + 2];
+      features[3] = Main.data[i * 5 + 3];
+      acc = acc + Main.tree.predict(features);
+      i = i + 1;
+    }
+    return acc;
+  }
+}
+"""

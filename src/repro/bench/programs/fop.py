@@ -1,0 +1,98 @@
+"""fop — XSL-FO document layout.
+
+fop builds a formatting-object tree and lays it out recursively. We
+model the layout pass: a node hierarchy (text leaves, boxes, columns)
+whose virtual ``layout(width)`` computes heights bottom-up, plus a
+second measurement traversal. Virtual recursion over a modest class
+hierarchy — devirtualizable at the leaves once context is inlined.
+"""
+
+DESCRIPTION = "recursive layout over a formatting-object tree"
+ITERATIONS = 12
+
+SOURCE = """
+trait FoNode {
+  def layout(width: int): int;
+  def minWidth(): int;
+}
+
+class TextLeaf implements FoNode {
+  var chars: int;
+  def init(chars: int): void { this.chars = chars; }
+  def layout(width: int): int {
+    var perLine: int = width / 7;
+    if (perLine < 1) { perLine = 1; }
+    var lines: int = (this.chars + perLine - 1) / perLine;
+    return lines * 12;
+  }
+  def minWidth(): int { return 7; }
+}
+
+class BoxNode implements FoNode {
+  var child: FoNode;
+  var padding: int;
+  def init(child: FoNode, padding: int): void {
+    this.child = child;
+    this.padding = padding;
+  }
+  def layout(width: int): int {
+    return this.child.layout(width - 2 * this.padding) + 2 * this.padding;
+  }
+  def minWidth(): int { return this.child.minWidth() + 2 * this.padding; }
+}
+
+class ColumnNode implements FoNode {
+  var children: ArraySeq;
+  def init(): void { this.children = new ArraySeq(4); }
+  def add(n: FoNode): void { this.children.add(n); }
+  def layout(width: int): int {
+    var total: int = 0;
+    var i: int = 0;
+    while (i < this.children.length()) {
+      var node: FoNode = this.children.get(i) as FoNode;
+      total = total + node.layout(width);
+      i = i + 1;
+    }
+    return total;
+  }
+  def minWidth(): int {
+    var widest: int = 0;
+    var i: int = 0;
+    while (i < this.children.length()) {
+      var node: FoNode = this.children.get(i) as FoNode;
+      var w: int = node.minWidth();
+      if (w > widest) { widest = w; }
+      i = i + 1;
+    }
+    return widest;
+  }
+}
+
+object Main {
+  static var doc: FoNode;
+
+  def makeSection(depth: int, seed: int): FoNode {
+    if (depth == 0) {
+      return new TextLeaf(40 + (seed * 17) % 300);
+    }
+    var col: ColumnNode = new ColumnNode();
+    var i: int = 0;
+    while (i < 4) {
+      col.add(new BoxNode(Main.makeSection(depth - 1, seed * 5 + i), 2 + (i & 1)));
+      i = i + 1;
+    }
+    return col;
+  }
+
+  def run(): int {
+    if (Main.doc == null) { Main.doc = Main.makeSection(4, 3); }
+    var total: int = 0;
+    var width: int = 200;
+    while (width < 240) {
+      total = total + Main.doc.layout(width) + Main.doc.minWidth();
+      width = width + 20;
+    }
+    return total;
+  }
+}
+"""

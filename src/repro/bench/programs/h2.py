@@ -1,0 +1,102 @@
+"""h2 — in-memory SQL database.
+
+h2's hot loops scan and index rows. We model a two-table workload:
+inserts into an indexed table (hash index via ``IntIntMap``), point
+lookups through the index, and a range scan with a predicate —
+iterator-style access through a cursor abstraction that only becomes
+cheap when devirtualized and inlined.
+"""
+
+DESCRIPTION = "row inserts, indexed point lookups, predicate range scans"
+ITERATIONS = 12
+
+SOURCE = """
+class Row {
+  var id: int;
+  var balance: int;
+  var branch: int;
+  def init(id: int, balance: int, branch: int): void {
+    this.id = id; this.balance = balance; this.branch = branch;
+  }
+}
+
+class Table {
+  var rows: ArraySeq;
+  var index: IntIntMap;
+  def init(): void {
+    this.rows = new ArraySeq(64);
+    this.index = new IntIntMap(64);
+  }
+  def insert(row: Row): void {
+    this.index.put(row.id, this.rows.length());
+    this.rows.add(row);
+  }
+  def byId(id: int): Row {
+    var pos: int = this.index.get(id, 0 - 1);
+    if (pos < 0) { return null; }
+    return this.rows.get(pos) as Row;
+  }
+  def scan(c: Cursor): int {
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < this.rows.length()) {
+      var row: Row = this.rows.get(i) as Row;
+      if (c.accept(row)) { acc = acc + c.extract(row); }
+      i = i + 1;
+    }
+    return acc;
+  }
+}
+
+trait Cursor {
+  def accept(r: Row): bool;
+  def extract(r: Row): int;
+}
+
+class RichAccounts implements Cursor {
+  var floor: int;
+  def init(floor: int): void { this.floor = floor; }
+  def accept(r: Row): bool { return r.balance >= this.floor; }
+  def extract(r: Row): int { return r.balance; }
+}
+
+class BranchTotal implements Cursor {
+  var branch: int;
+  def init(branch: int): void { this.branch = branch; }
+  def accept(r: Row): bool { return r.branch == this.branch; }
+  def extract(r: Row): int { return 1; }
+}
+
+object Main {
+  static var accounts: Table;
+
+  def setup(): void {
+    var t: Table = new Table();
+    var i: int = 0;
+    while (i < 250) {
+      t.insert(new Row(i * 7 % 1000, (i * 37) % 900, i % 8));
+      i = i + 1;
+    }
+    Main.accounts = t;
+  }
+
+  def run(): int {
+    if (Main.accounts == null) { Main.setup(); }
+    var t: Table = Main.accounts;
+    var acc: int = 0;
+    var q: int = 0;
+    while (q < 2) {
+      acc = acc + t.scan(new RichAccounts(300 + q * 50));
+      acc = acc + t.scan(new BranchTotal(q % 8));
+      var k: int = 0;
+      while (k < 120) {
+        var row: Row = t.byId((k * 13) % 1000);
+        if (row != null) { acc = acc + row.balance; }
+        k = k + 1;
+      }
+      q = q + 1;
+    }
+    return acc;
+  }
+}
+"""

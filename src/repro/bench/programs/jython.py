@@ -1,0 +1,124 @@
+"""jython — a Python interpreter on the JVM.
+
+jython's hot path is the ceval-style dispatch loop over boxed dynamic
+values. We model an inner stack-machine interpreter whose values are
+boxed ``PyVal`` objects with virtual arithmetic and truthiness — every
+guest operation is a dispatch plus an allocation, the classic dynamic-
+language tax. The paper reports ≈21% improvement over C2 here.
+"""
+
+DESCRIPTION = "inner interpreter over boxed dynamic values"
+ITERATIONS = 12
+
+SOURCE = """
+trait PyVal {
+  def addv(other: PyVal): PyVal;
+  def mulv(other: PyVal): PyVal;
+  def lessThan(other: PyVal): bool;
+  def asInt(): int;
+}
+
+class PyInt implements PyVal {
+  var value: int;
+  def init(v: int): void { this.value = v; }
+  def addv(other: PyVal): PyVal { return new PyInt(this.value + other.asInt()); }
+  def mulv(other: PyVal): PyVal { return new PyInt(this.value * other.asInt()); }
+  def lessThan(other: PyVal): bool { return this.value < other.asInt(); }
+  def asInt(): int { return this.value; }
+}
+
+class PyBool implements PyVal {
+  var flag: bool;
+  def init(f: bool): void { this.flag = f; }
+  def addv(other: PyVal): PyVal { return new PyInt(this.asInt() + other.asInt()); }
+  def mulv(other: PyVal): PyVal { return new PyInt(this.asInt() * other.asInt()); }
+  def lessThan(other: PyVal): bool { return this.asInt() < other.asInt(); }
+  def asInt(): int { if (this.flag) { return 1; } return 0; }
+}
+
+// Opcodes: 0 push-const, 1 load, 2 store, 3 add, 4 mul, 5 less,
+// 6 jump-if-false, 7 jump, 8 halt.
+class Frame {
+  var stack: PyVal[];
+  var sp: int;
+  var locals: PyVal[];
+  def init(): void {
+    this.stack = new PyVal[16];
+    this.sp = 0;
+    this.locals = new PyVal[8];
+  }
+  def push(v: PyVal): void { this.stack[this.sp] = v; this.sp = this.sp + 1; }
+  def pop(): PyVal { this.sp = this.sp - 1; return this.stack[this.sp]; }
+}
+
+object Main {
+  static var code: int[];
+  static var args: int[];
+
+  def setup(): void {
+    // sum = 0; i = 0; while i < N: sum = sum + i*i; i = i + 1
+    var c: int[] = new int[64];
+    var k: int = 0;
+    // locals: 0=sum 1=i 2=N
+    c[0] = 0;  c[1] = 0;    // push 0
+    c[2] = 2;  c[3] = 0;    // store sum
+    c[4] = 0;  c[5] = 0;    // push 0
+    c[6] = 2;  c[7] = 1;    // store i
+    // loop head at 8
+    c[8] = 1;  c[9] = 1;    // load i
+    c[10] = 1; c[11] = 2;   // load N
+    c[12] = 5; c[13] = 0;   // less
+    c[14] = 6; c[15] = 36;  // jump-if-false -> 36
+    c[16] = 1; c[17] = 0;   // load sum
+    c[18] = 1; c[19] = 1;   // load i
+    c[20] = 1; c[21] = 1;   // load i
+    c[22] = 4; c[23] = 0;   // mul
+    c[24] = 3; c[25] = 0;   // add
+    c[26] = 2; c[27] = 0;   // store sum
+    c[28] = 1; c[29] = 1;   // load i
+    c[30] = 0; c[31] = 1;   // push 1
+    c[32] = 3; c[33] = 0;   // add
+    c[34] = 2; c[35] = 1;   // store i  (fallthrough jumps back)
+    c[36] = 8; c[37] = 0;   // halt (patched: 36 is loop exit)
+    // insert back jump: rewrite 36.. as jump 8, halt at 38
+    c[36] = 7; c[37] = 8;
+    c[38] = 8; c[39] = 0;
+    // fix jump-if-false target to 38
+    c[15] = 38;
+    Main.code = c;
+  }
+
+  def exec(n: int): int {
+    var f: Frame = new Frame();
+    f.locals[2] = new PyInt(n);
+    var pc: int = 0;
+    var running: bool = true;
+    while (running) {
+      var op: int = Main.code[pc];
+      var arg: int = Main.code[pc + 1];
+      pc = pc + 2;
+      if (op == 0) { f.push(new PyInt(arg)); }
+      else { if (op == 1) { f.push(f.locals[arg]); }
+      else { if (op == 2) { f.locals[arg] = f.pop(); }
+      else { if (op == 3) { var b: PyVal = f.pop(); f.push(f.pop().addv(b)); }
+      else { if (op == 4) { var b2: PyVal = f.pop(); f.push(f.pop().mulv(b2)); }
+      else { if (op == 5) { var b3: PyVal = f.pop(); f.push(new PyBool(f.pop().lessThan(b3))); }
+      else { if (op == 6) { var c: PyVal = f.pop(); if (!(c.asInt() != 0)) { pc = arg; } }
+      else { if (op == 7) { pc = arg; }
+      else { running = false; } } } } } } } }
+    }
+    return f.locals[0].asInt();
+  }
+
+  def run(): int {
+    if (Main.code == null) { Main.setup(); }
+    var total: int = 0;
+    var round: int = 0;
+    while (round < 2) {
+      total = total + Main.exec(40 + round);
+      round = round + 1;
+    }
+    return total;
+  }
+}
+"""

@@ -1,0 +1,88 @@
+"""luindex — Lucene document indexing.
+
+luindex tokenizes documents and builds postings. We model the indexing
+pipeline on integer token streams: generate a synthetic document,
+normalize tokens through a small analyzer chain (virtual filters), and
+update term-frequency postings in a hash map. The paper reports ≈13%
+improvement over C2 on luindex.
+"""
+
+DESCRIPTION = "token analyzer chain feeding term-frequency postings"
+ITERATIONS = 12
+
+SOURCE = """
+trait TokenFilter {
+  def apply(token: int): int;
+}
+
+class LowerCase implements TokenFilter {
+  def apply(token: int): int { return token & 1023; }
+}
+
+class StemFilter implements TokenFilter {
+  def apply(token: int): int {
+    var t: int = token;
+    if (t % 7 == 0) { t = t / 7; }
+    if (t % 3 == 0) { t = t / 3; }
+    return t;
+  }
+}
+
+class StopFilter implements TokenFilter {
+  def apply(token: int): int {
+    if (token < 8) { return 0 - 1; }
+    return token;
+  }
+}
+
+class Analyzer {
+  var filters: ArraySeq;
+  def init(): void { this.filters = new ArraySeq(4); }
+  def add(f: TokenFilter): void { this.filters.add(f); }
+  def analyze(token: int): int {
+    var t: int = token;
+    var i: int = 0;
+    while (i < this.filters.length()) {
+      if (t < 0) { return t; }
+      var f: TokenFilter = this.filters.get(i) as TokenFilter;
+      t = f.apply(t);
+      i = i + 1;
+    }
+    return t;
+  }
+}
+
+object Main {
+  static var analyzer: Analyzer;
+
+  def setup(): void {
+    var a: Analyzer = new Analyzer();
+    a.add(new LowerCase());
+    a.add(new StemFilter());
+    a.add(new StopFilter());
+    Main.analyzer = a;
+  }
+
+  def run(): int {
+    if (Main.analyzer == null) { Main.setup(); }
+    var postings: IntIntMap = new IntIntMap(256);
+    var doc: int = 0;
+    var token: int = 12345;
+    var indexed: int = 0;
+    while (doc < 2) {
+      var w: int = 0;
+      while (w < 150) {
+        token = (token * 1103515245 + 12345) & 65535;
+        var term: int = Main.analyzer.analyze(token);
+        if (term >= 0) {
+          postings.put(term, postings.get(term, 0) + 1);
+          indexed = indexed + 1;
+        }
+        w = w + 1;
+      }
+      doc = doc + 1;
+    }
+    return indexed + postings.get(100, 0) + postings.get(500, 0);
+  }
+}
+"""

@@ -1,0 +1,89 @@
+"""lusearch — Lucene query evaluation.
+
+lusearch intersects posting lists and scores hits. We model the scorer:
+sorted posting arrays, a leapfrog intersection through a ``Scorer``
+abstraction, and a top-k selection. C2 beats Graal on lusearch in the
+paper — the workload is array-bound with little abstraction to
+collapse, so inliner differences should stay small here.
+"""
+
+DESCRIPTION = "sorted posting-list intersection with scoring"
+ITERATIONS = 12
+
+SOURCE = """
+class Postings {
+  var docs: int[];
+  var freqs: int[];
+  var size: int;
+  def init(size: int): void {
+    this.docs = new int[size];
+    this.freqs = new int[size];
+    this.size = size;
+  }
+}
+
+trait Scorer {
+  def score(freqA: int, freqB: int): int;
+}
+
+class TfScorer implements Scorer {
+  def score(freqA: int, freqB: int): int { return freqA * freqB; }
+}
+
+class SumScorer implements Scorer {
+  def score(freqA: int, freqB: int): int { return freqA + freqB; }
+}
+
+object Main {
+  static var termA: Postings;
+  static var termB: Postings;
+
+  def makePostings(n: int, stride: int, salt: int): Postings {
+    var p: Postings = new Postings(n);
+    var doc: int = salt;
+    var i: int = 0;
+    while (i < n) {
+      doc = doc + 1 + ((doc * stride) % 3);
+      p.docs[i] = doc;
+      p.freqs[i] = 1 + ((doc * salt) % 7);
+      i = i + 1;
+    }
+    return p;
+  }
+
+  def intersect(a: Postings, b: Postings, s: Scorer): int {
+    var total: int = 0;
+    var i: int = 0;
+    var j: int = 0;
+    while (i < a.size && j < b.size) {
+      var da: int = a.docs[i];
+      var db: int = b.docs[j];
+      if (da == db) {
+        total = total + s.score(a.freqs[i], b.freqs[j]);
+        i = i + 1;
+        j = j + 1;
+      } else {
+        if (da < db) { i = i + 1; } else { j = j + 1; }
+      }
+    }
+    return total;
+  }
+
+  def run(): int {
+    if (Main.termA == null) {
+      Main.termA = Main.makePostings(500, 3, 5);
+      Main.termB = Main.makePostings(400, 5, 3);
+    }
+    var tf: Scorer = new TfScorer();
+    var sum: Scorer = new SumScorer();
+    var acc: int = 0;
+    var round: int = 0;
+    while (round < 2) {
+      acc = acc + Main.intersect(Main.termA, Main.termB, tf);
+      acc = acc + Main.intersect(Main.termB, Main.termA, sum);
+      round = round + 1;
+    }
+    return acc;
+  }
+}
+"""

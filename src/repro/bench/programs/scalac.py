@@ -1,0 +1,147 @@
+"""scalac — the Scala compiler.
+
+scalac is a multi-phase pipeline over trees and symbol tables. We model
+three phases on a synthetic token stream: parsing into expression trees
+(allocation-heavy), a symbol-resolution pass against a hash map, and a
+constant-typing pass — each phase behind a ``Phase`` trait driven by a
+pipeline loop, as compiler infrastructures do.
+"""
+
+DESCRIPTION = "multi-phase compile pipeline: parse, resolve, type"
+ITERATIONS = 14
+
+SOURCE = """
+class Tree {
+  var kind: int;      // 0 num, 1 ident, 2 binop
+  var value: int;
+  var left: Tree;
+  var right: Tree;
+  var tpe: int;
+  def init(kind: int, value: int, left: Tree, right: Tree): void {
+    this.kind = kind; this.value = value; this.left = left; this.right = right;
+    this.tpe = 0 - 1;
+  }
+}
+
+class Unit {
+  var tokens: int[];
+  var pos: int;
+  var tree: Tree;
+  var errors: int;
+  def init(tokens: int[]): void {
+    this.tokens = tokens; this.pos = 0; this.tree = null; this.errors = 0;
+  }
+}
+
+trait Phase {
+  def apply(u: Unit, symtab: IntIntMap): void;
+}
+
+class ParsePhase implements Phase {
+  def apply(u: Unit, symtab: IntIntMap): void {
+    u.pos = 0;
+    u.errors = 0;
+    var t: Tree = this.expr(u, 0);
+    while (u.pos < u.tokens.length) {
+      t = new Tree(2, 0, t, this.expr(u, 0));
+    }
+    u.tree = t;
+  }
+  def expr(u: Unit, depth: int): Tree {
+    var t: Tree = this.atom(u, depth);
+    while (u.pos < u.tokens.length && u.tokens[u.pos] == 0 - 1 && depth < 12) {
+      u.pos = u.pos + 1;
+      var rhs: Tree = this.atom(u, depth + 1);
+      t = new Tree(2, 0, t, rhs);
+    }
+    return t;
+  }
+  def atom(u: Unit, depth: int): Tree {
+    if (u.pos >= u.tokens.length) { return new Tree(0, 0, null, null); }
+    var tok: int = u.tokens[u.pos];
+    u.pos = u.pos + 1;
+    if (tok >= 0 && tok < 100) { return new Tree(0, tok, null, null); }
+    if (tok >= 100) { return new Tree(1, tok - 100, null, null); }
+    return this.expr(u, depth + 1);
+  }
+}
+
+class ResolvePhase implements Phase {
+  def apply(u: Unit, symtab: IntIntMap): void {
+    this.walk(u.tree, u, symtab);
+  }
+  def walk(t: Tree, u: Unit, symtab: IntIntMap): void {
+    if (t == null) { return; }
+    if (t.kind == 1) {
+      if (!symtab.has(t.value)) {
+        symtab.put(t.value, symtab.size);
+      }
+      t.value = symtab.get(t.value, 0);
+    }
+    this.walk(t.left, u, symtab);
+    this.walk(t.right, u, symtab);
+  }
+}
+
+class TypePhase implements Phase {
+  def apply(u: Unit, symtab: IntIntMap): void {
+    u.errors = u.errors + this.typeOf(u.tree);
+  }
+  def typeOf(t: Tree): int {
+    if (t == null) { return 0; }
+    if (t.kind == 0) { t.tpe = 1; return 0; }
+    if (t.kind == 1) { t.tpe = 2; return 0; }
+    var e: int = this.typeOf(t.left) + this.typeOf(t.right);
+    if (t.left.tpe == t.right.tpe) { t.tpe = t.left.tpe; } else { t.tpe = 2; e = e + 1; }
+    return e;
+  }
+}
+
+object Main {
+  static var phases: ArraySeq;
+  static var sources: ArraySeq;
+
+  def setup(): void {
+    var phases: ArraySeq = new ArraySeq(4);
+    phases.add(new ParsePhase());
+    phases.add(new ResolvePhase());
+    phases.add(new TypePhase());
+    Main.phases = phases;
+    var sources: ArraySeq = new ArraySeq(4);
+    var f: int = 0;
+    while (f < 2) {
+      var toks: int[] = new int[160];
+      var x: int = 13 + f;
+      var i: int = 0;
+      while (i < 160) {
+        x = (x * 29 + 7) % 163;
+        if (x % 3 == 0) { toks[i] = 0 - 1; }
+        else { if (x % 3 == 1) { toks[i] = x % 100; } else { toks[i] = 100 + x % 40; } }
+        i = i + 1;
+      }
+      sources.add(new Unit(toks));
+      f = f + 1;
+    }
+    Main.sources = sources;
+  }
+
+  def run(): int {
+    if (Main.phases == null) { Main.setup(); }
+    var symtab: IntIntMap = new IntIntMap(64);
+    var check: int = 0;
+    var s: int = 0;
+    while (s < Main.sources.length()) {
+      var u: Unit = Main.sources.get(s) as Unit;
+      var p: int = 0;
+      while (p < Main.phases.length()) {
+        var phase: Phase = Main.phases.get(p) as Phase;
+        phase.apply(u, symtab);
+        p = p + 1;
+      }
+      check = check + u.errors + symtab.size;
+      s = s + 1;
+    }
+    return check;
+  }
+}
+"""

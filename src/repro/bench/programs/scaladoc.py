@@ -1,0 +1,74 @@
+"""scaladoc — documentation generation.
+
+scaladoc runs the compiler front end and then renders model entities.
+We model the rendering half: an entity tree (packages, classes,
+members) traversed through a generic ``Seq.fold`` with lambdas that
+accumulate rendered sizes, plus a lookup index. Heavy use of generic
+combinators over boxed entities — the shape where deep trials matter
+(paper: ≈1.45× over C2, ≈7% from deep trials).
+"""
+
+DESCRIPTION = "entity-tree rendering through generic fold/lambda chains"
+ITERATIONS = 14
+
+SOURCE = """
+class Entity {
+  var kind: int;        // 0 package, 1 class, 2 member
+  var name: int;
+  var members: ArraySeq;
+  var comment: int;
+  def init(kind: int, name: int, comment: int): void {
+    this.kind = kind; this.name = name; this.comment = comment;
+    this.members = new ArraySeq(2);
+  }
+}
+
+object Main {
+  static var root: Entity;
+
+  def build(depth: int, seed: int): Entity {
+    var kind: int = 2;
+    if (depth >= 2) { kind = 0; }
+    if (depth == 1) { kind = 1; }
+    var e: Entity = new Entity(kind, seed & 255, 10 + seed % 90);
+    if (depth > 0) {
+      var i: int = 0;
+      while (i < 4) {
+        e.members.add(Main.build(depth - 1, seed * 7 + i));
+        i = i + 1;
+      }
+    }
+    return e;
+  }
+
+  def renderSize(e: Entity): int {
+    var header: int = 8 + (e.name & 15);
+    var commentSize: int = e.comment;
+    if (e.kind == 2) { return header + commentSize; }
+    var self: int = header + commentSize;
+    var childSum: Box = new Box(0);
+    e.members.foreach(fun (m: Entity): void {
+      childSum.value = childSum.value + Main.renderSize(m);
+    });
+    return self + childSum.value;
+  }
+
+  def indexNames(e: Entity, index: IntIntMap): void {
+    index.put(e.name, index.get(e.name, 0) + 1);
+    e.members.foreach(fun (m: Entity): void { Main.indexNames(m, index); });
+  }
+
+  def run(): int {
+    if (Main.root == null) { Main.root = Main.build(4, 3); }
+    var total: int = 0;
+    var pass: int = 0;
+    while (pass < 2) {
+      total = total + Main.renderSize(Main.root);
+      pass = pass + 1;
+    }
+    var index: IntIntMap = new IntIntMap(64);
+    Main.indexNames(Main.root, index);
+    return total + index.size;
+  }
+}
+"""

@@ -1,0 +1,101 @@
+"""scalap — Scala classfile decoding.
+
+scalap decodes the pickled signature bytes inside classfiles: byte-
+stream readers composed of tiny methods (read varint, read ref, read
+entry) invoked in a dispatch loop over entry kinds. All the win is in
+inlining the small readers into the decode loop.
+"""
+
+DESCRIPTION = "pickle-format byte stream decoding with tiny readers"
+ITERATIONS = 14
+
+SOURCE = """
+class ByteStream {
+  var data: int[];
+  var pos: int;
+  def init(data: int[]): void { this.data = data; this.pos = 0; }
+  @inline def hasMore(): bool { return this.pos < this.data.length; }
+  @inline def readByte(): int {
+    var b: int = this.data[this.pos];
+    this.pos = this.pos + 1;
+    return b;
+  }
+  def readVarint(): int {
+    var result: int = 0;
+    var b: int = this.readByte();
+    while (b >= 128 && this.hasMore()) {
+      result = (result << 7) | (b & 127);
+      b = this.readByte();
+    }
+    return (result << 7) | b;
+  }
+}
+
+class SymbolTable {
+  var names: IntIntMap;
+  var types: IntIntMap;
+  def init(): void {
+    this.names = new IntIntMap(64);
+    this.types = new IntIntMap(64);
+  }
+}
+
+object Main {
+  static var pickled: int[];
+
+  def setup(): void {
+    var data: int[] = new int[900];
+    var x: int = 91;
+    var i: int = 0;
+    while (i < 900) {
+      x = (x * 37 + 11) % 251;
+      data[i] = x;
+      i = i + 1;
+    }
+    Main.pickled = data;
+  }
+
+  def decodeEntry(s: ByteStream, table: SymbolTable): int {
+    var tag: int = s.readByte() % 6;
+    if (tag == 0) {
+      var name: int = s.readVarint();
+      table.names.put(name & 1023, name);
+      return 1;
+    }
+    if (tag == 1 || tag == 2) {
+      var owner: int = s.readVarint();
+      var tpe: int = s.readVarint();
+      table.types.put((owner + tpe) & 1023, tpe);
+      return 2;
+    }
+    if (tag == 3) {
+      var len: int = s.readByte() % 5;
+      var k: int = 0;
+      var acc: int = 0;
+      while (k < len && s.hasMore()) {
+        acc = acc + s.readVarint();
+        k = k + 1;
+      }
+      return acc & 7;
+    }
+    s.readByte();
+    return 0;
+  }
+
+  def run(): int {
+    if (Main.pickled == null) { Main.setup(); }
+    var total: int = 0;
+    var round: int = 0;
+    while (round < 2) {
+      var s: ByteStream = new ByteStream(Main.pickled);
+      var table: SymbolTable = new SymbolTable();
+      while (s.pos + 8 < s.data.length) {
+        total = total + Main.decodeEntry(s, table);
+      }
+      total = total + table.names.size + table.types.size;
+      round = round + 1;
+    }
+    return total;
+  }
+}
+"""

@@ -1,0 +1,75 @@
+"""scalatest — the Scala testing framework.
+
+scalatest registers test bodies as closures and evaluates fluent
+matcher chains. We model a suite of assertion closures (``IntFn0``
+thunks) run repeatedly through matcher objects — tiny methods, deep
+closure nesting, lots of allocation. The paper notes C2 actually beats
+the new inliner by ~10% here and that a *fixed* low threshold is the
+best configuration — a workload where restraint wins.
+"""
+
+DESCRIPTION = "suites of assertion closures with fluent matchers"
+ITERATIONS = 14
+
+SOURCE = """
+class Matcher {
+  var expected: int;
+  def init(expected: int): void { this.expected = expected; }
+  def check(actual: int): bool { return actual == this.expected; }
+}
+
+class TestCase {
+  var body: IntFn0;
+  var matcher: Matcher;
+  var name: int;
+  def init(name: int, body: IntFn0, matcher: Matcher): void {
+    this.name = name; this.body = body; this.matcher = matcher;
+  }
+  def execute(): bool { return this.matcher.check(this.body.apply()); }
+}
+
+class SuiteRunner {
+  var passed: int;
+  var failed: int;
+  def init(): void { this.passed = 0; this.failed = 0; }
+  def runAll(tests: ArraySeq): void {
+    var self: SuiteRunner = this;
+    tests.foreach(fun (t: TestCase): void {
+      if (t.execute()) { self.passed = self.passed + 1; }
+      else { self.failed = self.failed + 1; }
+    });
+  }
+}
+
+object Main {
+  def triangle(n: int): int {
+    var acc: int = 0;
+    var i: int = 1;
+    while (i <= n) { acc = acc + i; i = i + 1; }
+    return acc;
+  }
+
+  def buildSuite(salt: int): ArraySeq {
+    var tests: ArraySeq = new ArraySeq(16);
+    var i: int = 0;
+    while (i < 24) {
+      var n: int = 5 + ((i + salt) % 20);
+      var expect: int = n * (n + 1) / 2;
+      if (i % 9 == 8) { expect = expect + 1; }  // a few failing tests
+      tests.add(new TestCase(i, fun (): int => Main.triangle(n), new Matcher(expect)));
+      i = i + 1;
+    }
+    return tests;
+  }
+
+  def run(): int {
+    var runner: SuiteRunner = new SuiteRunner();
+    var round: int = 0;
+    while (round < 6) {
+      runner.runAll(Main.buildSuite(round));
+      round = round + 1;
+    }
+    return runner.passed * 1000 + runner.failed;
+  }
+}
+"""

@@ -1,0 +1,90 @@
+"""specs — BDD specification framework (Scala).
+
+specs nests example groups as closures and evaluates expectation
+objects. We model nested groups: outer group closures registering inner
+example closures, expectations chained through a result monoid — an
+allocation- and dispatch-heavy framework pattern.
+"""
+
+DESCRIPTION = "nested example-group closures with expectation objects"
+ITERATIONS = 14
+
+SOURCE = """
+class Result {
+  var successes: int;
+  var failures: int;
+  def init(s: int, f: int): void { this.successes = s; this.failures = f; }
+  def and(other: Result): Result {
+    return new Result(this.successes + other.successes,
+                      this.failures + other.failures);
+  }
+}
+
+class Expectation {
+  var actual: int;
+  def init(actual: int): void { this.actual = actual; }
+  def mustEqual(expected: int): Result {
+    if (this.actual == expected) { return new Result(1, 0); }
+    return new Result(0, 1);
+  }
+  def mustBeLess(bound: int): Result {
+    if (this.actual < bound) { return new Result(1, 0); }
+    return new Result(0, 1);
+  }
+}
+
+class Group {
+  var examples: ArraySeq;   // of Fn0 returning Result
+  def init(): void { this.examples = new ArraySeq(8); }
+  def example(body: Fn0): void { this.examples.add(body); }
+  def runAll(): Result {
+    var acc: Box = new Box(0);
+    var fails: Box = new Box(0);
+    this.examples.foreach(fun (body: Fn0): void {
+      var r: Result = body.apply() as Result;
+      acc.value = acc.value + r.successes;
+      fails.value = fails.value + r.failures;
+    });
+    return new Result(acc.value, fails.value);
+  }
+}
+
+object Main {
+  def fib(n: int): int {
+    var a: int = 0;
+    var b: int = 1;
+    var i: int = 0;
+    while (i < n) { var t: int = a + b; a = b; b = t; i = i + 1; }
+    return a;
+  }
+
+  def buildGroup(salt: int): Group {
+    var g: Group = new Group();
+    var i: int = 0;
+    while (i < 16) {
+      var n: int = 3 + ((i + salt) % 12);
+      g.example(fun (): Object {
+        var e: Expectation = new Expectation(Main.fib(n));
+        var r1: Result = e.mustBeLess(1000);
+        var r2: Result = e.mustEqual(Main.fib(n));
+        return r1.and(r2);
+      });
+      i = i + 1;
+    }
+    return g;
+  }
+
+  def run(): int {
+    var successes: int = 0;
+    var failures: int = 0;
+    var round: int = 0;
+    while (round < 6) {
+      var r: Result = Main.buildGroup(round).runAll();
+      successes = successes + r.successes;
+      failures = failures + r.failures;
+      round = round + 1;
+    }
+    return successes * 100 + failures;
+  }
+}
+"""

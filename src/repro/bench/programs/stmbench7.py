@@ -1,0 +1,128 @@
+"""stmbench7 — software transactional memory on ScalaSTM.
+
+STMBench7 runs operations over a shared object graph where every field
+access goes through STM read/write barriers. We model the barrier tax:
+``Ref`` cells accessed through a transaction object that logs reads and
+writes (with conflict-detection bookkeeping), running a mix of
+traversal and update operations over an assembly hierarchy. The barrier
+methods are tiny and ubiquitous — precisely what aggressive inlining
+into the operation bodies removes (paper: ≈3× over open-source Graal's
+greedy inliner).
+"""
+
+DESCRIPTION = "STM read/write barriers over a shared assembly graph"
+ITERATIONS = 14
+
+SOURCE = """
+class Ref {
+  var value: int;
+  var version: int;
+  def init(v: int): void { this.value = v; this.version = 0; }
+}
+
+class Txn {
+  var reads: int;
+  var writes: int;
+  var readStamp: int;
+  def init(stamp: int): void {
+    this.reads = 0; this.writes = 0; this.readStamp = stamp;
+  }
+  @inline def read(r: Ref): int {
+    this.reads = this.reads + 1;
+    return r.value;
+  }
+  @inline def write(r: Ref, v: int): void {
+    this.writes = this.writes + 1;
+    r.version = this.readStamp;
+    r.value = v;
+  }
+}
+
+class Part {
+  var id: Ref;
+  var weight: Ref;
+  def init(id: int, weight: int): void {
+    this.id = new Ref(id);
+    this.weight = new Ref(weight);
+  }
+}
+
+class Assembly {
+  var parts: ArraySeq;
+  var subAssemblies: ArraySeq;
+  def init(): void {
+    this.parts = new ArraySeq(4);
+    this.subAssemblies = new ArraySeq(2);
+  }
+  def totalWeight(t: Txn): int {
+    var sum: int = 0;
+    var i: int = 0;
+    while (i < this.parts.length()) {
+      var p: Part = this.parts.get(i) as Part;
+      sum = sum + t.read(p.weight);
+      i = i + 1;
+    }
+    i = 0;
+    while (i < this.subAssemblies.length()) {
+      var a: Assembly = this.subAssemblies.get(i) as Assembly;
+      sum = sum + a.totalWeight(t);
+      i = i + 1;
+    }
+    return sum;
+  }
+  def rebalance(t: Txn, delta: int): void {
+    var i: int = 0;
+    while (i < this.parts.length()) {
+      var p: Part = this.parts.get(i) as Part;
+      t.write(p.weight, t.read(p.weight) + delta);
+      i = i + 1;
+    }
+    i = 0;
+    while (i < this.subAssemblies.length()) {
+      var a: Assembly = this.subAssemblies.get(i) as Assembly;
+      a.rebalance(t, delta);
+      i = i + 1;
+    }
+  }
+}
+
+object Main {
+  static var root: Assembly;
+  static var clock: int;
+
+  def build(depth: int, seed: int): Assembly {
+    var a: Assembly = new Assembly();
+    var i: int = 0;
+    while (i < 3) {
+      a.parts.add(new Part(seed * 10 + i, 5 + (seed + i) % 9));
+      i = i + 1;
+    }
+    if (depth > 0) {
+      i = 0;
+      while (i < 3) {
+        a.subAssemblies.add(Main.build(depth - 1, seed * 3 + i));
+        i = i + 1;
+      }
+    }
+    return a;
+  }
+
+  def run(): int {
+    if (Main.root == null) { Main.root = Main.build(3, 1); Main.clock = 0; }
+    var acc: int = 0;
+    var op: int = 0;
+    while (op < 6) {
+      Main.clock = Main.clock + 1;
+      var t: Txn = new Txn(Main.clock);
+      if ((op & 3) == 0) {
+        Main.root.rebalance(t, 1 - ((op & 7) >> 1));
+      } else {
+        acc = acc + Main.root.totalWeight(t);
+      }
+      acc = acc + t.reads + t.writes * 2;
+      op = op + 1;
+    }
+    return acc;
+  }
+}
+"""

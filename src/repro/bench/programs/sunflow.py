@@ -1,0 +1,95 @@
+"""sunflow — ray tracing.
+
+sunflow's kernel intersects rays with primitives using short vector
+math helpers. We model a fixed-point ray caster over spheres and
+planes: the per-ray loop calls tiny ``dot``/``intersect`` leaf methods
+through a primitive interface — inlining those into the pixel loop is
+exactly where its speedup comes from (≈9% over C2 in the paper).
+"""
+
+DESCRIPTION = "fixed-point ray casting over sphere/plane primitives"
+ITERATIONS = 12
+
+SOURCE = """
+// Fixed point with 8 fractional bits.
+object Vec {
+  @inline def dot(ax: int, ay: int, az: int, bx: int, by: int, bz: int): int {
+    return (ax * bx + ay * by + az * bz) >> 8;
+  }
+}
+
+trait Prim {
+  def hit(ox: int, oy: int, oz: int, dx: int, dy: int, dz: int): int;
+  def shade(t: int): int;
+}
+
+class Sphere implements Prim {
+  var cx: int; var cy: int; var cz: int; var r: int; var color: int;
+  def init(cx: int, cy: int, cz: int, r: int, color: int): void {
+    this.cx = cx; this.cy = cy; this.cz = cz; this.r = r; this.color = color;
+  }
+  def hit(ox: int, oy: int, oz: int, dx: int, dy: int, dz: int): int {
+    var lx: int = this.cx - ox;
+    var ly: int = this.cy - oy;
+    var lz: int = this.cz - oz;
+    var tca: int = Vec.dot(lx, ly, lz, dx, dy, dz);
+    if (tca < 0) { return 0 - 1; }
+    var d2: int = Vec.dot(lx, ly, lz, lx, ly, lz) - ((tca * tca) >> 8);
+    var r2: int = (this.r * this.r) >> 8;
+    if (d2 > r2) { return 0 - 1; }
+    return tca - MathX.sqrt((r2 - d2) << 8);
+  }
+  def shade(t: int): int { return this.color + (t >> 6); }
+}
+
+class Plane implements Prim {
+  var height: int; var color: int;
+  def init(height: int, color: int): void {
+    this.height = height; this.color = color;
+  }
+  def hit(ox: int, oy: int, oz: int, dx: int, dy: int, dz: int): int {
+    if (dy >= 0) { return 0 - 1; }
+    return ((this.height - oy) << 8) / dy;
+  }
+  def shade(t: int): int { return this.color + (t >> 7); }
+}
+
+object Main {
+  static var scene: ArraySeq;
+
+  def setup(): void {
+    var s: ArraySeq = new ArraySeq(4);
+    s.add(new Sphere(0, 0, 1280, 256, 10));
+    s.add(new Sphere(512, 128, 1536, 200, 20));
+    s.add(new Plane(0 - 256, 5));
+    Main.scene = s;
+  }
+
+  def run(): int {
+    if (Main.scene == null) { Main.setup(); }
+    var image: int = 0;
+    var py: int = 0;
+    while (py < 14) {
+      var px: int = 0;
+      while (px < 14) {
+        var dx: int = (px - 7) * 32;
+        var dy: int = (py - 7) * 32;
+        var dz: int = 256;
+        var best: int = 1 << 20;
+        var color: int = 0;
+        var i: int = 0;
+        while (i < Main.scene.length()) {
+          var prim: Prim = Main.scene.get(i) as Prim;
+          var t: int = prim.hit(0, 0, 0, dx, dy, dz);
+          if (t >= 0 && t < best) { best = t; color = prim.shade(t); }
+          i = i + 1;
+        }
+        image = image + color;
+        px = px + 1;
+      }
+      py = py + 1;
+    }
+    return image;
+  }
+}
+"""

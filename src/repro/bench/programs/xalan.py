@@ -1,0 +1,107 @@
+"""xalan — XSLT transformation.
+
+xalan walks XML trees applying templates. We model the transform: a
+node tree (elements, text, attributes), template matching by node kind
+through a handler interface, and an output-size accumulator standing in
+for the serializer.
+"""
+
+DESCRIPTION = "template dispatch over an XML-like node tree"
+ITERATIONS = 12
+
+SOURCE = """
+class XmlNode {
+  var kind: int;       // 0 element, 1 text, 2 attribute
+  var tag: int;
+  var children: ArraySeq;
+  var textLen: int;
+  def init(kind: int, tag: int, textLen: int): void {
+    this.kind = kind;
+    this.tag = tag;
+    this.textLen = textLen;
+    this.children = new ArraySeq(2);
+  }
+  def add(child: XmlNode): void { this.children.add(child); }
+}
+
+trait Template {
+  def matches(n: XmlNode): bool;
+  def emit(n: XmlNode, t: Transformer): int;
+}
+
+class ElementTemplate implements Template {
+  def matches(n: XmlNode): bool { return n.kind == 0; }
+  def emit(n: XmlNode, t: Transformer): int {
+    var out: int = 2 + (n.tag & 15);
+    var i: int = 0;
+    while (i < n.children.length()) {
+      out = out + t.transform(n.children.get(i) as XmlNode);
+      i = i + 1;
+    }
+    return out;
+  }
+}
+
+class TextTemplate implements Template {
+  def matches(n: XmlNode): bool { return n.kind == 1; }
+  def emit(n: XmlNode, t: Transformer): int { return n.textLen; }
+}
+
+class AttrTemplate implements Template {
+  def matches(n: XmlNode): bool { return n.kind == 2; }
+  def emit(n: XmlNode, t: Transformer): int { return 3 + (n.tag & 7); }
+}
+
+class Transformer {
+  var templates: ArraySeq;
+  def init(): void { this.templates = new ArraySeq(4); }
+  def transform(n: XmlNode): int {
+    var i: int = 0;
+    while (i < this.templates.length()) {
+      var tpl: Template = this.templates.get(i) as Template;
+      if (tpl.matches(n)) { return tpl.emit(n, this); }
+      i = i + 1;
+    }
+    return 0;
+  }
+}
+
+object Main {
+  static var doc: XmlNode;
+  static var xform: Transformer;
+
+  def build(depth: int, seed: int): XmlNode {
+    var node: XmlNode = new XmlNode(0, seed & 31, 0);
+    node.add(new XmlNode(2, seed & 7, 0));
+    if (depth == 0) {
+      node.add(new XmlNode(1, 0, 5 + seed % 40));
+      return node;
+    }
+    var i: int = 0;
+    while (i < 3) {
+      node.add(Main.build(depth - 1, seed * 5 + i));
+      i = i + 1;
+    }
+    node.add(new XmlNode(1, 0, seed % 17));
+    return node;
+  }
+
+  def run(): int {
+    if (Main.doc == null) {
+      Main.doc = Main.build(4, 11);
+      var t: Transformer = new Transformer();
+      t.templates.add(new ElementTemplate());
+      t.templates.add(new TextTemplate());
+      t.templates.add(new AttrTemplate());
+      Main.xform = t;
+    }
+    var total: int = 0;
+    var pass: int = 0;
+    while (pass < 2) {
+      total = total + Main.xform.transform(Main.doc);
+      pass = pass + 1;
+    }
+    return total;
+  }
+}
+"""

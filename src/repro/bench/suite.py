@@ -1,0 +1,117 @@
+"""Benchmark registry.
+
+Each benchmark is a minij program in :mod:`repro.bench.programs` named
+after one of the paper's benchmarks, with a workload modelled on its
+namesake's dominant shape (the suites are described in §V). Loading is
+cached — the bytecode is immutable, so one compiled program serves
+every engine instance.
+"""
+
+import importlib
+
+from repro.lang.loader import compile_source
+
+#: name -> (module basename, suite)
+_REGISTRY = {
+    # DaCapo (Java-flavoured: moderate abstraction).
+    "avrora": ("avrora", "dacapo"),
+    "batik": ("batik", "dacapo"),
+    "fop": ("fop", "dacapo"),
+    "h2": ("h2", "dacapo"),
+    "jython": ("jython", "dacapo"),
+    "luindex": ("luindex", "dacapo"),
+    "lusearch": ("lusearch", "dacapo"),
+    "pmd": ("pmd", "dacapo"),
+    "sunflow": ("sunflow", "dacapo"),
+    "xalan": ("xalan", "dacapo"),
+    # Scala DaCapo (abstraction-heavy: traits, lambdas, boxing).
+    "actors": ("actors", "scala-dacapo"),
+    "apparat": ("apparat", "scala-dacapo"),
+    "factorie": ("factorie", "scala-dacapo"),
+    "kiama": ("kiama", "scala-dacapo"),
+    "scalac": ("scalac", "scala-dacapo"),
+    "scaladoc": ("scaladoc", "scala-dacapo"),
+    "scalap": ("scalap", "scala-dacapo"),
+    "scalariform": ("scalariform", "scala-dacapo"),
+    "scalatest": ("scalatest", "scala-dacapo"),
+    "scalaxb": ("scalaxb", "scala-dacapo"),
+    "specs": ("specs", "scala-dacapo"),
+    "tmt": ("tmt", "scala-dacapo"),
+    # Spark-Perf MLLib workloads.
+    "gauss-mix": ("gauss_mix", "spark-perf"),
+    "dec-tree": ("dec_tree", "spark-perf"),
+    "naive-bayes": ("naive_bayes", "spark-perf"),
+    # Others.
+    "dotty": ("dotty", "other"),
+    "neo4j": ("neo4j", "other"),
+    "stmbench7": ("stmbench7", "other"),
+}
+
+
+class BenchmarkSpec:
+    """A registered benchmark: metadata plus a cached loader."""
+
+    def __init__(self, name, module_name, suite):
+        self.name = name
+        self.module_name = module_name
+        self.suite = suite
+        self._module = None
+        self._program = None
+
+    def _load_module(self):
+        if self._module is None:
+            self._module = importlib.import_module(
+                "repro.bench.programs." + self.module_name
+            )
+        return self._module
+
+    @property
+    def source(self):
+        return self._load_module().SOURCE
+
+    @property
+    def iterations(self):
+        return getattr(self._load_module(), "ITERATIONS", 12)
+
+    @property
+    def description(self):
+        return self._load_module().DESCRIPTION
+
+    def jit_config_factory(self):
+        """Per-benchmark JIT configuration (default settings unless the
+        program module overrides ``make_jit_config``)."""
+        module = self._load_module()
+        factory = getattr(module, "make_jit_config", None)
+        if factory is not None:
+            return factory()
+        from repro.jit.config import JitConfig
+
+        return JitConfig(hot_threshold=25)
+
+    def load(self):
+        """Compile (once) and return the benchmark's program."""
+        if self._program is None:
+            self._program = compile_source(self.source)
+        return self._program
+
+    def __repr__(self):
+        return "<BenchmarkSpec %s (%s)>" % (self.name, self.suite)
+
+
+_SPECS = {
+    name: BenchmarkSpec(name, module_name, suite)
+    for name, (module_name, suite) in _REGISTRY.items()
+}
+
+
+def all_benchmarks():
+    """Every benchmark, in the paper's listing order."""
+    return list(_SPECS.values())
+
+
+def get_benchmark(name):
+    return _SPECS[name]
+
+
+def benchmarks_in_suite(suite):
+    return [spec for spec in _SPECS.values() if spec.suite == suite]

@@ -1,0 +1,54 @@
+"""A stack-based bytecode ISA modelled on a miniature JVM.
+
+This package defines the *static* program representation consumed by the
+rest of the system: the profiling interpreter (:mod:`repro.interp`), the
+SSA IR builder (:mod:`repro.ir.builder`) and therefore, transitively,
+the inliner under study.
+
+The object model is deliberately JVM-shaped — single-inheritance classes,
+multiply-implemented interfaces, virtual and interface dispatch, static
+and instance fields — because the paper's inlining algorithm is driven by
+exactly the information such a model produces: callsites with receiver
+type profiles, polymorphic dispatch, and per-method IR sizes.
+
+Public surface:
+
+- :data:`~repro.bytecode.opcodes.Op` — the opcode namespace
+- :class:`~repro.bytecode.instr.Instr` — one instruction
+- :class:`~repro.bytecode.method.Method` — code + signature
+- :class:`~repro.bytecode.klass.ClassDef` / :class:`~repro.bytecode.klass.FieldDef`
+- :class:`~repro.bytecode.program.Program` — a closed set of classes
+- :class:`~repro.bytecode.builder.MethodBuilder` — fluent code emitter
+- :func:`~repro.bytecode.assembler.assemble_program` — text assembler
+- :func:`~repro.bytecode.disassembler.disassemble_method` — pretty printer
+- :func:`~repro.bytecode.verifier.verify_program` — structural verifier
+"""
+
+from repro.bytecode.opcodes import Op, stack_effect, is_branch, is_invoke
+from repro.bytecode.instr import Instr
+from repro.bytecode.method import Method
+from repro.bytecode.klass import ClassDef, FieldDef
+from repro.bytecode.program import Program
+from repro.bytecode.builder import MethodBuilder
+from repro.bytecode.assembler import assemble_program, assemble_method
+from repro.bytecode.disassembler import disassemble_method, disassemble_program
+from repro.bytecode.verifier import verify_method, verify_program
+
+__all__ = [
+    "Op",
+    "stack_effect",
+    "is_branch",
+    "is_invoke",
+    "Instr",
+    "Method",
+    "ClassDef",
+    "FieldDef",
+    "Program",
+    "MethodBuilder",
+    "assemble_program",
+    "assemble_method",
+    "disassemble_method",
+    "disassemble_program",
+    "verify_method",
+    "verify_program",
+]

@@ -1,0 +1,217 @@
+"""A line-oriented text assembler for the bytecode ISA.
+
+The format mirrors the disassembler's output closely, with symbolic
+labels instead of raw indices::
+
+    class Counter extends Object implements Steppable {
+      field value: int
+      method step(int) -> int {
+        LOAD 0
+        GETFIELD Counter value
+        LOAD 1
+        ADD
+        STORE 2
+        LOAD 0
+        LOAD 2
+        PUTFIELD Counter value
+        LOAD 2
+        RETV
+      }
+    }
+
+Branches name a label (``IF loop`` / ``GOTO done``); a label is declared
+by a line of the form ``loop:``. Abstract methods are declared with
+``abstract method name(int, Foo) -> int`` and no body.
+
+The assembler exists mainly for tests and low-level examples — the minij
+front end is the usual way programs enter the system.
+"""
+
+import re
+
+from repro.bytecode.instr import Instr
+from repro.bytecode.klass import ClassDef, FieldDef
+from repro.bytecode.method import Method
+from repro.bytecode.opcodes import ALL_OPS, BRANCH_OPS, Op
+from repro.bytecode.program import Program
+from repro.errors import BytecodeError
+
+_CLASS_RE = re.compile(
+    r"^(?P<kind>class|interface)\s+(?P<name>\w+)"
+    r"(?:\s+extends\s+(?P<super>\w+))?"
+    r"(?:\s+implements\s+(?P<impls>[\w,\s]+))?\s*\{$"
+)
+_FIELD_RE = re.compile(
+    r"^(?P<static>static\s+)?field\s+(?P<name>\w+)\s*:\s*(?P<type>[\w\[\]]+)$"
+)
+_METHOD_RE = re.compile(
+    r"^(?P<mods>(?:static\s+|abstract\s+)*)method\s+(?P<name>\w+)"
+    r"\((?P<params>[\w\[\],\s]*)\)\s*->\s*(?P<ret>[\w\[\]]+)\s*(?P<open>\{)?$"
+)
+_LABEL_RE = re.compile(r"^(?P<name>\w+):$")
+
+
+def _strip(line):
+    comment = line.find("#")
+    if comment >= 0:
+        line = line[:comment]
+    return line.strip()
+
+
+def assemble_method(lines, name, param_types, return_type, is_static=False):
+    """Assemble a method body from instruction lines (used by tests)."""
+    body, labels = _collect_body(lines)
+    code = _resolve(body, labels)
+    max_locals = _scan_locals(code, param_types, is_static)
+    return Method(
+        name,
+        param_types,
+        return_type,
+        code=code,
+        is_static=is_static,
+        max_locals=max_locals,
+    )
+
+
+def _collect_body(lines):
+    """Split body lines into raw instructions and a label table."""
+    body = []
+    labels = {}
+    for raw in lines:
+        line = _strip(raw)
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            label = label_match.group("name")
+            if label in labels:
+                raise BytecodeError("duplicate label %r" % label)
+            labels[label] = len(body)
+            continue
+        body.append(line)
+    return body, labels
+
+
+def _resolve(body, labels):
+    code = []
+    for line in body:
+        parts = line.split()
+        op = parts[0]
+        if op not in ALL_OPS:
+            raise BytecodeError("unknown opcode %r in %r" % (op, line))
+        args = parts[1:]
+        if op in BRANCH_OPS:
+            target = labels.get(args[0])
+            if target is None:
+                raise BytecodeError("unknown label %r" % args[0])
+            code.append(Instr(op, target))
+        elif op == Op.CONST:
+            code.append(Instr(op, int(args[0])))
+        elif op in (Op.LOAD, Op.STORE):
+            code.append(Instr(op, int(args[0])))
+        else:
+            code.append(Instr(op, *args))
+    return code
+
+
+def _scan_locals(code, param_types, is_static):
+    base = (0 if is_static else 1) + len(param_types)
+    top = base
+    for instr in code:
+        if instr.op in (Op.LOAD, Op.STORE):
+            top = max(top, instr.args[0] + 1)
+    return top
+
+
+def assemble_program(text):
+    """Assemble a full program from its textual form."""
+    program = Program()
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = _strip(lines[index])
+        index += 1
+        if not line:
+            continue
+        match = _CLASS_RE.match(line)
+        if not match:
+            raise BytecodeError("expected class declaration, got %r" % line)
+        impls = match.group("impls")
+        klass = ClassDef(
+            match.group("name"),
+            superclass=match.group("super") or "Object",
+            interfaces=[s.strip() for s in impls.split(",")] if impls else (),
+            is_interface=match.group("kind") == "interface",
+        )
+        index = _assemble_class_body(lines, index, klass)
+        if klass.name == "Object":
+            program.classes["Object"] = klass
+        else:
+            program.add_class(klass)
+    return program
+
+
+def _assemble_class_body(lines, index, klass):
+    while True:
+        if index >= len(lines):
+            raise BytecodeError("unterminated class %s" % klass.name)
+        line = _strip(lines[index])
+        index += 1
+        if not line:
+            continue
+        if line == "}":
+            return index
+        field_match = _FIELD_RE.match(line)
+        if field_match:
+            klass.add_field(
+                FieldDef(
+                    field_match.group("name"),
+                    field_match.group("type"),
+                    is_static=bool(field_match.group("static")),
+                )
+            )
+            continue
+        method_match = _METHOD_RE.match(line)
+        if method_match:
+            index = _assemble_class_method(lines, index, klass, method_match)
+            continue
+        raise BytecodeError("unexpected line in class body: %r" % line)
+
+
+def _assemble_class_method(lines, index, klass, match):
+    mods = match.group("mods") or ""
+    is_static = "static" in mods
+    is_abstract = "abstract" in mods
+    params_text = match.group("params").strip()
+    params = (
+        [p.strip() for p in params_text.split(",")] if params_text else []
+    )
+    name = match.group("name")
+    if is_abstract:
+        if match.group("open"):
+            raise BytecodeError("abstract method %s has a body" % name)
+        klass.add_method(
+            Method(
+                name,
+                params,
+                match.group("ret"),
+                is_static=is_static,
+                is_abstract=True,
+            )
+        )
+        return index
+    if not match.group("open"):
+        raise BytecodeError("method %s missing body" % name)
+    body_lines = []
+    while True:
+        if index >= len(lines):
+            raise BytecodeError("unterminated method %s" % name)
+        line = _strip(lines[index])
+        index += 1
+        if line == "}":
+            break
+        body_lines.append(line)
+    klass.add_method(
+        assemble_method(body_lines, name, params, match.group("ret"), is_static)
+    )
+    return index

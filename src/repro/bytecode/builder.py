@@ -1,0 +1,258 @@
+"""A fluent emitter for method bodies with symbolic labels.
+
+Both the minij code generator and hand-written tests use this builder;
+it owns the label bookkeeping so that no caller ever computes raw
+instruction indices.
+"""
+
+from repro.bytecode.instr import Instr
+from repro.bytecode.method import Method
+from repro.bytecode.opcodes import Op
+from repro.errors import BytecodeError
+
+
+class Label:
+    """A forward-referencable position in the code being built."""
+
+    __slots__ = ("name", "position")
+
+    def __init__(self, name):
+        self.name = name
+        self.position = None
+
+    def __repr__(self):
+        return "<Label %s @%s>" % (self.name, self.position)
+
+
+class MethodBuilder:
+    """Builds a :class:`Method` one instruction at a time.
+
+    Usage::
+
+        b = MethodBuilder("fact", ["int"], "int", is_static=True)
+        done = b.new_label("done")
+        b.load(0).const(2).lt().if_true(done)
+        b.load(0).load(0).const(1).sub()
+        b.invokestatic("Math", "fact").mul().retv()
+        b.place(done).load(0).retv()
+        method = b.build()
+    """
+
+    def __init__(self, name, param_types, return_type, is_static=False):
+        self.name = name
+        self.param_types = list(param_types)
+        self.return_type = return_type
+        self.is_static = is_static
+        self._code = []
+        self._labels = []
+        self._fixups = []  # (instr index, label)
+        self._max_locals = (0 if is_static else 1) + len(self.param_types)
+        self.force_inline = False
+        self.never_inline = False
+        self._label_counter = 0
+
+    # -- labels ---------------------------------------------------------
+
+    def new_label(self, name=None):
+        if name is None:
+            name = "L%d" % self._label_counter
+            self._label_counter += 1
+        label = Label(name)
+        self._labels.append(label)
+        return label
+
+    def place(self, label):
+        """Bind *label* to the next instruction's position."""
+        if label.position is not None:
+            raise BytecodeError("label %s placed twice" % label.name)
+        label.position = len(self._code)
+        return self
+
+    # -- raw emission -----------------------------------------------------
+
+    def emit(self, op, *args):
+        self._code.append(Instr(op, *args))
+        return self
+
+    def _emit_branch(self, op, label):
+        self._fixups.append((len(self._code), label))
+        self._code.append(Instr(op, -1))
+        return self
+
+    # -- constants, locals, stack ----------------------------------------
+
+    def const(self, value):
+        return self.emit(Op.CONST, int(value))
+
+    def null(self):
+        return self.emit(Op.NULL)
+
+    def pop(self):
+        return self.emit(Op.POP)
+
+    def dup(self):
+        return self.emit(Op.DUP)
+
+    def load(self, slot):
+        self._note_local(slot)
+        return self.emit(Op.LOAD, slot)
+
+    def store(self, slot):
+        self._note_local(slot)
+        return self.emit(Op.STORE, slot)
+
+    def _note_local(self, slot):
+        if slot + 1 > self._max_locals:
+            self._max_locals = slot + 1
+
+    def alloc_local(self):
+        """Reserve and return a fresh local slot index."""
+        slot = self._max_locals
+        self._max_locals += 1
+        return slot
+
+    # -- arithmetic and comparisons ----------------------------------------
+
+    def add(self):
+        return self.emit(Op.ADD)
+
+    def sub(self):
+        return self.emit(Op.SUB)
+
+    def mul(self):
+        return self.emit(Op.MUL)
+
+    def div(self):
+        return self.emit(Op.DIV)
+
+    def rem(self):
+        return self.emit(Op.REM)
+
+    def neg(self):
+        return self.emit(Op.NEG)
+
+    def and_(self):
+        return self.emit(Op.AND)
+
+    def or_(self):
+        return self.emit(Op.OR)
+
+    def xor(self):
+        return self.emit(Op.XOR)
+
+    def shl(self):
+        return self.emit(Op.SHL)
+
+    def shr(self):
+        return self.emit(Op.SHR)
+
+    def eq(self):
+        return self.emit(Op.EQ)
+
+    def ne(self):
+        return self.emit(Op.NE)
+
+    def lt(self):
+        return self.emit(Op.LT)
+
+    def le(self):
+        return self.emit(Op.LE)
+
+    def gt(self):
+        return self.emit(Op.GT)
+
+    def ge(self):
+        return self.emit(Op.GE)
+
+    def ref_eq(self):
+        return self.emit(Op.REF_EQ)
+
+    def ref_ne(self):
+        return self.emit(Op.REF_NE)
+
+    # -- control flow ------------------------------------------------------
+
+    def if_true(self, label):
+        return self._emit_branch(Op.IF, label)
+
+    def goto(self, label):
+        return self._emit_branch(Op.GOTO, label)
+
+    def ret(self):
+        return self.emit(Op.RET)
+
+    def retv(self):
+        return self.emit(Op.RETV)
+
+    # -- objects -----------------------------------------------------------
+
+    def new(self, class_name):
+        return self.emit(Op.NEW, class_name)
+
+    def newarray(self, elem_type):
+        return self.emit(Op.NEWARRAY, elem_type)
+
+    def aload(self, elem_type=None):
+        """Array load; *elem_type* (e.g. ``"int"``, ``"Foo"``) is an
+        optional static hint consumed by the SSA builder for stamping."""
+        if elem_type is None:
+            return self.emit(Op.ALOAD)
+        return self.emit(Op.ALOAD, elem_type)
+
+    def astore(self):
+        return self.emit(Op.ASTORE)
+
+    def arraylen(self):
+        return self.emit(Op.ARRAYLEN)
+
+    def getfield(self, class_name, field_name):
+        return self.emit(Op.GETFIELD, class_name, field_name)
+
+    def putfield(self, class_name, field_name):
+        return self.emit(Op.PUTFIELD, class_name, field_name)
+
+    def getstatic(self, class_name, field_name):
+        return self.emit(Op.GETSTATIC, class_name, field_name)
+
+    def putstatic(self, class_name, field_name):
+        return self.emit(Op.PUTSTATIC, class_name, field_name)
+
+    def instanceof(self, class_name):
+        return self.emit(Op.INSTANCEOF, class_name)
+
+    def checkcast(self, class_name):
+        return self.emit(Op.CHECKCAST, class_name)
+
+    # -- calls ---------------------------------------------------------------
+
+    def invokestatic(self, class_name, method_name):
+        return self.emit(Op.INVOKESTATIC, class_name, method_name)
+
+    def invokevirtual(self, class_name, method_name):
+        return self.emit(Op.INVOKEVIRTUAL, class_name, method_name)
+
+    def invokeinterface(self, class_name, method_name):
+        return self.emit(Op.INVOKEINTERFACE, class_name, method_name)
+
+    def invokespecial(self, class_name, method_name):
+        return self.emit(Op.INVOKESPECIAL, class_name, method_name)
+
+    # -- finishing -------------------------------------------------------------
+
+    def build(self):
+        """Resolve labels and produce the finished :class:`Method`."""
+        code = list(self._code)
+        for index, label in self._fixups:
+            if label.position is None:
+                raise BytecodeError("label %s never placed" % label.name)
+            code[index] = code[index].with_target(label.position)
+        return Method(
+            self.name,
+            self.param_types,
+            self.return_type,
+            code=code,
+            is_static=self.is_static,
+            max_locals=self._max_locals,
+            force_inline=self.force_inline,
+            never_inline=self.never_inline,
+        )

@@ -1,0 +1,52 @@
+"""Human-readable dumps of methods and programs."""
+
+
+def disassemble_method(method):
+    """Return a textual listing of *method*, one instruction per line."""
+    header = "%smethod %s(%s) -> %s  [locals=%d]" % (
+        "static " if method.is_static else "",
+        method.name,
+        ", ".join(method.param_types),
+        method.return_type,
+        method.max_locals,
+    )
+    lines = [header]
+    if method.is_abstract:
+        lines.append("  <abstract>")
+        return "\n".join(lines)
+    targets = set()
+    for instr in method.code:
+        if instr.op in ("IF", "GOTO"):
+            targets.add(instr.target)
+    for index, instr in enumerate(method.code):
+        mark = "=>" if index in targets else "  "
+        operands = " ".join(str(a) for a in instr.args)
+        lines.append("%s %4d: %-15s %s" % (mark, index, instr.op, operands))
+    return "\n".join(lines)
+
+
+def disassemble_program(program):
+    """Return a listing of every class and method in *program*."""
+    chunks = []
+    for name in sorted(program.classes):
+        klass = program.classes[name]
+        kind = "interface" if klass.is_interface else "class"
+        sup = (" extends " + klass.superclass) if klass.superclass else ""
+        impl = (
+            " implements " + ", ".join(klass.interfaces) if klass.interfaces else ""
+        )
+        chunks.append("%s %s%s%s {" % (kind, name, sup, impl))
+        for fname in sorted(klass.fields):
+            field = klass.fields[fname]
+            chunks.append(
+                "  %sfield %s: %s" % (
+                    "static " if field.is_static else "",
+                    field.name,
+                    field.type,
+                )
+            )
+        for mname in sorted(klass.methods):
+            body = disassemble_method(klass.methods[mname])
+            chunks.append("\n".join("  " + line for line in body.splitlines()))
+        chunks.append("}")
+    return "\n".join(chunks)

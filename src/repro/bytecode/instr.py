@@ -1,0 +1,43 @@
+"""The single-instruction representation."""
+
+from repro.bytecode.opcodes import ALL_OPS
+from repro.errors import BytecodeError
+
+
+class Instr:
+    """One bytecode instruction: an opcode plus immediate operands.
+
+    Instructions are immutable value objects. Branch targets are integer
+    indices into the enclosing method's code list (the assembler resolves
+    symbolic labels to indices before constructing instructions).
+    """
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op, *args):
+        if op not in ALL_OPS:
+            raise BytecodeError("unknown opcode %r" % (op,))
+        self.op = op
+        self.args = args
+
+    def with_target(self, target):
+        """Return a copy of this branch instruction aimed at *target*."""
+        return Instr(self.op, target, *self.args[1:])
+
+    @property
+    def target(self):
+        """The jump target of a branch instruction."""
+        return self.args[0]
+
+    def __repr__(self):
+        if self.args:
+            return "Instr(%s, %s)" % (self.op, ", ".join(map(repr, self.args)))
+        return "Instr(%s)" % self.op
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Instr) and self.op == other.op and self.args == other.args
+        )
+
+    def __hash__(self):
+        return hash((self.op, self.args))

@@ -1,0 +1,99 @@
+"""Method objects: signature, flags and a code array."""
+
+from repro.errors import BytecodeError
+
+
+class Method:
+    """A single method: signature plus a list of :class:`Instr`.
+
+    Methods are identified by ``(class name, method name)`` — the minij
+    front end forbids overloading, which keeps every lookup table in the
+    VM and the inliner simple. Instance methods receive their receiver in
+    local slot 0 and their declared parameters in the following slots;
+    static methods start parameters at slot 0.
+
+    Attributes:
+        name: the method name, unique within its class.
+        param_types: declared parameter types (receiver *not* included).
+        return_type: declared return type, possibly ``"void"``.
+        code: list of instructions; empty for abstract methods.
+        is_static: True for static methods (no receiver).
+        is_abstract: True when the method has no body.
+        max_locals: number of local slots the body uses.
+        klass: back-reference to the owning :class:`ClassDef`
+            (set during linking into a :class:`Program`).
+    """
+
+    __slots__ = (
+        "name",
+        "param_types",
+        "return_type",
+        "code",
+        "is_static",
+        "is_abstract",
+        "max_locals",
+        "klass",
+        "force_inline",
+        "never_inline",
+        "is_native",
+    )
+
+    def __init__(
+        self,
+        name,
+        param_types,
+        return_type,
+        code=None,
+        is_static=False,
+        is_abstract=False,
+        max_locals=None,
+        force_inline=False,
+        never_inline=False,
+        is_native=False,
+    ):
+        self.name = name
+        self.param_types = list(param_types)
+        self.return_type = return_type
+        self.code = list(code) if code is not None else []
+        self.is_static = is_static
+        self.is_abstract = is_abstract
+        self.klass = None
+        self.force_inline = force_inline
+        self.never_inline = never_inline
+        self.is_native = is_native
+        if is_native:
+            self.never_inline = True
+        if is_abstract and self.code:
+            raise BytecodeError("abstract method %s has code" % name)
+        base = self.num_receiver_slots() + len(self.param_types)
+        self.max_locals = max_locals if max_locals is not None else base
+
+    def num_receiver_slots(self):
+        """1 for instance methods (the receiver), 0 for static methods."""
+        return 0 if self.is_static else 1
+
+    def num_arg_slots(self):
+        """Total values popped from the caller's stack at an invoke."""
+        return self.num_receiver_slots() + len(self.param_types)
+
+    def returns_value(self):
+        return self.return_type != "void"
+
+    @property
+    def qualified_name(self):
+        owner = self.klass.name if self.klass is not None else "?"
+        return "%s.%s" % (owner, self.name)
+
+    def size(self):
+        """Bytecode size — the unit of the paper's |ir(n)| before IR exists."""
+        return len(self.code)
+
+    def __repr__(self):
+        kind = "static " if self.is_static else ""
+        return "<Method %s%s(%s) -> %s, %d instrs>" % (
+            kind,
+            self.qualified_name,
+            ", ".join(self.param_types),
+            self.return_type,
+            len(self.code),
+        )

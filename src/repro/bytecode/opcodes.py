@@ -1,0 +1,196 @@
+"""Opcode definitions and static metadata for the bytecode ISA.
+
+Every opcode is a short uppercase string (readable in dumps and traces).
+The tables in this module give, for each opcode, its operand shape and
+its stack effect, which the verifier and the SSA builder both rely on.
+
+Operand encodings (the ``args`` tuple of an :class:`~repro.bytecode.instr.Instr`):
+
+========= ==============================================================
+CONST     ``(int_value,)``
+LOAD      ``(local_slot,)``
+STORE     ``(local_slot,)``
+IF        ``(target_index,)`` — branch if popped int is non-zero
+GOTO      ``(target_index,)``
+NEW       ``(class_name,)``
+NEWARRAY  ``(elem_type,)`` — ``"int"`` or a class name; pops length
+GETFIELD  ``(class_name, field_name)``
+PUTFIELD  ``(class_name, field_name)``
+GETSTATIC ``(class_name, field_name)``
+PUTSTATIC ``(class_name, field_name)``
+INVOKE*   ``(class_name, method_name)``
+INSTANCEOF``(class_name,)``
+CHECKCAST ``(class_name,)``
+others    ``()``
+========= ==============================================================
+"""
+
+
+class Op:
+    """Namespace of opcode mnemonics.
+
+    Grouped by function; the values are their own names so that an
+    instruction dump is self-describing.
+    """
+
+    # Constants and stack shuffling.
+    CONST = "CONST"
+    NULL = "NULL"
+    POP = "POP"
+    DUP = "DUP"
+
+    # Local variables.
+    LOAD = "LOAD"
+    STORE = "STORE"
+
+    # Integer arithmetic (operates on the int stack kind).
+    ADD = "ADD"
+    SUB = "SUB"
+    MUL = "MUL"
+    DIV = "DIV"
+    REM = "REM"
+    NEG = "NEG"
+    AND = "AND"
+    OR = "OR"
+    XOR = "XOR"
+    SHL = "SHL"
+    SHR = "SHR"
+
+    # Integer comparisons; push 1 or 0.
+    EQ = "EQ"
+    NE = "NE"
+    LT = "LT"
+    LE = "LE"
+    GT = "GT"
+    GE = "GE"
+
+    # Reference comparisons; push 1 or 0.
+    REF_EQ = "REF_EQ"
+    REF_NE = "REF_NE"
+
+    # Control flow.
+    IF = "IF"
+    GOTO = "GOTO"
+    RET = "RET"
+    RETV = "RETV"
+
+    # Objects and arrays.
+    NEW = "NEW"
+    NEWARRAY = "NEWARRAY"
+    ALOAD = "ALOAD"
+    ASTORE = "ASTORE"
+    ARRAYLEN = "ARRAYLEN"
+    GETFIELD = "GETFIELD"
+    PUTFIELD = "PUTFIELD"
+    GETSTATIC = "GETSTATIC"
+    PUTSTATIC = "PUTSTATIC"
+    INSTANCEOF = "INSTANCEOF"
+    CHECKCAST = "CHECKCAST"
+
+    # Calls.
+    INVOKESTATIC = "INVOKESTATIC"
+    INVOKEVIRTUAL = "INVOKEVIRTUAL"
+    INVOKEINTERFACE = "INVOKEINTERFACE"
+    INVOKESPECIAL = "INVOKESPECIAL"
+
+
+#: Opcodes that transfer control to an explicit target.
+BRANCH_OPS = frozenset({Op.IF, Op.GOTO})
+
+#: Opcodes that end a basic block (no fall-through except IF).
+TERMINATOR_OPS = frozenset({Op.GOTO, Op.RET, Op.RETV})
+
+#: Opcodes that invoke another method.
+INVOKE_OPS = frozenset(
+    {Op.INVOKESTATIC, Op.INVOKEVIRTUAL, Op.INVOKEINTERFACE, Op.INVOKESPECIAL}
+)
+
+#: Invokes with a receiver on the stack below the arguments.
+RECEIVER_INVOKE_OPS = frozenset(
+    {Op.INVOKEVIRTUAL, Op.INVOKEINTERFACE, Op.INVOKESPECIAL}
+)
+
+BINARY_INT_OPS = frozenset(
+    {Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR}
+)
+
+COMPARE_INT_OPS = frozenset({Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE})
+
+COMPARE_REF_OPS = frozenset({Op.REF_EQ, Op.REF_NE})
+
+#: Fixed (pop, push) stack effects for opcodes whose effect does not
+#: depend on the surrounding program. Invokes are handled separately.
+_FIXED_EFFECTS = {
+    Op.CONST: (0, 1),
+    Op.NULL: (0, 1),
+    Op.POP: (1, 0),
+    Op.DUP: (1, 2),
+    Op.LOAD: (0, 1),
+    Op.STORE: (1, 0),
+    Op.NEG: (1, 1),
+    Op.IF: (1, 0),
+    Op.GOTO: (0, 0),
+    Op.RET: (0, 0),
+    Op.RETV: (1, 0),
+    Op.NEW: (0, 1),
+    Op.NEWARRAY: (1, 1),
+    Op.ALOAD: (2, 1),
+    Op.ASTORE: (3, 0),
+    Op.ARRAYLEN: (1, 1),
+    Op.GETFIELD: (1, 1),
+    Op.PUTFIELD: (2, 0),
+    Op.GETSTATIC: (0, 1),
+    Op.PUTSTATIC: (1, 0),
+    Op.INSTANCEOF: (1, 1),
+    Op.CHECKCAST: (1, 1),
+}
+
+for _op in BINARY_INT_OPS | COMPARE_INT_OPS | COMPARE_REF_OPS:
+    _FIXED_EFFECTS[_op] = (2, 1)
+
+
+ALL_OPS = frozenset(
+    value for name, value in vars(Op).items() if not name.startswith("_")
+)
+
+
+def is_branch(op):
+    """Return True if *op* takes an explicit jump target operand."""
+    return op in BRANCH_OPS
+
+
+def is_terminator(op):
+    """Return True if control never falls through past *op*."""
+    return op in TERMINATOR_OPS
+
+
+def is_invoke(op):
+    """Return True if *op* calls another method."""
+    return op in INVOKE_OPS
+
+
+def has_receiver(op):
+    """Return True if *op* is an invoke with a receiver object."""
+    return op in RECEIVER_INVOKE_OPS
+
+
+def stack_effect(op, instr=None, program=None):
+    """Return the ``(pops, pushes)`` stack effect of an instruction.
+
+    For invoke opcodes the effect depends on the callee's signature, so
+    *instr* and *program* must be supplied to resolve it.
+    """
+    effect = _FIXED_EFFECTS.get(op)
+    if effect is not None:
+        return effect
+    if op in INVOKE_OPS:
+        if instr is None or program is None:
+            raise ValueError("invoke stack effect needs instr and program")
+        cname, mname = instr.args
+        method = program.lookup_method(cname, mname)
+        pops = len(method.param_types)
+        if op in RECEIVER_INVOKE_OPS:
+            pops += 1
+        pushes = 0 if method.return_type == "void" else 1
+        return (pops, pushes)
+    raise ValueError("unknown opcode: %r" % (op,))

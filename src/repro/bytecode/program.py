@@ -1,0 +1,192 @@
+"""The program container: a closed set of classes plus lookup helpers.
+
+A :class:`Program` is the unit the VM loads. It provides the *static*
+resolution queries that the verifier, interpreter and compiler all share:
+superclass chains, subtype tests, virtual method resolution and field
+lookup. Receiver-profile-driven *speculative* resolution lives in the
+runtime and compiler, not here.
+"""
+
+from repro.bytecode.klass import ClassDef
+from repro.errors import BytecodeError, LinkError
+
+
+class Program:
+    """A closed collection of :class:`ClassDef` plus resolution caches."""
+
+    def __init__(self):
+        self.classes = {}
+        root = ClassDef("Object")
+        self.classes["Object"] = root
+        self._subtype_cache = {}
+        self._resolve_cache = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_class(self, klass):
+        if klass.name in self.classes:
+            raise BytecodeError("duplicate class %s" % klass.name)
+        self.classes[klass.name] = klass
+        self._subtype_cache.clear()
+        self._resolve_cache.clear()
+        return klass
+
+    def define_class(self, name, **kwargs):
+        """Create, register and return a new :class:`ClassDef`."""
+        return self.add_class(ClassDef(name, **kwargs))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def klass(self, name):
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise LinkError("unknown class %r" % (name,))
+
+    def has_class(self, name):
+        return name in self.classes
+
+    def superclass_chain(self, name):
+        """Yield *name* and each superclass up to the root."""
+        while name is not None:
+            klass = self.klass(name)
+            yield klass
+            name = klass.superclass
+
+    def all_interfaces(self, name):
+        """The transitive set of interface names implemented by *name*."""
+        seen = set()
+        work = []
+        for klass in self.superclass_chain(name):
+            work.extend(klass.interfaces)
+        if self.klass(name).is_interface:
+            work.append(name)
+        while work:
+            iname = work.pop()
+            if iname in seen:
+                continue
+            seen.add(iname)
+            work.extend(self.klass(iname).interfaces)
+        return seen
+
+    def is_subtype(self, sub, sup):
+        """Subtype test over classes, interfaces and arrays.
+
+        Arrays are covariant in their element type (as on the JVM), and
+        every array type is a subtype of ``Object``.
+        """
+        if sub == sup or sup == "Object":
+            return True
+        key = (sub, sup)
+        cached = self._subtype_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._compute_subtype(sub, sup)
+        self._subtype_cache[key] = result
+        return result
+
+    def _compute_subtype(self, sub, sup):
+        if sub.endswith("[]"):
+            if sup.endswith("[]"):
+                se, pe = sub[:-2], sup[:-2]
+                if se == "int" or pe == "int":
+                    return se == pe
+                return self.is_subtype(se, pe)
+            return False
+        if sup.endswith("[]"):
+            return False
+        sup_klass = self.klass(sup)
+        if sup_klass.is_interface:
+            return sup in self.all_interfaces(sub)
+        for klass in self.superclass_chain(sub):
+            if klass.name == sup:
+                return True
+        return False
+
+    def resolve_method(self, class_name, method_name):
+        """Resolve *method_name* against *class_name* as a receiver type.
+
+        Walks the superclass chain first (instance method overriding),
+        then falls back to interface default methods, mirroring JVM
+        resolution order closely enough for our purposes.
+
+        Returns the concrete :class:`Method`, which may be abstract when
+        the receiver type is itself abstract or an interface.
+        """
+        key = (class_name, method_name)
+        cached = self._resolve_cache.get(key)
+        if cached is not None:
+            return cached
+        found = None
+        for klass in self.superclass_chain(class_name):
+            method = klass.methods.get(method_name)
+            if method is not None:
+                found = method
+                break
+        if found is None or found.is_abstract:
+            # Interface default methods: most-specific wins; we accept
+            # the first concrete one found (minij's resolver guarantees
+            # no ambiguous defaults reach this point).
+            for iname in sorted(self.all_interfaces(class_name)):
+                method = self.klass(iname).methods.get(method_name)
+                if method is not None and not method.is_abstract:
+                    found = method
+                    break
+        if found is None:
+            raise LinkError(
+                "method %s not found on %s" % (method_name, class_name)
+            )
+        self._resolve_cache[key] = found
+        return found
+
+    def lookup_method(self, class_name, method_name):
+        """Resolve a method for signature purposes (abstract is fine)."""
+        for klass in self.superclass_chain(class_name):
+            method = klass.methods.get(method_name)
+            if method is not None:
+                return method
+        for iname in sorted(self.all_interfaces(class_name)):
+            method = self.klass(iname).methods.get(method_name)
+            if method is not None:
+                return method
+        raise LinkError("method %s not found on %s" % (method_name, class_name))
+
+    def lookup_field(self, class_name, field_name):
+        """Find the declaring class and :class:`FieldDef` of a field."""
+        for klass in self.superclass_chain(class_name):
+            field = klass.fields.get(field_name)
+            if field is not None:
+                return klass, field
+        raise LinkError("field %s not found on %s" % (field_name, class_name))
+
+    def concrete_subclasses(self, name):
+        """All non-abstract classes that are subtypes of *name*.
+
+        Used by the compiler for class-hierarchy-based devirtualization
+        of callsites whose receiver type has a single implementor.
+        """
+        result = []
+        for cname, klass in self.classes.items():
+            if not klass.is_interface and not klass.is_abstract:
+                if self.is_subtype(cname, name):
+                    result.append(cname)
+        return sorted(result)
+
+    def methods_iter(self):
+        """Iterate over every declared method in the program."""
+        for klass in self.classes.values():
+            for method in klass.methods.values():
+                yield method
+
+    def total_code_size(self):
+        return sum(len(m.code) for m in self.methods_iter())
+
+    def __repr__(self):
+        return "<Program %d classes, %d methods>" % (
+            len(self.classes),
+            sum(len(k.methods) for k in self.classes.values()),
+        )

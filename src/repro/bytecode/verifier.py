@@ -1,0 +1,170 @@
+"""Structural bytecode verification.
+
+The verifier proves, per method, the properties the interpreter and the
+SSA builder rely on without re-checking them:
+
+- every jump target is a valid instruction index;
+- execution cannot run off the end of the code;
+- the operand stack has a consistent depth at every program point
+  (a merge point reached with two different depths is rejected);
+- the stack never underflows and local slots stay within ``max_locals``;
+- referenced classes, fields and methods resolve;
+- a method declared to return a value returns one on every path.
+
+This is a depth-consistency verifier (like the JVM's pre-inference
+verifier), not a full type checker: minij's resolver guarantees
+well-typedness at the source level, and hand-written bytecode is used
+only in tests.
+"""
+
+from repro.bytecode.opcodes import (
+    Op,
+    is_branch,
+    is_terminator,
+    stack_effect,
+)
+from repro.errors import VerifyError
+
+
+def verify_program(program):
+    """Verify every concrete method in *program*; returns method count."""
+    count = 0
+    for method in program.methods_iter():
+        if not method.is_abstract and not method.is_native:
+            verify_method(method, program)
+            count += 1
+    return count
+
+
+def verify_method(method, program):
+    """Verify one method against its enclosing *program*."""
+    code = method.code
+    if not code:
+        raise VerifyError("%s: empty body" % method.qualified_name)
+    last = code[-1]
+    if not is_terminator(last.op):
+        raise VerifyError(
+            "%s: execution can run off the end" % method.qualified_name
+        )
+    _check_operands(method, program)
+    _check_stack_depths(method, program)
+
+
+def _check_operands(method, program):
+    code = method.code
+    for index, instr in enumerate(code):
+        op = instr.op
+        if is_branch(op):
+            target = instr.target
+            if not isinstance(target, int) or not (0 <= target < len(code)):
+                raise VerifyError(
+                    "%s@%d: bad branch target %r"
+                    % (method.qualified_name, index, target)
+                )
+        elif op in (Op.LOAD, Op.STORE):
+            slot = instr.args[0]
+            if not (0 <= slot < method.max_locals):
+                raise VerifyError(
+                    "%s@%d: local slot %d out of range"
+                    % (method.qualified_name, index, slot)
+                )
+        elif op in (Op.NEW, Op.INSTANCEOF, Op.CHECKCAST):
+            name = instr.args[0]
+            base = name
+            while base.endswith("[]"):
+                base = base[:-2]
+            if base != "int" and not program.has_class(base):
+                raise VerifyError(
+                    "%s@%d: unknown class %r"
+                    % (method.qualified_name, index, name)
+                )
+            if op == Op.NEW and name != base:
+                raise VerifyError(
+                    "%s@%d: NEW of array type %r"
+                    % (method.qualified_name, index, name)
+                )
+            if op == Op.NEW:
+                klass = program.klass(base)
+                if klass.is_interface or klass.is_abstract:
+                    raise VerifyError(
+                        "%s@%d: cannot instantiate %s"
+                        % (method.qualified_name, index, name)
+                    )
+        elif op in (Op.GETFIELD, Op.PUTFIELD, Op.GETSTATIC, Op.PUTSTATIC):
+            cname, fname = instr.args
+            _, field = program.lookup_field(cname, fname)
+            wants_static = op in (Op.GETSTATIC, Op.PUTSTATIC)
+            if field.is_static != wants_static:
+                raise VerifyError(
+                    "%s@%d: static/instance field mismatch for %s.%s"
+                    % (method.qualified_name, index, cname, fname)
+                )
+        elif op in (
+            Op.INVOKESTATIC,
+            Op.INVOKEVIRTUAL,
+            Op.INVOKEINTERFACE,
+            Op.INVOKESPECIAL,
+        ):
+            cname, mname = instr.args
+            callee = program.lookup_method(cname, mname)
+            if op == Op.INVOKESTATIC and not callee.is_static:
+                raise VerifyError(
+                    "%s@%d: INVOKESTATIC on instance method %s.%s"
+                    % (method.qualified_name, index, cname, mname)
+                )
+            if op != Op.INVOKESTATIC and callee.is_static:
+                raise VerifyError(
+                    "%s@%d: instance invoke on static method %s.%s"
+                    % (method.qualified_name, index, cname, mname)
+                )
+
+
+def _check_stack_depths(method, program):
+    code = method.code
+    depths = [None] * len(code)
+    work = [(0, 0)]
+    while work:
+        index, depth = work.pop()
+        while True:
+            if index >= len(code):
+                raise VerifyError(
+                    "%s: fell off the end" % method.qualified_name
+                )
+            known = depths[index]
+            if known is not None:
+                if known != depth:
+                    raise VerifyError(
+                        "%s@%d: inconsistent stack depth (%d vs %d)"
+                        % (method.qualified_name, index, known, depth)
+                    )
+                break
+            depths[index] = depth
+            instr = code[index]
+            pops, pushes = stack_effect(instr.op, instr, program)
+            if depth < pops:
+                raise VerifyError(
+                    "%s@%d: stack underflow (%d < %d)"
+                    % (method.qualified_name, index, depth, pops)
+                )
+            depth = depth - pops + pushes
+            op = instr.op
+            if op == Op.RET:
+                if method.returns_value():
+                    raise VerifyError(
+                        "%s@%d: RET in a value-returning method"
+                        % (method.qualified_name, index)
+                    )
+                break
+            if op == Op.RETV:
+                if not method.returns_value():
+                    raise VerifyError(
+                        "%s@%d: RETV in a void method"
+                        % (method.qualified_name, index)
+                    )
+                break
+            if op == Op.GOTO:
+                index = instr.target
+                continue
+            if op == Op.IF:
+                work.append((instr.target, depth))
+            index += 1

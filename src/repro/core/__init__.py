@@ -1,0 +1,39 @@
+"""The paper's contribution: the optimization-driven incremental
+inline substitution algorithm.
+
+Structure follows the paper:
+
+- :mod:`params <repro.core.params>` — every tuned constant (§IV);
+- :mod:`calltree <repro.core.calltree>` — the partial call tree with
+  node kinds E/C/D/G/P and the subtree metrics S_irn, S_b, N_c (§III-A,
+  Eq. 1–3);
+- :mod:`priorities <repro.core.priorities>` — B_L, P_I, P, ψ, ψ_r
+  (Eq. 4–7, 13, 14);
+- :mod:`thresholds <repro.core.thresholds>` — the adaptive expansion
+  and inlining thresholds (Eq. 8, 12);
+- :mod:`trials <repro.core.trials>` — deep inlining trials (§IV);
+- :mod:`expansion <repro.core.expansion>` — the expansion phase
+  (§III-B, Listings 3–4);
+- :mod:`analysis <repro.core.analysis>` — cost-benefit analysis with
+  callsite clustering (§III-C, Listing 6, Eq. 9–11);
+- :mod:`inlining <repro.core.inlining>` — the inlining phase (§III-D,
+  Listing 5);
+- :mod:`polymorphic <repro.core.polymorphic>` — typeswitch emission
+  for P nodes (§IV, after Hölzle & Ungar);
+- :mod:`inliner <repro.core.inliner>` — the top-level round loop
+  (Listing 1) tying everything together.
+"""
+
+from repro.core.params import InlinerParams
+from repro.core.calltree import CallNode, NodeKind
+from repro.core.inliner import IncrementalInliner, InlineReport
+from repro.core.tracing import InlineTracer
+
+__all__ = [
+    "InlinerParams",
+    "CallNode",
+    "NodeKind",
+    "IncrementalInliner",
+    "InlineReport",
+    "InlineTracer",
+]

@@ -1,0 +1,110 @@
+"""The cost-benefit analysis phase with callsite clustering
+(§III-C, Listing 6, Eq. 9–11).
+
+Each call node carries a tuple ``b|c`` (benefit, cost). The two tuple
+operations are merging (Eq. 9) and ratio comparison (Eq. 10)::
+
+    b1|c1 ⊕ b2|c2  =  (b1 + b2) | (c1 + c2)
+    b1|c1 ⊙ b2|c2  ⇔  b1/c1 ≥ b2/c2
+    ⟨b|c⟩          =  b / c                       (Eq. 11)
+
+``analyzeNode`` (Listing 6) initializes a node's benefit as its local
+benefit *minus the local benefits of its children* — inlining a method
+alone forfeits the optimizations that inlining its callees would have
+produced — then greedily absorbs adjacent child clusters while doing so
+raises the cluster's benefit-to-cost ratio. The absorbed children are
+marked ``inlined`` (same cluster as parent) and the unabsorbed ones
+form the cluster's *front*.
+
+The 1-by-1 baseline (Figure 8) assigns every node its own cluster with
+the classic ``B_L | size`` tuple and no merging.
+"""
+
+from repro.core.calltree import NodeKind
+from repro.core.priorities import local_benefit
+
+_INLINEABLE = (NodeKind.CUTOFF, NodeKind.EXPANDED, NodeKind.POLYMORPHIC)
+
+
+def tuple_ratio(node):
+    """⟨b|c⟩, Eq. 11."""
+    return node.tuple_benefit / max(1e-9, node.tuple_cost)
+
+
+def tuple_ge(a, b):
+    """The ⊙ comparison (Eq. 10) by cross-multiplication."""
+    return a.tuple_benefit * b.tuple_cost >= b.tuple_benefit * a.tuple_cost
+
+
+class CostBenefitAnalysis:
+    """Bottom-up analysis assigning tuples, clusters and fronts."""
+
+    def __init__(self, params, clustering=True):
+        self.params = params
+        self.clustering = clustering
+
+    def run(self, root, context):
+        """Analyze every subtree hanging off the (possibly partially
+        inlined) root; returns the list of top-level cluster roots."""
+        tops = []
+        self._collect_tops(root, tops)
+        for node in tops:
+            self._analyze(node)
+        return tops
+
+    def _collect_tops(self, node, tops):
+        """Nodes whose callsites live directly in the root graph."""
+        for child in node.children:
+            if child.check_deleted():
+                continue
+            if child.kind == NodeKind.INLINED:
+                self._collect_tops(child, tops)
+            elif child.kind in _INLINEABLE:
+                tops.append(child)
+
+    # ------------------------------------------------------------------
+
+    def _analyze(self, node):
+        eligible = []
+        for child in node.children:
+            if child.check_deleted():
+                continue
+            if child.kind in _INLINEABLE:
+                self._analyze(child)
+                eligible.append(child)
+        node.inlined_flag = False
+        cost = float(max(1, node.ir_size()))
+        if self.clustering:
+            benefit = local_benefit(node) - sum(
+                local_benefit(child) for child in eligible
+            )
+            node.tuple_benefit = benefit
+            node.tuple_cost = cost
+            front = list(eligible)
+            while front:
+                best = front[0]
+                for candidate in front[1:]:
+                    if tuple_ge(candidate, best):
+                        best = candidate
+                if not self._merge_improves(node, best):
+                    break
+                node.tuple_benefit += best.tuple_benefit
+                node.tuple_cost += best.tuple_cost
+                best.inlined_flag = True
+                front.remove(best)
+                front.extend(best.front)
+            node.front = front
+        else:
+            # 1-by-1 baseline: classic per-method benefit|cost tuples.
+            node.tuple_benefit = local_benefit(node)
+            node.tuple_cost = cost
+            node.front = list(eligible)
+
+    def _merge_improves(self, node, child):
+        """Would absorbing *child* raise the cluster's ratio (Listing 6)?"""
+        merged_benefit = node.tuple_benefit + child.tuple_benefit
+        merged_cost = node.tuple_cost + child.tuple_cost
+        return (
+            merged_benefit * node.tuple_cost
+            >= node.tuple_benefit * merged_cost
+        )

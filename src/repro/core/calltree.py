@@ -1,0 +1,232 @@
+"""The partial call tree (§III-A).
+
+Each node represents a *callsite* (not a method): the same method called
+from two places gets two independent nodes, each holding its own
+specialized IR copy — the property that makes callsite specialization
+and deep inlining trials possible and that a call graph cannot provide
+(§III-A, "Rationale").
+
+Node kinds (Listing 2 and §IV):
+
+====  ======================================================================
+``E``  expanded — the specialized IR of the callee is attached
+``C``  cutoff — known target, not yet expanded
+``D``  deleted — the callsite was removed by an optimization
+``G``  generic/opaque — cannot be inlined (native, megamorphic, unknown)
+``P``  polymorphic — dispatched callsite with a usable receiver profile;
+       children are the speculated targets
+====  ======================================================================
+
+The subtree metrics of §IV:
+
+- S_irn(n) = Σ_{m ∈ subtree(n)} |ir(m)|            (Eq. 1)
+- S_b(n)   = Σ_{m ∈ subtree(n), kind=C} |ir(m)|    (Eq. 2)
+- N_c(n)   = #{m ∈ subtree(n) : kind=C}            (Eq. 3)
+"""
+
+from repro.errors import ReproError
+
+
+class NodeKind:
+    EXPANDED = "E"
+    CUTOFF = "C"
+    DELETED = "D"
+    GENERIC = "G"
+    POLYMORPHIC = "P"
+    #: Bookkeeping kind (not in the paper's Listing 2): the node's body
+    #: has been substituted into the root; its IR now lives there, so
+    #: the node contributes 0 to the subtree size metrics while its
+    #: children remain addressable callsites.
+    INLINED = "I"
+
+
+class CallNode:
+    """One callsite in the partial call tree.
+
+    Attributes:
+        kind: one of :class:`NodeKind`.
+        parent: the enclosing :class:`CallNode` (None for the root).
+        children: child callsites, discovered at expansion.
+        invoke: the :class:`~repro.ir.nodes.InvokeNode` this node
+            represents, living in the parent's current graph. For the
+            root, None. The pointer stays valid across inlining because
+            :meth:`~repro.ir.graph.Graph.inline_call` transplants nodes.
+        method: resolved target method (C/E nodes; None for P/G).
+        graph: the specialized IR copy (root and E nodes).
+        frequency: f(n), execution frequency relative to the root.
+        probability: for children of P nodes, the profile probability
+            p_m of dispatching here (1.0 otherwise).
+        trial_opt_count: simple optimizations triggered by deep trials
+            (N_s for E nodes, Eq. 4).
+        concrete_arg_count: arguments more concrete than the formal
+            parameters (N_s for C nodes, Eq. 4).
+        queue: children currently considered for expansion (Listing 3).
+        expand_declined: the adaptive expansion threshold said no this
+            round; cleared when a new round starts.
+    """
+
+    __slots__ = (
+        "kind",
+        "parent",
+        "children",
+        "invoke",
+        "method",
+        "graph",
+        "frequency",
+        "probability",
+        "trial_opt_count",
+        "concrete_arg_count",
+        "queue",
+        "expand_declined",
+        "inlined_flag",
+        "tuple_benefit",
+        "tuple_cost",
+        "front",
+        "_size_estimate",
+        "receiver_type",
+    )
+
+    def __init__(self, kind, parent, invoke, method, frequency=1.0, probability=1.0):
+        self.kind = kind
+        self.parent = parent
+        self.children = []
+        self.invoke = invoke
+        self.method = method
+        self.graph = None
+        self.frequency = frequency
+        self.probability = probability
+        self.trial_opt_count = 0
+        self.concrete_arg_count = 0
+        self.queue = []
+        self.expand_declined = False
+        # Analysis state (Listing 6).
+        self.inlined_flag = False
+        self.tuple_benefit = 0.0
+        self.tuple_cost = 1.0
+        self.front = []
+        self._size_estimate = None
+        self.receiver_type = None  # for children of P nodes
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def is_root(self):
+        return self.parent is None
+
+    def add_child(self, child):
+        self.children.append(child)
+        return child
+
+    def mark_deleted(self):
+        self.kind = NodeKind.DELETED
+        self.children = []
+        self.queue = []
+        self.graph = None
+
+    def check_deleted(self):
+        """Demote to D if the callsite was optimized away."""
+        if (
+            not self.is_root
+            and self.kind != NodeKind.DELETED
+            and (self.invoke is None or self.invoke.block is None)
+        ):
+            self.mark_deleted()
+        return self.kind == NodeKind.DELETED
+
+    def ancestors(self):
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def recursion_depth(self):
+        """d(n): how many ancestors target the same method (Eq. 14)."""
+        if self.method is None:
+            return 0
+        depth = 0
+        for ancestor in self.ancestors():
+            if ancestor.method is self.method:
+                depth += 1
+        return depth
+
+    def subtree(self):
+        """All nodes below and including this one (pre-order)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+    # Sizes and metrics
+    # ------------------------------------------------------------------
+
+    def ir_size(self):
+        """|ir(n)|: graph node count for E nodes and the root; a
+        bytecode-based estimate for cutoffs; the typeswitch footprint
+        for P nodes; 0 for D/G."""
+        if self.graph is not None:
+            return self.graph.node_count()
+        if self.kind == NodeKind.POLYMORPHIC:
+            return 2 * max(1, len(self.children))
+        if self.kind in (NodeKind.DELETED, NodeKind.GENERIC, NodeKind.INLINED):
+            return 0
+        if self.method is not None:
+            if self._size_estimate is None:
+                self._size_estimate = max(1, len(self.method.code))
+            return self._size_estimate
+        return 0
+
+    def s_irn(self):
+        """Eq. 1: total IR size in this subtree."""
+        return sum(node.ir_size() for node in self.subtree())
+
+    def s_b(self):
+        """Eq. 2: total IR size of cutoff nodes in this subtree."""
+        return sum(
+            node.ir_size()
+            for node in self.subtree()
+            if node.kind == NodeKind.CUTOFF
+        )
+
+    def n_c(self):
+        """Eq. 3: number of cutoff nodes in this subtree."""
+        return sum(1 for node in self.subtree() if node.kind == NodeKind.CUTOFF)
+
+    # ------------------------------------------------------------------
+
+    def describe(self, depth=0):
+        """An indented dump of the subtree (mirrors the paper's figures)."""
+        if self.is_root:
+            label = "root %s" % (self.graph.name if self.graph else "?")
+        else:
+            name = (
+                self.method.qualified_name
+                if self.method is not None
+                else "%s.%s"
+                % (
+                    self.invoke.declared_class if self.invoke else "?",
+                    self.invoke.method_name if self.invoke else "?",
+                )
+            )
+            label = "%s %s f=%.2f" % (self.kind, name, self.frequency)
+        lines = ["  " * depth + label]
+        for child in self.children:
+            lines.extend(child.describe(depth + 1))
+        return lines if depth else "\n".join(lines)
+
+    def __repr__(self):
+        name = self.method.qualified_name if self.method else "<root/poly>"
+        return "<CallNode %s %s>" % (self.kind, name)
+
+
+def make_root(graph):
+    """The root call-tree node for a compilation request (Listing 1)."""
+    if graph is None:
+        raise ReproError("root graph required")
+    root = CallNode(NodeKind.EXPANDED, None, None, graph.method)
+    root.graph = graph
+    root.frequency = 1.0
+    return root

@@ -1,0 +1,85 @@
+"""Every tuned constant of the algorithm, with the paper's values.
+
+The paper (§IV) reports: p1 = 10⁻³, p2 = 10⁻⁴, b1 = 0.5, b2 = 10 for the
+exploration penalty ψ; r1 ≈ 3000, r2 ≈ 500 for the expansion threshold;
+t1 = 0.005, t2 = 120 for the adaptive inlining threshold; at most 3
+typeswitch targets, each with ≥ 10% probability; a 50000-node root-size
+bailout; and a recursion penalty that kicks in beyond depth 2.
+
+These constants are calibrated to Graal-sized IR graphs. Our miniature
+benchmarks produce graphs roughly an order of magnitude smaller, so the
+harness uses :meth:`InlinerParams.scaled` to shrink the *size-typed*
+constants (r1, r2, t2, max_root_size) by a common factor while keeping
+every ratio-typed constant exactly as published. The sweeps in the
+evaluation sweep the same relative ranges the paper sweeps.
+"""
+
+
+class InlinerParams:
+    """Tunable constants for :class:`~repro.core.inliner.IncrementalInliner`."""
+
+    def __init__(
+        self,
+        p1=1e-3,
+        p2=1e-4,
+        b1=0.5,
+        b2=10.0,
+        r1=3000.0,
+        r2=500.0,
+        t1=0.005,
+        t2=120.0,
+        max_typeswitch_targets=3,
+        min_target_probability=0.10,
+        max_root_size=50_000,
+        recursion_free_depth=2,
+        max_rounds=12,
+        max_expansions_per_round=64,
+        trial_canon_rounds=2,
+        typeswitch_node_cost=4,
+    ):
+        self.p1 = p1
+        self.p2 = p2
+        self.b1 = b1
+        self.b2 = b2
+        self.r1 = r1
+        self.r2 = r2
+        self.t1 = t1
+        self.t2 = t2
+        self.max_typeswitch_targets = max_typeswitch_targets
+        self.min_target_probability = min_target_probability
+        self.max_root_size = max_root_size
+        self.recursion_free_depth = recursion_free_depth
+        self.max_rounds = max_rounds
+        self.max_expansions_per_round = max_expansions_per_round
+        self.trial_canon_rounds = trial_canon_rounds
+        self.typeswitch_node_cost = typeswitch_node_cost
+
+    @classmethod
+    def scaled(cls, size_factor=0.1, **overrides):
+        """Paper constants with size-typed values scaled by *size_factor*.
+
+        ψ's p1/p2 multiply sizes, so they scale *inversely*; pure ratios
+        (b1, t1) and counts (b2) are unchanged.
+        """
+        params = cls(
+            r1=3000.0 * size_factor,
+            r2=500.0 * size_factor,
+            t2=120.0 * size_factor,
+            max_root_size=int(50_000 * size_factor),
+            p1=1e-3 / size_factor,
+            p2=1e-4 / size_factor,
+        )
+        for name, value in overrides.items():
+            if not hasattr(params, name):
+                raise TypeError("unknown inliner parameter %r" % name)
+            setattr(params, name, value)
+        return params
+
+    def copy(self, **overrides):
+        params = InlinerParams.__new__(InlinerParams)
+        params.__dict__.update(self.__dict__)
+        for name, value in overrides.items():
+            if not hasattr(params, name):
+                raise TypeError("unknown inliner parameter %r" % name)
+            setattr(params, name, value)
+        return params

@@ -1,0 +1,144 @@
+"""Polymorphic inlining: typeswitch emission (§IV).
+
+Following Hölzle and Ungar, a dispatched callsite with a usable
+receiver profile is replaced by an if-cascade of exact-type checks —
+one per speculated target, most probable first — each guarding a direct
+call to the resolved method (which the inlining phase may then replace
+with the method's body). The cascade ends in the original virtual call
+as a fallback, covering profile pollution and unseen types without
+deoptimization machinery.
+
+Branch probabilities on the cascade are derived from the profile
+(conditional on the earlier tests having failed), so downstream
+frequency annotation prices the fast paths correctly.
+"""
+
+from repro.ir import nodes as n
+from repro.ir import stamps as st
+from repro.errors import IRError
+
+
+def emit_typeswitch(graph, invoke, targets, program):
+    """Replace *invoke* with a typeswitch over *targets*.
+
+    Args:
+        graph: the graph containing *invoke* (the compilation root).
+        invoke: the dispatched :class:`~repro.ir.nodes.InvokeNode`.
+        targets: list of ``(type_name, probability, method)``.
+        program: for stamp refinement.
+
+    Returns:
+        ``{type_name: direct InvokeNode}`` for the cascade's arms.
+    """
+    block = invoke.block
+    if block is None or block not in graph.blocks:
+        raise IRError("invoke is not in this graph")
+    position = block.instrs.index(invoke)
+    receiver = invoke.inputs[0]
+    returns_value = invoke.stamp.kind != st.Stamp.VOID
+
+    # Split the host block after the invoke.
+    merge = graph.new_block()
+    merge.instrs = block.instrs[position + 1 :]
+    for node in merge.instrs:
+        node.block = merge
+    merge.terminator = block.terminator
+    if merge.terminator is not None:
+        merge.terminator.block = merge
+        for succ in merge.terminator.successors():
+            index = succ.pred_index(block)
+            succ.preds[index] = merge
+    block.instrs = block.instrs[:position]
+    block.terminator = None
+    merge.frequency = block.frequency
+
+    arm_invokes = {}
+    result_inputs = []
+    merge_preds = []
+    current = block  # block receiving the next type test
+    remaining = 1.0
+    for type_name, probability, method in targets:
+        arm = graph.new_block()
+        arm.frequency = block.frequency * probability
+        check = graph.register(n.InstanceOfNode(receiver, type_name, exact=True))
+        current.append(check)
+        conditional = min(0.999, probability / remaining) if remaining > 0 else 0.5
+        remaining = max(1e-6, remaining - probability)
+        next_block = graph.new_block()
+        next_block.frequency = block.frequency * remaining
+        terminator = graph.register(
+            n.IfNode(check, arm, next_block, conditional)
+        )
+        current.set_terminator(terminator)
+        arm.preds = [current]
+        next_block.preds = [current]
+        # Arm body: refine the receiver, call directly.
+        pi = graph.register(
+            n.PiNode(
+                receiver,
+                receiver.stamp.join(
+                    st.ref_stamp(type_name, exact=True, non_null=True), program
+                ),
+            )
+        )
+        if pi.stamp.kind == st.Stamp.BOTTOM:
+            pi.stamp = st.ref_stamp(type_name, exact=True, non_null=True)
+        arm.append(pi)
+        args = [pi] + list(invoke.inputs[1:])
+        direct = graph.register(
+            n.InvokeNode(
+                "direct",
+                invoke.declared_class,
+                invoke.method_name,
+                args,
+                invoke.stamp,
+                target=method,
+                bci=invoke.bci,
+            )
+        )
+        direct.frequency = invoke.frequency * probability
+        arm.append(direct)
+        goto = graph.register(n.GotoNode(merge))
+        arm.set_terminator(goto)
+        merge_preds.append(arm)
+        if returns_value:
+            result_inputs.append(direct)
+        arm_invokes[type_name] = direct
+        current = next_block
+
+    # Fallback: the original dispatched call.
+    fallback = graph.register(
+        n.InvokeNode(
+            invoke.kind,
+            invoke.declared_class,
+            invoke.method_name,
+            list(invoke.inputs),
+            invoke.stamp,
+            receiver_types=invoke.receiver_types,
+            megamorphic=invoke.megamorphic,
+            bci=invoke.bci,
+        )
+    )
+    fallback.frequency = invoke.frequency * remaining
+    current.append(fallback)
+    goto = graph.register(n.GotoNode(merge))
+    current.set_terminator(goto)
+    merge_preds.append(current)
+    if returns_value:
+        result_inputs.append(fallback)
+
+    merge.preds = merge_preds
+    result = None
+    if returns_value:
+        phi = graph.register(n.PhiNode(result_inputs, invoke.stamp))
+        merge.add_phi(phi)
+        phi.recompute_stamp(program)
+        result = phi
+        graph.replace_uses(invoke, result)
+    elif invoke.uses:
+        raise IRError("void invoke has uses")
+    invoke.clear_inputs()
+    # The original invoke node is gone from the block (it was sliced out
+    # of block.instrs when splitting); detach it fully.
+    invoke.block = None
+    return arm_invokes

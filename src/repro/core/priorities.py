@@ -1,0 +1,82 @@
+"""Benefit and priority formulas (§IV, Eq. 4–7 and 13–14).
+
+Local benefit, Eq. 4 (N_s differs by kind)::
+
+    B_L(n) = f(n) · (1 + N_s(n))
+        N_s = #(more-concrete args)      for cutoff nodes
+        N_s = #(trial optimizations)     for expanded nodes
+
+Polymorphic nodes use the profile-weighted sum over speculated targets,
+Eq. 13. Intrinsic exploration priority, Eq. 5::
+
+    P_I(n) = B_L(n) / |ir(n)|                  kind = C
+    P_I(n) = max over children of P_I(c)       kind = E
+
+Final priority, Eq. 6–7: P(n) = P_I(n) − ψ(n), with the exploration
+penalty ψ(n) = p1·S_irn(n) + p2·S_b(n) − b1·max(0, b2 − N_c(n)²).
+Recursive callsites additionally pay ψ_r (Eq. 14) on their intrinsic
+priority, which leaves shallow recursion untouched and suppresses deep
+recursion exponentially.
+"""
+
+from repro.core.calltree import NodeKind
+
+
+def local_benefit(node):
+    """B_L(n), Eq. 4 / Eq. 13."""
+    kind = node.kind
+    if kind == NodeKind.DELETED or kind == NodeKind.GENERIC:
+        return 0.0
+    if kind == NodeKind.POLYMORPHIC:
+        return sum(
+            child.probability * local_benefit(child) for child in node.children
+        )
+    if kind == NodeKind.CUTOFF:
+        return node.frequency * (1.0 + node.concrete_arg_count)
+    # Expanded.
+    return node.frequency * (1.0 + node.trial_opt_count)
+
+
+def intrinsic_priority(node, params):
+    """P_I(n), Eq. 5, with the recursion penalty ψ_r applied to cutoffs."""
+    kind = node.kind
+    if kind == NodeKind.CUTOFF:
+        size = max(1, node.ir_size())
+        priority = local_benefit(node) / size
+        return priority - recursion_penalty(node, params)
+    if kind in (NodeKind.EXPANDED, NodeKind.POLYMORPHIC):
+        best = float("-inf")
+        for child in node.children:
+            if child.kind == NodeKind.DELETED or child.kind == NodeKind.GENERIC:
+                continue
+            value = intrinsic_priority(child, params)
+            if value > best:
+                best = value
+        return best if best != float("-inf") else 0.0
+    return 0.0
+
+
+def exploration_penalty(node, params):
+    """ψ(n), Eq. 7."""
+    n_c = node.n_c()
+    return (
+        params.p1 * node.s_irn()
+        + params.p2 * node.s_b()
+        - params.b1 * max(0.0, params.b2 - float(n_c * n_c))
+    )
+
+
+def priority(node, params):
+    """P(n), Eq. 6."""
+    return intrinsic_priority(node, params) - exploration_penalty(node, params)
+
+
+def recursion_penalty(node, params):
+    """ψ_r(n), Eq. 14: max(1, f(n)) · max(0, 2^d(n) − 2)."""
+    depth = node.recursion_depth()
+    if depth <= 0:
+        return 0.0
+    pressure = max(0.0, float(2 ** depth) - float(params.recursion_free_depth))
+    if pressure == 0.0:
+        return 0.0
+    return max(1.0, node.frequency) * pressure

@@ -1,0 +1,62 @@
+"""The adaptive decision thresholds (§IV, Eq. 8 and Eq. 12).
+
+Expansion threshold, Eq. 8 — a cutoff n is worth exploring while::
+
+    B_L(n) / |ir(n)|  >=  exp((S_irn(root) − r1) / r2)
+
+"The relative benefit threshold rises steadily as there are more and
+more nodes in the root method" — exploration becomes pickier as the
+call tree grows, but smoothly: a very beneficial call can still be
+explored past the typical size.
+
+Inlining threshold, Eq. 12 — a cluster with tuple ratio ⟨b|c⟩ is
+inlined while::
+
+    ⟨tuple(n)⟩  >=  t1 · 2^((|ir(root)| + |ir(n)|) / (16 · t2))
+
+A note on the exponent: the paper's typesetting of Eq. 12 is ambiguous
+("t1 · 2^{|ir(root)|+|ir(n)|}(16 − t2)"). We adopt the reading
+``(|ir(root)| + |ir(n)|) / (16 · t2)``, which is the only grouping
+consistent with the surrounding prose: the threshold (a) rises with the
+root size, (b) is "sensitive to the size of the method due to the
+|ir(n)| term in the exponent", i.e. *more forgiving towards small
+methods*, and (c) with t1 = 0.005, t2 = 120 yields thresholds of the
+same order as observed benefit/cost ratios for root sizes in the
+1k–50k range Graal operates in.
+"""
+
+import math
+
+
+def expansion_threshold(root_s_irn, params):
+    """Right-hand side of Eq. 8.
+
+    The exponent is clamped so extreme parameter sweeps (tiny r2)
+    saturate to "never expand" instead of overflowing floats.
+    """
+    exponent = (root_s_irn - params.r1) / params.r2
+    if exponent > 700.0:
+        return math.inf
+    return math.exp(exponent)
+
+
+def should_expand(benefit, size, root_s_irn, params):
+    """Eq. 8 as a decision: explore cutoff with (B_L, |ir|)?"""
+    return benefit / max(1.0, float(size)) >= expansion_threshold(
+        root_s_irn, params
+    )
+
+
+def inline_threshold(root_ir_size, node_ir_size, params):
+    """Right-hand side of Eq. 12."""
+    exponent = (root_ir_size + node_ir_size) / (16.0 * params.t2)
+    # Guard the exponent: pathological parameter sweeps (tiny t2) would
+    # otherwise overflow floats; past ~2^60 the decision is "no" anyway.
+    if exponent > 60.0:
+        return math.inf
+    return params.t1 * (2.0 ** exponent)
+
+
+def should_inline(tuple_ratio, root_ir_size, node_ir_size, params):
+    """Eq. 12 as a decision."""
+    return tuple_ratio >= inline_threshold(root_ir_size, node_ir_size, params)

@@ -1,0 +1,156 @@
+"""Inlining decision tracing.
+
+Graal ships ``-Dgraal.TraceInlining`` precisely because inliners are
+impossible to debug blind; this is our equivalent. An
+:class:`InlineTracer` passed to
+:class:`~repro.core.inliner.IncrementalInliner` records every decision
+the algorithm makes — expansions with their Eq. 8 numbers, declines,
+cluster formation, Eq. 12 verdicts, typeswitch emissions, round
+boundaries and the termination reason — as structured events that can
+be inspected programmatically or rendered as an indented log.
+"""
+
+
+class TraceEvent:
+    """One traced decision."""
+
+    __slots__ = ("kind", "detail", "round_index")
+
+    def __init__(self, kind, detail, round_index):
+        self.kind = kind
+        self.detail = detail
+        self.round_index = round_index
+
+    def __repr__(self):
+        return "<%s r%d %s>" % (self.kind, self.round_index, self.detail)
+
+
+class InlineTracer:
+    """Collects :class:`TraceEvent` objects during one inliner run."""
+
+    def __init__(self):
+        self.events = []
+        self.round_index = 0
+
+    # -- hooks called by the inliner -------------------------------------
+
+    def begin_round(self, root_size):
+        self.round_index += 1
+        self._emit("round", {"root_size": root_size})
+
+    def expanded(self, node, benefit, size, threshold):
+        self._emit(
+            "expand",
+            {
+                "method": _name(node),
+                "benefit": benefit,
+                "size": size,
+                "threshold": threshold,
+                "frequency": node.frequency,
+            },
+        )
+
+    def declined(self, node, benefit, size, threshold):
+        self._emit(
+            "decline",
+            {
+                "method": _name(node),
+                "benefit": benefit,
+                "size": size,
+                "threshold": threshold,
+            },
+        )
+
+    def cluster(self, node, members, ratio):
+        self._emit(
+            "cluster",
+            {"root": _name(node), "members": members, "ratio": ratio},
+        )
+
+    def inlined(self, node, ratio, threshold):
+        self._emit(
+            "inline",
+            {"method": _name(node), "ratio": ratio, "threshold": threshold},
+        )
+
+    def rejected(self, node, ratio, threshold):
+        self._emit(
+            "reject",
+            {"method": _name(node), "ratio": ratio, "threshold": threshold},
+        )
+
+    def typeswitch(self, node, targets):
+        self._emit("typeswitch", {"callsite": _name(node), "targets": targets})
+
+    def terminated(self, reason, root_size):
+        self._emit("terminate", {"reason": reason, "root_size": root_size})
+
+    # -- queries ------------------------------------------------------------
+
+    def of_kind(self, kind):
+        return [e for e in self.events if e.kind == kind]
+
+    def render(self):
+        """The whole trace as an indented, readable log."""
+        lines = []
+        for event in self.events:
+            if event.kind == "round":
+                lines.append(
+                    "round %d (root %d nodes)"
+                    % (event.round_index, event.detail["root_size"])
+                )
+            elif event.kind == "expand":
+                d = event.detail
+                lines.append(
+                    "  expand  %-30s B_L=%-8.2f |ir|=%-5d thr=%.3f"
+                    % (d["method"], d["benefit"], d["size"], d["threshold"])
+                )
+            elif event.kind == "decline":
+                d = event.detail
+                lines.append(
+                    "  decline %-30s B_L=%-8.2f |ir|=%-5d thr=%.3f"
+                    % (d["method"], d["benefit"], d["size"], d["threshold"])
+                )
+            elif event.kind == "cluster":
+                d = event.detail
+                lines.append(
+                    "  cluster %-30s ratio=%-8.3f {%s}"
+                    % (d["root"], d["ratio"], ", ".join(d["members"]))
+                )
+            elif event.kind == "inline":
+                d = event.detail
+                lines.append(
+                    "  INLINE  %-30s ratio=%-8.3f thr=%.3f"
+                    % (d["method"], d["ratio"], d["threshold"])
+                )
+            elif event.kind == "reject":
+                d = event.detail
+                lines.append(
+                    "  keep    %-30s ratio=%-8.3f thr=%.3f"
+                    % (d["method"], d["ratio"], d["threshold"])
+                )
+            elif event.kind == "typeswitch":
+                d = event.detail
+                lines.append(
+                    "  typeswitch at %s over {%s}"
+                    % (d["callsite"], ", ".join(d["targets"]))
+                )
+            elif event.kind == "terminate":
+                d = event.detail
+                lines.append(
+                    "terminated: %s (root %d nodes)"
+                    % (d["reason"], d["root_size"])
+                )
+        return "\n".join(lines)
+
+    def _emit(self, kind, detail):
+        self.events.append(TraceEvent(kind, detail, self.round_index))
+
+
+def _name(node):
+    if node.method is not None:
+        return node.method.qualified_name
+    invoke = node.invoke
+    if invoke is not None:
+        return "%s.%s" % (invoke.declared_class, invoke.method_name)
+    return "<root>"

@@ -1,0 +1,263 @@
+"""Deep inlining trials and call-tree child discovery (§IV).
+
+A *trial* specializes a call node's private IR copy with the argument
+stamps observed at its callsite, then runs canonicalization and counts
+what fired. The count feeds N_s in the local benefit (Eq. 4); the
+simplified graph shrinks the node's cost; devirtualizations performed
+during the trial expose further expandable callsites. "This process is
+repeated recursively in the call tree" — :func:`propagate_deep_trials`
+re-runs trials below a node whenever fresher argument stamps arrive
+(after expansion of an ancestor, or after an inlining round improved
+the root).
+"""
+
+from repro.bytecode import types as bt
+from repro.core.calltree import CallNode, NodeKind
+from repro.ir import stamps as st
+from repro.ir.frequency import annotate_frequencies
+
+
+def declared_param_stamps(method):
+    """The stamps a callee assumes with no callsite information."""
+    stamps = []
+    if not method.is_static:
+        owner = method.klass.name if method.klass else bt.OBJECT
+        stamps.append(st.ref_stamp(owner, non_null=True))
+    for ptype in method.param_types:
+        stamps.append(st.stamp_for_declared_type(ptype))
+    return stamps
+
+
+def argument_stamps(node, program):
+    """Current argument stamps at the node's callsite, including the
+    exact-receiver refinement for speculated polymorphic targets."""
+    invoke = node.invoke
+    stamps = [arg.stamp for arg in invoke.inputs]
+    if node.receiver_type is not None and stamps:
+        refined = stamps[0].join(
+            st.ref_stamp(node.receiver_type, exact=True, non_null=True), program
+        )
+        if refined.kind != st.Stamp.BOTTOM:
+            stamps[0] = refined
+    return stamps
+
+
+def count_concrete_args(node, program):
+    """N_s for cutoff nodes (Eq. 4): arguments strictly more concrete
+    than the formal parameters."""
+    method = node.method
+    if method is None or node.invoke is None:
+        return 0
+    declared = declared_param_stamps(method)
+    args = argument_stamps(node, program)
+    count = 0
+    for arg_stamp, param_stamp in zip(args, declared):
+        if st.is_strictly_more_precise(arg_stamp, param_stamp, program):
+            count += 1
+    return count
+
+
+def apply_argument_stamps(node, program):
+    """Inject callsite argument stamps into the node's graph params.
+
+    Stamps only ever *narrow* (join with the declared stamp); returns
+    True when at least one parameter actually improved.
+    """
+    graph = node.graph
+    args = argument_stamps(node, program)
+    improved = False
+    for param, arg_stamp in zip(graph.params, args):
+        joined = param.stamp.join(arg_stamp, program)
+        if joined.kind == st.Stamp.BOTTOM:
+            continue  # contradictory profile info: keep the declared stamp
+        if joined != param.stamp:
+            param.stamp = joined
+            improved = True
+    return improved
+
+
+def run_trial(node, context, params):
+    """Specialize and canonicalize the node's graph; update N_s.
+
+    Returns the number of simple optimizations that fired (the increment
+    is accumulated into ``node.trial_opt_count``).
+    """
+    apply_argument_stamps(node, context.program)
+    stats = context.pipeline.simplify_only(node.graph)
+    node.trial_opt_count += stats.simple()
+    annotate_frequencies(node.graph)
+    return stats
+
+
+def discover_children(node, context, params):
+    """Create child call nodes for every invoke in the node's graph.
+
+    Kinds are assigned per §III-A/§IV: resolvable targets become C,
+    uninlineable callsites become G, and dispatched callsites with a
+    usable receiver profile become P with one speculated C child per
+    profiled target (max 3 targets at ≥10% probability, §IV).
+    """
+    program = context.program
+    node.children = []
+    for invoke in node.graph.invokes():
+        frequency = node.frequency * invoke.frequency
+        if invoke.kind in ("static", "special", "direct"):
+            target = invoke.target
+            if target is None or target.is_abstract:
+                child = CallNode(NodeKind.GENERIC, node, invoke, target, frequency)
+            elif target.is_native or target.never_inline:
+                child = CallNode(NodeKind.GENERIC, node, invoke, target, frequency)
+            else:
+                child = CallNode(NodeKind.CUTOFF, node, invoke, target, frequency)
+                child.concrete_arg_count = count_concrete_args(child, program)
+            node.add_child(child)
+        else:
+            node.add_child(_dispatched_child(node, invoke, frequency, context, params))
+    return node.children
+
+
+def _dispatched_child(node, invoke, frequency, context, params):
+    program = context.program
+    profile = [
+        (type_name, probability)
+        for type_name, probability in invoke.receiver_types
+        if probability >= params.min_target_probability
+    ][: params.max_typeswitch_targets]
+    if not profile:
+        return CallNode(NodeKind.GENERIC, node, invoke, None, frequency)
+    poly = CallNode(NodeKind.POLYMORPHIC, node, invoke, None, frequency)
+    for type_name, probability in profile:
+        try:
+            target = program.resolve_method(type_name, invoke.method_name)
+        except Exception:
+            continue
+        if target.is_abstract:
+            continue
+        kind = (
+            NodeKind.GENERIC
+            if (target.is_native or target.never_inline)
+            else NodeKind.CUTOFF
+        )
+        child = CallNode(
+            kind, poly, invoke, target, frequency * probability, probability
+        )
+        child.receiver_type = type_name
+        if kind == NodeKind.CUTOFF:
+            child.concrete_arg_count = count_concrete_args(child, program)
+        poly.add_child(child)
+    if not poly.children:
+        return CallNode(NodeKind.GENERIC, node, invoke, None, frequency)
+    return poly
+
+
+def caller_method(node):
+    """The method containing this node's callsite (for context-sensitive
+    profile lookups): the nearest ancestor that has a method."""
+    ancestor = node.parent
+    while ancestor is not None:
+        if ancestor.method is not None:
+            return ancestor.method
+        ancestor = ancestor.parent
+    return None
+
+
+def expand_node(node, context, params, deep=True):
+    """Turn a cutoff into an expanded node: attach IR, trial, discover.
+
+    With ``deep=False`` (the shallow-trials baseline, Figure 9's
+    "no deep trials" bars) argument stamps are only applied when the
+    node is a direct child of the root — specialization does not travel
+    down the tree.
+    """
+    graph = context.build_callee_graph(node.method, caller=caller_method(node))
+    node.graph = graph
+    node.kind = NodeKind.EXPANDED
+    is_root_child = node.parent is not None and node.parent.is_root
+    if deep or is_root_child:
+        run_trial(node, context, params)
+    else:
+        annotate_frequencies(node.graph)
+    discover_children(node, context, params)
+    return node
+
+
+def normalize_node(node, context, params):
+    """Collapse a polymorphic node whose callsite was devirtualized.
+
+    Canonicalization between rounds can turn a dispatched invoke into a
+    direct call (stamp or CHA devirtualization) while the call tree
+    still holds a P node for it. The P node then degenerates: if one of
+    its speculated children targeted the now-proven method, that child's
+    specialized graph and subtree are adopted; otherwise the node
+    becomes a plain cutoff on the proven target.
+    """
+    if node.kind != NodeKind.POLYMORPHIC:
+        return
+    invoke = node.invoke
+    if invoke is None or invoke.block is None or invoke.is_dispatched:
+        return
+    target = invoke.target
+    node.probability = 1.0
+    if target is None or target.is_abstract or target.is_native or target.never_inline:
+        node.kind = NodeKind.GENERIC
+        node.method = target
+        node.children = []
+        node.queue = []
+        return
+    adopted = None
+    for child in node.children:
+        if child.method is target and child.kind == NodeKind.EXPANDED:
+            adopted = child
+            break
+    node.method = target
+    node.receiver_type = None
+    if adopted is not None:
+        node.kind = NodeKind.EXPANDED
+        node.graph = adopted.graph
+        node.trial_opt_count = adopted.trial_opt_count
+        node.children = adopted.children
+        for child in node.children:
+            child.parent = node
+    else:
+        node.kind = NodeKind.CUTOFF
+        node.children = []
+        node.queue = []
+        node.concrete_arg_count = count_concrete_args(node, context.program)
+
+
+def propagate_deep_trials(node, context, params, budget=64):
+    """Re-run trials below *node* wherever argument stamps improved.
+
+    The fixpoint loop of §IV: optimizations in one callee can improve
+    the type precision at sibling/descendant callsites, so trials are
+    repeated until nothing improves (bounded by *budget* re-trials).
+    """
+    work = [c for c in node.children]
+    retrials = 0
+    while work and retrials < budget:
+        child = work.pop()
+        if child.check_deleted():
+            continue
+        if child.kind == NodeKind.POLYMORPHIC:
+            work.extend(child.children)
+            continue
+        if child.kind == NodeKind.CUTOFF:
+            child.concrete_arg_count = count_concrete_args(child, context.program)
+            continue
+        if child.kind not in (NodeKind.EXPANDED, NodeKind.INLINED):
+            continue
+        if child.kind == NodeKind.EXPANDED and child.graph is not None:
+            if apply_argument_stamps(child, context.program):
+                stats = context.pipeline.simplify_only(child.graph)
+                child.trial_opt_count += stats.simple()
+                annotate_frequencies(child.graph)
+                retrials += 1
+                _refresh_child_invokes(child)
+        work.extend(child.children)
+    return retrials
+
+
+def _refresh_child_invokes(node):
+    """Drop children whose callsites were optimized away by a re-trial."""
+    for child in node.children:
+        child.check_deleted()

@@ -1,0 +1,26 @@
+"""The profiling bytecode interpreter (the VM's first tier).
+
+Executing bytecode here is deliberately slow in the cost model — the
+point of the tier is the *profiles* it gathers: invocation counts,
+branch probabilities, loop backedge counters and receiver-type
+histograms. These are exactly the HotSpot-provided inputs the paper's
+inliner consumes (Section IV: "Graal can access the JVM profiling data,
+such as branch probabilities, back-edge counters and receiver
+profiles").
+"""
+
+from repro.interp.profiles import (
+    ProfileStore,
+    MethodProfile,
+    ReceiverProfile,
+    BranchProfile,
+)
+from repro.interp.interpreter import Interpreter
+
+__all__ = [
+    "ProfileStore",
+    "MethodProfile",
+    "ReceiverProfile",
+    "BranchProfile",
+    "Interpreter",
+]

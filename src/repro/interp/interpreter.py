@@ -1,0 +1,332 @@
+"""The profiling bytecode interpreter.
+
+One :class:`Interpreter` executes guest methods against a
+:class:`~repro.runtime.vmstate.VMState`, recording profiles into a
+:class:`~repro.interp.profiles.ProfileStore` as it goes and counting
+executed bytecodes (the JIT engine converts that count into interpreted
+cycles).
+
+Dispatch is pluggable: every guest call goes through ``self.dispatch``,
+which the tiered engine overrides to route hot methods to compiled
+code. By default calls recurse into the interpreter itself.
+"""
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode import types as bt
+from repro.runtime.values import ArrayRef, ObjRef, NULL
+from repro.runtime.intrinsics import intrinsic_function
+from repro.errors import (
+    BoundsTrap,
+    CastTrap,
+    DivisionByZeroTrap,
+    NullPointerTrap,
+    VMError,
+)
+
+_WRAP = 1 << 64
+_SIGN = 1 << 63
+
+
+def wrap64(value):
+    """Wrap a Python int to 64-bit two's-complement (JVM-style)."""
+    value &= _WRAP - 1
+    if value & _SIGN:
+        value -= _WRAP
+    return value
+
+
+def int_div(a, b):
+    """Division truncating toward zero, as on the JVM."""
+    if b == 0:
+        raise DivisionByZeroTrap()
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def int_rem(a, b):
+    """Remainder with the sign of the dividend, as on the JVM."""
+    if b == 0:
+        raise DivisionByZeroTrap()
+    return a - int_div(a, b) * b
+
+
+class Interpreter:
+    """Executes bytecode with profiling.
+
+    Args:
+        vm: the :class:`~repro.runtime.vmstate.VMState` to run against.
+        profiles: a :class:`~repro.interp.profiles.ProfileStore`;
+            created on the fly when omitted.
+        dispatch: optional callable ``(method, args) -> result`` used for
+            every guest call; defaults to :meth:`execute` (pure
+            interpretation all the way down).
+    """
+
+    def __init__(self, vm, profiles=None, dispatch=None):
+        from repro.interp.profiles import ProfileStore
+
+        self.vm = vm
+        self.program = vm.program
+        self.profiles = profiles if profiles is not None else ProfileStore()
+        self.dispatch = dispatch if dispatch is not None else self.execute
+        self.ops_executed = 0
+        self.max_depth = 0
+        self._depth = 0
+        self._current_method = None  # caller context for profiling
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def call_static(self, class_name, method_name, args=()):
+        """Resolve and run a static method through the dispatcher."""
+        method = self.program.lookup_method(class_name, method_name)
+        return self.dispatch(method, list(args))
+
+    def run_main(self, class_name, args=()):
+        return self.call_static(class_name, "main", args)
+
+    # ------------------------------------------------------------------
+    # Core execution
+    # ------------------------------------------------------------------
+
+    def execute(self, method, args):
+        """Interpret *method* with *args* (receiver first if instance)."""
+        if method.is_native:
+            return intrinsic_function(method.name)(self.vm, *args)
+        if method.is_abstract:
+            raise VMError("abstract method called: %s" % method.qualified_name)
+        profile = self.profiles.of(method, caller=self._current_method)
+        profile.invocations += 1
+        self._depth += 1
+        if self._depth > self.max_depth:
+            self.max_depth = self._depth
+        previous = self._current_method
+        self._current_method = method
+        try:
+            return self._run(method, args, profile)
+        finally:
+            self._depth -= 1
+            self._current_method = previous
+
+    def _run(self, method, args, profile):
+        code = method.code
+        locals_ = args + [NULL] * (method.max_locals - len(args))
+        stack = []
+        program = self.program
+        vm = self.vm
+        pc = 0
+        ops = 0
+        while True:
+            instr = code[pc]
+            op = instr.op
+            ops += 1
+            if op == Op.LOAD:
+                stack.append(locals_[instr.args[0]])
+            elif op == Op.CONST:
+                stack.append(instr.args[0])
+            elif op == Op.STORE:
+                locals_[instr.args[0]] = stack.pop()
+            elif op == Op.ADD:
+                b = stack.pop()
+                stack.append(wrap64(stack.pop() + b))
+            elif op == Op.SUB:
+                b = stack.pop()
+                stack.append(wrap64(stack.pop() - b))
+            elif op == Op.MUL:
+                b = stack.pop()
+                stack.append(wrap64(stack.pop() * b))
+            elif op == Op.DIV:
+                b = stack.pop()
+                stack.append(wrap64(int_div(stack.pop(), b)))
+            elif op == Op.REM:
+                b = stack.pop()
+                stack.append(int_rem(stack.pop(), b))
+            elif op == Op.NEG:
+                stack.append(wrap64(-stack.pop()))
+            elif op == Op.AND:
+                b = stack.pop()
+                stack.append(stack.pop() & b)
+            elif op == Op.OR:
+                b = stack.pop()
+                stack.append(stack.pop() | b)
+            elif op == Op.XOR:
+                b = stack.pop()
+                stack.append(stack.pop() ^ b)
+            elif op == Op.SHL:
+                b = stack.pop() & 63
+                stack.append(wrap64(stack.pop() << b))
+            elif op == Op.SHR:
+                b = stack.pop() & 63
+                stack.append(stack.pop() >> b)
+            elif op == Op.EQ:
+                b = stack.pop()
+                stack.append(1 if stack.pop() == b else 0)
+            elif op == Op.NE:
+                b = stack.pop()
+                stack.append(1 if stack.pop() != b else 0)
+            elif op == Op.LT:
+                b = stack.pop()
+                stack.append(1 if stack.pop() < b else 0)
+            elif op == Op.LE:
+                b = stack.pop()
+                stack.append(1 if stack.pop() <= b else 0)
+            elif op == Op.GT:
+                b = stack.pop()
+                stack.append(1 if stack.pop() > b else 0)
+            elif op == Op.GE:
+                b = stack.pop()
+                stack.append(1 if stack.pop() >= b else 0)
+            elif op == Op.REF_EQ:
+                b = stack.pop()
+                stack.append(1 if stack.pop() is b else 0)
+            elif op == Op.REF_NE:
+                b = stack.pop()
+                stack.append(1 if stack.pop() is not b else 0)
+            elif op == Op.IF:
+                condition = stack.pop() != 0
+                profile.branch(pc).record(condition)
+                target = instr.target
+                if condition:
+                    if target <= pc:
+                        profile.record_backedge(pc)
+                    pc = target
+                    continue
+            elif op == Op.GOTO:
+                target = instr.target
+                if target <= pc:
+                    profile.record_backedge(pc)
+                pc = target
+                continue
+            elif op == Op.RET:
+                self.ops_executed += ops
+                return None
+            elif op == Op.RETV:
+                self.ops_executed += ops
+                return stack.pop()
+            elif op == Op.NULL:
+                stack.append(NULL)
+            elif op == Op.POP:
+                stack.pop()
+            elif op == Op.DUP:
+                stack.append(stack[-1])
+            elif op == Op.NEW:
+                stack.append(vm.allocate(instr.args[0]))
+            elif op == Op.NEWARRAY:
+                length = stack.pop()
+                if length < 0:
+                    raise BoundsTrap("negative array length %d" % length)
+                stack.append(vm.allocate_array(instr.args[0], length))
+            elif op == Op.ALOAD:
+                index = stack.pop()
+                array = stack.pop()
+                if array is NULL:
+                    raise NullPointerTrap("ALOAD")
+                if not (0 <= index < len(array.data)):
+                    raise BoundsTrap("%d / %d" % (index, len(array.data)))
+                stack.append(array.data[index])
+            elif op == Op.ASTORE:
+                value = stack.pop()
+                index = stack.pop()
+                array = stack.pop()
+                if array is NULL:
+                    raise NullPointerTrap("ASTORE")
+                if not (0 <= index < len(array.data)):
+                    raise BoundsTrap("%d / %d" % (index, len(array.data)))
+                array.data[index] = value
+            elif op == Op.ARRAYLEN:
+                array = stack.pop()
+                if array is NULL:
+                    raise NullPointerTrap("ARRAYLEN")
+                stack.append(len(array.data))
+            elif op == Op.GETFIELD:
+                obj = stack.pop()
+                if obj is NULL:
+                    raise NullPointerTrap(
+                        "GETFIELD %s.%s" % (instr.args[0], instr.args[1])
+                    )
+                stack.append(obj.fields[instr.args[1]])
+            elif op == Op.PUTFIELD:
+                value = stack.pop()
+                obj = stack.pop()
+                if obj is NULL:
+                    raise NullPointerTrap(
+                        "PUTFIELD %s.%s" % (instr.args[0], instr.args[1])
+                    )
+                obj.fields[instr.args[1]] = value
+            elif op == Op.GETSTATIC:
+                stack.append(vm.get_static(instr.args[0], instr.args[1]))
+            elif op == Op.PUTSTATIC:
+                vm.put_static(instr.args[0], instr.args[1], stack.pop())
+            elif op == Op.INSTANCEOF:
+                value = stack.pop()
+                if value is NULL:
+                    stack.append(0)
+                else:
+                    type_name = (
+                        value.class_name
+                        if isinstance(value, ObjRef)
+                        else value.type_name
+                    )
+                    stack.append(
+                        1 if program.is_subtype(type_name, instr.args[0]) else 0
+                    )
+            elif op == Op.CHECKCAST:
+                value = stack[-1]
+                if value is not NULL:
+                    type_name = (
+                        value.class_name
+                        if isinstance(value, ObjRef)
+                        else value.type_name
+                    )
+                    if not program.is_subtype(type_name, instr.args[0]):
+                        raise CastTrap(
+                            "%s -> %s" % (type_name, instr.args[0])
+                        )
+            elif op == Op.INVOKESTATIC:
+                cname, mname = instr.args
+                callee = program.lookup_method(cname, mname)
+                profile.record_callsite(pc)
+                argc = len(callee.param_types)
+                call_args = stack[len(stack) - argc :] if argc else []
+                del stack[len(stack) - argc :]
+                result = self.dispatch(callee, call_args)
+                if callee.return_type != bt.VOID:
+                    stack.append(result)
+            elif op in (Op.INVOKEVIRTUAL, Op.INVOKEINTERFACE):
+                cname, mname = instr.args
+                declared = program.lookup_method(cname, mname)
+                argc = 1 + len(declared.param_types)
+                call_args = stack[len(stack) - argc :]
+                del stack[len(stack) - argc :]
+                receiver = call_args[0]
+                if receiver is NULL:
+                    raise NullPointerTrap("call %s.%s" % (cname, mname))
+                receiver_type = (
+                    receiver.class_name
+                    if isinstance(receiver, ObjRef)
+                    else receiver.type_name
+                )
+                profile.record_callsite(pc)
+                profile.receiver(pc).record(receiver_type)
+                if isinstance(receiver, ArrayRef):
+                    raise VMError("virtual call on array receiver")
+                callee = program.resolve_method(receiver_type, mname)
+                result = self.dispatch(callee, call_args)
+                if declared.return_type != bt.VOID:
+                    stack.append(result)
+            elif op == Op.INVOKESPECIAL:
+                cname, mname = instr.args
+                callee = program.resolve_method(cname, mname)
+                argc = 1 + len(callee.param_types)
+                call_args = stack[len(stack) - argc :]
+                del stack[len(stack) - argc :]
+                if call_args[0] is NULL:
+                    raise NullPointerTrap("special call %s.%s" % (cname, mname))
+                profile.record_callsite(pc)
+                result = self.dispatch(callee, call_args)
+                if callee.return_type != bt.VOID:
+                    stack.append(result)
+            else:
+                raise VMError("unhandled opcode %s" % op)
+            pc += 1

@@ -1,0 +1,41 @@
+"""SSA intermediate representation.
+
+The IR is a control-flow graph of basic blocks holding ordered SSA
+nodes — closer to a classic scheduled SSA IR than Graal's sea of nodes,
+which keeps every transformation explicit and testable while providing
+what the paper's algorithm needs:
+
+- a node count per graph (the paper's ``|ir(n)|`` cost metric),
+- typed values via :mod:`stamps <repro.ir.stamps>` (argument-type
+  propagation for deep inlining trials),
+- profiled branch probabilities on ``If`` terminators and receiver
+  profiles on ``Invoke`` nodes (the inputs to f(n) and polymorphic
+  inlining),
+- straightforward callsite replacement (the inline substitution itself).
+"""
+
+from repro.ir.stamps import Stamp, int_stamp, ref_stamp, constant_int, null_stamp
+from repro.ir import nodes
+from repro.ir.graph import Graph, Block
+from repro.ir.builder import build_graph
+from repro.ir.printer import format_graph
+from repro.ir.checker import check_graph
+from repro.ir.dominators import compute_dominators, compute_loops
+from repro.ir.frequency import annotate_frequencies
+
+__all__ = [
+    "Stamp",
+    "int_stamp",
+    "ref_stamp",
+    "constant_int",
+    "null_stamp",
+    "nodes",
+    "Graph",
+    "Block",
+    "build_graph",
+    "format_graph",
+    "check_graph",
+    "compute_dominators",
+    "compute_loops",
+    "annotate_frequencies",
+]

@@ -1,0 +1,483 @@
+"""Bytecode → SSA graph construction.
+
+The builder abstractly interprets the operand stack and local slots of a
+method, block by block in reverse postorder, turning stack positions
+into SSA node references. Join points get phis for every live slot;
+trivial phis are cleaned up at the end (Cytron-free construction in the
+style of Graal's bytecode parser / Braun et al.).
+
+Profile data (branch probabilities, receiver histograms) is baked into
+the graph at build time: ``If`` nodes carry their taken-probability and
+``Invoke`` nodes carry their receiver-type snapshot, so everything
+downstream — frequency annotation, the inliner's f(n), polymorphic
+inlining — reads profiles from the IR rather than from the VM.
+"""
+
+from repro.bytecode import types as bt
+from repro.bytecode.opcodes import (
+    BINARY_INT_OPS,
+    COMPARE_INT_OPS,
+    COMPARE_REF_OPS,
+    Op,
+)
+from repro.errors import IRError
+from repro.ir import nodes as n
+from repro.ir import stamps as st
+from repro.ir.graph import Graph
+
+
+def build_graph(method, program, profiles=None):
+    """Build the SSA graph of *method*.
+
+    Args:
+        method: a concrete :class:`~repro.bytecode.method.Method`.
+        program: the enclosing program (for signatures and field types).
+        profiles: optional :class:`~repro.interp.profiles.ProfileStore`;
+            when given, branch probabilities and receiver profiles are
+            attached to the graph.
+    """
+    if method.is_abstract or method.is_native:
+        raise IRError("cannot build IR for %s" % method.qualified_name)
+    return _Builder(method, program, profiles).build()
+
+
+class _BlockInfo:
+    """Build-time bookkeeping for one bytecode-level basic block."""
+
+    __slots__ = ("start", "end", "block", "entry_depth", "succ_pcs", "preds")
+
+    def __init__(self, start):
+        self.start = start
+        self.end = None
+        self.block = None
+        self.entry_depth = None
+        self.succ_pcs = []
+        self.preds = []
+
+
+class _Builder:
+    def __init__(self, method, program, profiles):
+        self.method = method
+        self.program = program
+        self.profile = profiles.maybe_of(method) if profiles else None
+        self.graph = Graph(method)
+        self.infos = {}
+        self.order = []
+
+    # ------------------------------------------------------------------
+
+    def build(self):
+        self._find_blocks()
+        self._compute_entry_depths()
+        self._create_ir_blocks()
+        self._create_params()
+        edge_states = {}
+        for info in self.order:
+            self._translate_block(info, edge_states)
+        self._wire_phis(edge_states)
+        self._fix_phi_stamps()
+        self._remove_trivial_phis()
+        return self.graph
+
+    # ------------------------------------------------------------------
+    # Block discovery
+    # ------------------------------------------------------------------
+
+    def _find_blocks(self):
+        code = self.method.code
+        leaders = {0}
+        for pc, instr in enumerate(code):
+            op = instr.op
+            if op == Op.IF:
+                leaders.add(instr.target)
+                if pc + 1 < len(code):
+                    leaders.add(pc + 1)
+            elif op == Op.GOTO:
+                leaders.add(instr.target)
+                if pc + 1 < len(code):
+                    leaders.add(pc + 1)
+            elif op in (Op.RET, Op.RETV):
+                if pc + 1 < len(code):
+                    leaders.add(pc + 1)
+        sorted_leaders = sorted(leaders)
+        for index, start in enumerate(sorted_leaders):
+            info = _BlockInfo(start)
+            info.end = (
+                sorted_leaders[index + 1]
+                if index + 1 < len(sorted_leaders)
+                else len(code)
+            )
+            self.infos[start] = info
+        # Successor edges.
+        for info in self.infos.values():
+            last = code[info.end - 1]
+            if last.op == Op.IF:
+                info.succ_pcs = [last.target, info.end]
+            elif last.op == Op.GOTO:
+                info.succ_pcs = [last.target]
+            elif last.op in (Op.RET, Op.RETV):
+                info.succ_pcs = []
+            else:
+                info.succ_pcs = [info.end]
+        # Reachability + RPO from the entry block.
+        seen = set()
+        postorder = []
+
+        def visit(start):
+            stack = [(start, iter(self.infos[start].succ_pcs))]
+            seen.add(start)
+            while stack:
+                current, successors = stack[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.infos[succ].succ_pcs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(current)
+                    stack.pop()
+
+        visit(0)
+        self.order = [self.infos[pc] for pc in reversed(postorder)]
+        # Predecessor lists restricted to reachable blocks.
+        reachable = {info.start for info in self.order}
+        for info in self.order:
+            for succ_pc in info.succ_pcs:
+                if succ_pc in reachable:
+                    self.infos[succ_pc].preds.append(info)
+
+    def _compute_entry_depths(self):
+        """Depth of the operand stack at each reachable block entry."""
+        from repro.bytecode.opcodes import stack_effect
+
+        code = self.method.code
+        self.infos[0].entry_depth = 0
+        for info in self.order:
+            depth = info.entry_depth
+            if depth is None:
+                raise IRError(
+                    "%s: block at %d entered without a known stack depth"
+                    % (self.method.qualified_name, info.start)
+                )
+            for pc in range(info.start, info.end):
+                instr = code[pc]
+                pops, pushes = stack_effect(instr.op, instr, self.program)
+                depth = depth - pops + pushes
+            for succ_pc in info.succ_pcs:
+                succ = self.infos.get(succ_pc)
+                if succ is None or succ.start not in {
+                    i.start for i in self.order
+                }:
+                    continue
+                if succ.entry_depth is None:
+                    succ.entry_depth = depth
+                elif succ.entry_depth != depth:
+                    raise IRError(
+                        "%s: inconsistent stack depth at %d"
+                        % (self.method.qualified_name, succ_pc)
+                    )
+
+    def _create_ir_blocks(self):
+        for info in self.order:
+            info.block = self.graph.new_block()
+        for info in self.order:
+            info.block.preds = [p.block for p in info.preds]
+
+    def _create_params(self):
+        method = self.method
+        if not method.is_static:
+            owner = method.klass.name if method.klass else bt.OBJECT
+            self.graph.add_param(st.ref_stamp(owner, non_null=True))
+        for ptype in method.param_types:
+            self.graph.add_param(st.stamp_for_declared_type(ptype))
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+
+    def _entry_state(self, info, edge_states):
+        """Entry (locals, stack) for a block; phis at joins."""
+        num_locals = self.method.max_locals
+        if info.start == 0 and not info.preds:
+            locals_ = list(self.graph.params)
+            locals_ += [None] * (num_locals - len(locals_))
+            return locals_, []
+        if len(info.preds) == 1 and not _is_backedge(info.preds[0], info):
+            state = edge_states.get((info.preds[0].start, info.start))
+            if state is None:
+                raise IRError("predecessor state missing (irreducible CFG?)")
+            locals_, stack = state
+            return list(locals_), list(stack)
+        # Join or loop header: a phi per local slot and stack slot.
+        block = info.block
+        locals_ = []
+        for _ in range(num_locals):
+            phi = self.graph.register(
+                n.PhiNode([None] * len(info.preds), st.BOTTOM_STAMP)
+            )
+            block.add_phi(phi)
+            locals_.append(phi)
+        stack = []
+        for _ in range(info.entry_depth):
+            phi = self.graph.register(
+                n.PhiNode([None] * len(info.preds), st.BOTTOM_STAMP)
+            )
+            block.add_phi(phi)
+            stack.append(phi)
+        return locals_, stack
+
+    def _translate_block(self, info, edge_states):
+        code = self.method.code
+        graph = self.graph
+        program = self.program
+        block = info.block
+        locals_, stack = self._entry_state(info, edge_states)
+
+        def emit(node):
+            graph.register(node)
+            block.append(node)
+            return node
+
+        pc = info.start
+        terminated = False
+        while pc < info.end:
+            instr = code[pc]
+            op = instr.op
+            if op == Op.CONST:
+                stack.append(emit(n.ConstIntNode(instr.args[0])))
+            elif op == Op.NULL:
+                stack.append(emit(n.ConstNullNode()))
+            elif op == Op.POP:
+                stack.pop()
+            elif op == Op.DUP:
+                stack.append(stack[-1])
+            elif op == Op.LOAD:
+                value = locals_[instr.args[0]]
+                if value is None:
+                    raise IRError(
+                        "%s@%d: load of undefined local"
+                        % (self.method.qualified_name, pc)
+                    )
+                stack.append(value)
+            elif op == Op.STORE:
+                locals_[instr.args[0]] = stack.pop()
+            elif op in BINARY_INT_OPS:
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(emit(n.BinOpNode(op, a, b)))
+            elif op == Op.NEG:
+                stack.append(emit(n.NegNode(stack.pop())))
+            elif op in COMPARE_INT_OPS or op in COMPARE_REF_OPS:
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(emit(n.CompareNode(op, a, b)))
+            elif op == Op.NEW:
+                stack.append(emit(n.NewNode(instr.args[0])))
+            elif op == Op.NEWARRAY:
+                length = stack.pop()
+                stack.append(emit(n.NewArrayNode(instr.args[0], length)))
+            elif op == Op.ALOAD:
+                index = stack.pop()
+                array = stack.pop()
+                stack.append(
+                    emit(n.ArrayLoadNode(array, index, self._elem_stamp(array, instr)))
+                )
+            elif op == Op.ASTORE:
+                value = stack.pop()
+                index = stack.pop()
+                array = stack.pop()
+                emit(n.ArrayStoreNode(array, index, value))
+            elif op == Op.ARRAYLEN:
+                stack.append(emit(n.ArrayLengthNode(stack.pop())))
+            elif op == Op.GETFIELD:
+                cname, fname = instr.args
+                _, field = program.lookup_field(cname, fname)
+                obj = stack.pop()
+                stack.append(
+                    emit(
+                        n.LoadFieldNode(
+                            obj, cname, fname, st.stamp_for_declared_type(field.type)
+                        )
+                    )
+                )
+            elif op == Op.PUTFIELD:
+                cname, fname = instr.args
+                value = stack.pop()
+                obj = stack.pop()
+                emit(n.StoreFieldNode(obj, cname, fname, value))
+            elif op == Op.GETSTATIC:
+                cname, fname = instr.args
+                _, field = program.lookup_field(cname, fname)
+                stack.append(
+                    emit(
+                        n.LoadStaticNode(
+                            cname, fname, st.stamp_for_declared_type(field.type)
+                        )
+                    )
+                )
+            elif op == Op.PUTSTATIC:
+                cname, fname = instr.args
+                emit(n.StoreStaticNode(cname, fname, stack.pop()))
+            elif op == Op.INSTANCEOF:
+                stack.append(emit(n.InstanceOfNode(stack.pop(), instr.args[0])))
+            elif op == Op.CHECKCAST:
+                value = stack.pop()
+                stack.append(emit(n.CheckCastNode(value, instr.args[0], program)))
+            elif op in (
+                Op.INVOKESTATIC,
+                Op.INVOKEVIRTUAL,
+                Op.INVOKEINTERFACE,
+                Op.INVOKESPECIAL,
+            ):
+                stack_result = self._translate_invoke(instr, pc, stack, emit)
+                if stack_result is not None:
+                    stack.append(stack_result)
+            elif op == Op.IF:
+                condition = stack.pop()
+                probability = 0.5
+                if self.profile is not None:
+                    branch = self.profile.branches.get(pc)
+                    if branch is not None:
+                        probability = branch.probability()
+                true_block = self.infos[instr.target].block
+                false_block = self.infos[info.end].block
+                terminator = n.IfNode(condition, true_block, false_block, probability)
+                graph.register(terminator)
+                block.set_terminator(terminator)
+                terminated = True
+            elif op == Op.GOTO:
+                target = self.infos[instr.target].block
+                terminator = graph.register(n.GotoNode(target))
+                block.set_terminator(terminator)
+                terminated = True
+            elif op == Op.RET:
+                block.set_terminator(graph.register(n.ReturnNode()))
+                terminated = True
+            elif op == Op.RETV:
+                block.set_terminator(graph.register(n.ReturnNode(stack.pop())))
+                terminated = True
+            else:
+                raise IRError("unhandled opcode %s" % op)
+            pc += 1
+
+        if not terminated:
+            # Fall-through into the next block.
+            target = self.infos[info.end].block
+            block.set_terminator(graph.register(n.GotoNode(target)))
+
+        for succ_pc in info.succ_pcs:
+            edge_states[(info.start, succ_pc)] = (list(locals_), list(stack))
+
+    def _translate_invoke(self, instr, pc, stack, emit):
+        program = self.program
+        op = instr.op
+        cname, mname = instr.args
+        callee = program.lookup_method(cname, mname)
+        argc = len(callee.param_types) + (0 if op == Op.INVOKESTATIC else 1)
+        args = stack[len(stack) - argc :] if argc else []
+        del stack[len(stack) - argc :]
+        return_stamp = st.stamp_for_declared_type(callee.return_type)
+        receiver_types = []
+        megamorphic = False
+        if op == Op.INVOKESTATIC:
+            kind, target = "static", callee
+        elif op == Op.INVOKESPECIAL:
+            kind, target = "special", program.resolve_method(cname, mname)
+        else:
+            kind = "virtual" if op == Op.INVOKEVIRTUAL else "interface"
+            target = None
+            if self.profile is not None:
+                receiver = self.profile.receivers.get(pc)
+                if receiver is not None:
+                    receiver_types = receiver.observed_types()
+                    megamorphic = receiver.is_megamorphic
+        invoke = n.InvokeNode(
+            kind,
+            cname,
+            mname,
+            args,
+            return_stamp,
+            target=target,
+            receiver_types=receiver_types,
+            megamorphic=megamorphic,
+            bci=pc,
+        )
+        emit(invoke)
+        return invoke if callee.returns_value() else None
+
+    def _elem_stamp(self, array, instr):
+        """Best-effort stamp for an array load."""
+        array_stamp = array.stamp
+        if (
+            array_stamp.kind == st.Stamp.REF
+            and array_stamp.type_name is not None
+            and array_stamp.type_name.endswith("[]")
+        ):
+            return st.stamp_for_declared_type(bt.elem_of(array_stamp.type_name))
+        if instr.args:
+            return st.stamp_for_declared_type(instr.args[0])
+        return st.ANY_STAMP
+
+    # ------------------------------------------------------------------
+    # Phi wiring and cleanup
+    # ------------------------------------------------------------------
+
+    def _wire_phis(self, edge_states):
+        num_locals = self.method.max_locals
+        for info in self.order:
+            block = info.block
+            if not block.phis:
+                continue
+            for pred_index, pred in enumerate(info.preds):
+                state = edge_states.get((pred.start, info.start))
+                if state is None:
+                    raise IRError("missing edge state for phi wiring")
+                locals_, stack = state
+                slots = locals_ + stack
+                if len(block.phis) > num_locals + len(stack):
+                    raise IRError("phi/slot mismatch")
+                for phi_index, phi in enumerate(block.phis):
+                    value = slots[phi_index] if phi_index < len(slots) else None
+                    phi.set_input(pred_index, value)
+
+    def _fix_phi_stamps(self):
+        """Iterate meet over phi stamps until they stabilize."""
+        program = self.program
+        for _ in range(10):
+            changed = False
+            for block in self.graph.blocks:
+                for phi in block.phis:
+                    old = phi.stamp
+                    phi.recompute_stamp(program)
+                    if phi.stamp != old:
+                        changed = True
+            if not changed:
+                return
+
+    def _remove_trivial_phis(self):
+        """Replace phis that merge a single distinct value (or only
+        themselves), and drop dead never-used phis for untouched slots."""
+        graph = self.graph
+        changed = True
+        while changed:
+            changed = False
+            for block in graph.blocks:
+                for phi in list(block.phis):
+                    distinct = {i for i in phi.inputs if i is not None and i is not phi}
+                    if len(distinct) == 1:
+                        replacement = distinct.pop()
+                        graph.replace_uses(phi, replacement)
+                        phi.clear_inputs()
+                        block.phis.remove(phi)
+                        changed = True
+                    elif not phi.uses:
+                        phi.clear_inputs()
+                        block.phis.remove(phi)
+                        changed = True
+
+
+def _is_backedge(pred, succ):
+    """Conservative backedge test on bytecode order."""
+    return pred.start >= succ.start

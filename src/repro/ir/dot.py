@@ -1,0 +1,112 @@
+"""Graphviz (dot) rendering of IR graphs and call trees.
+
+Graal users look at graphs in IGV; the closest lightweight equivalent
+is a dot dump. These functions produce self-contained ``digraph`` text
+(no graphviz dependency — callers run ``dot -Tsvg`` themselves).
+"""
+
+from repro.ir import nodes as n
+
+
+def _escape(text):
+    return str(text).replace('"', '\\"')
+
+
+def graph_to_dot(graph, include_frequency=True):
+    """Render an IR graph: one record per block, CFG edges between."""
+    lines = [
+        'digraph "%s" {' % _escape(graph.name),
+        "  node [shape=box, fontname=monospace, fontsize=9];",
+    ]
+    for block in graph.blocks:
+        rows = []
+        for phi in block.phis:
+            rows.append(
+                "v%d = Phi(%s)"
+                % (phi.id, ", ".join(
+                    "v%d" % i.id if i is not None else "_" for i in phi.inputs
+                ))
+            )
+        for node in block.instrs:
+            inputs = ", ".join("v%d" % i.id for i in node.inputs)
+            rows.append(
+                "v%d = %s(%s)" % (node.id, node.brief(), inputs)
+                if inputs
+                else "v%d = %s" % (node.id, node.brief())
+            )
+        term = block.terminator
+        if term is not None:
+            rows.append(term.brief())
+        label = "B%d" % block.id
+        if include_frequency:
+            label += " f=%.2f" % block.frequency
+        body = "\\l".join(_escape(r) for r in [label] + rows) + "\\l"
+        lines.append('  B%d [label="%s"];' % (block.id, body))
+    for block in graph.blocks:
+        term = block.terminator
+        if term is None:
+            continue
+        if isinstance(term, n.IfNode):
+            lines.append(
+                '  B%d -> B%d [label="T %.2f"];'
+                % (block.id, term.true_block.id, term.probability)
+            )
+            lines.append(
+                '  B%d -> B%d [label="F %.2f"];'
+                % (block.id, term.false_block.id, 1.0 - term.probability)
+            )
+        else:
+            for succ in term.successors():
+                lines.append("  B%d -> B%d;" % (block.id, succ.id))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_KIND_COLORS = {
+    "E": "palegreen",
+    "C": "khaki",
+    "P": "lightblue",
+    "G": "lightgray",
+    "D": "mistyrose",
+    "I": "white",
+}
+
+
+def calltree_to_dot(root):
+    """Render a partial call tree with the paper's E/C/P/G/D tags."""
+    lines = [
+        "digraph calltree {",
+        "  node [shape=box, style=filled, fontname=monospace, fontsize=9];",
+    ]
+    ids = {}
+
+    def visit(node):
+        index = ids.setdefault(id(node), len(ids))
+        if node.is_root:
+            label = "root %s" % (node.graph.name if node.graph else "?")
+            color = "white"
+        else:
+            name = (
+                node.method.qualified_name
+                if node.method is not None
+                else "%s.%s" % (
+                    node.invoke.declared_class if node.invoke else "?",
+                    node.invoke.method_name if node.invoke else "?",
+                )
+            )
+            label = "%s %s\\nf=%.2f |ir|=%d" % (
+                node.kind, name, node.frequency, node.ir_size()
+            )
+            color = _KIND_COLORS.get(node.kind, "white")
+        lines.append(
+            '  n%d [label="%s", fillcolor=%s];'
+            % (index, _escape(label), color)
+        )
+        for child in node.children:
+            child_index = visit(child)
+            lines.append("  n%d -> n%d;" % (index, child_index))
+        return index
+
+    visit(root)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Textual IR dumps for debugging and golden tests."""
+
+from repro.ir import nodes as n
+
+
+def _operand(node):
+    if node is None:
+        return "_"
+    return "v%d" % node.id
+
+
+def format_node(node):
+    inputs = ", ".join(_operand(i) for i in node.inputs)
+    label = node.brief()
+    if isinstance(node, n.IfNode):
+        return "If v%d ? B%d : B%d (p=%.3f)" % (
+            node.inputs[0].id,
+            node.true_block.id,
+            node.false_block.id,
+            node.probability,
+        )
+    if isinstance(node, n.GotoNode):
+        return "Goto B%d" % node.target.id
+    if isinstance(node, n.ReturnNode):
+        value = node.value()
+        return "Return" + ((" " + _operand(value)) if value is not None else "")
+    text = "v%d = %s" % (node.id, label)
+    if inputs:
+        text += "(%s)" % inputs
+    text += "  :: %s" % (node.stamp,)
+    return text
+
+
+def format_graph(graph, include_frequency=False):
+    """Render *graph* as readable text, one node per line."""
+    lines = ["graph %s" % graph.name]
+    if graph.params:
+        lines.append(
+            "  params: "
+            + ", ".join("v%d :: %s" % (p.id, p.stamp) for p in graph.params)
+        )
+    for block in graph.blocks:
+        preds = ", ".join("B%d" % p.id for p in block.preds)
+        header = "  B%d" % block.id
+        if preds:
+            header += "  <- " + preds
+        if include_frequency:
+            header += "  (f=%.2f)" % block.frequency
+        lines.append(header)
+        for phi in block.phis:
+            inputs = ", ".join(_operand(i) for i in phi.inputs)
+            lines.append(
+                "    v%d = Phi(%s)  :: %s" % (phi.id, inputs, phi.stamp)
+            )
+        for node in block.instrs:
+            lines.append("    " + format_node(node))
+        if block.terminator is not None:
+            lines.append("    " + format_node(block.terminator))
+    return "\n".join(lines)

@@ -1,0 +1,310 @@
+"""Stamps: the abstract-value lattice attached to every SSA node.
+
+A stamp describes what the compiler knows about a value. The lattice
+has three families:
+
+- **int stamps** — optionally a known constant;
+- **ref stamps** — an upper-bound type name, an *exact* bit (the value's
+  dynamic type is exactly that class, not a subclass), a *non-null* bit,
+  and an *is-null* bit (the constant null);
+- **void** — for instructions producing no value.
+
+Deep inlining trials (paper §IV) work by replacing a callee's parameter
+stamps with the *argument* stamps observed at a callsite and re-running
+canonicalization; the two refinement operations that matter are
+
+- :meth:`Stamp.meet` — least upper bound, used at phis, and
+- :meth:`Stamp.join` — greatest lower bound, used at type guards.
+
+``N_s(n)`` in Equation 4 counts arguments whose stamp is *strictly more
+precise* than the callee's declared parameter stamp, which is
+:func:`is_strictly_more_precise`.
+"""
+
+from repro.bytecode import types as bt
+
+
+class Stamp:
+    """An immutable abstract value description."""
+
+    __slots__ = ("kind", "const", "type_name", "exact", "non_null", "is_null")
+
+    INT = "int"
+    REF = "ref"
+    VOID = "void"
+    ANY = "any"  # top: a value of statically unknown kind (dead merges)
+    BOTTOM = "bottom"  # bottom: no value can have this stamp (dead paths)
+
+    def __init__(
+        self,
+        kind,
+        const=None,
+        type_name=None,
+        exact=False,
+        non_null=False,
+        is_null=False,
+    ):
+        self.kind = kind
+        self.const = const
+        self.type_name = type_name
+        self.exact = exact
+        self.non_null = non_null
+        self.is_null = is_null
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_constant(self):
+        return self.const is not None or self.is_null
+
+    def constant_value(self):
+        """The known constant (None represents the null reference)."""
+        if self.is_null:
+            return None
+        return self.const
+
+    def asserts_type(self, program, type_name):
+        """True if every value with this stamp is a *type_name* instance."""
+        if self.kind != Stamp.REF or self.type_name is None:
+            return False
+        return program.is_subtype(self.type_name, type_name)
+
+    def excludes_type(self, program, type_name):
+        """True if no non-null value with this stamp can be *type_name*.
+
+        Precise only for exact stamps; for inexact stamps we check that
+        neither type is a subtype of the other (no common instances
+        unless multiple interface inheritance conspires, which the
+        caller tolerates by treating this as a heuristic *only* when
+        ``exact`` is set — see canonicalization of type checks).
+        """
+        if self.kind != Stamp.REF or self.type_name is None:
+            return False
+        if self.exact:
+            return not program.is_subtype(self.type_name, type_name)
+        return False
+
+    # ------------------------------------------------------------------
+    # Lattice operations
+    # ------------------------------------------------------------------
+
+    def meet(self, other, program=None):
+        """Least upper bound: what is known about "either value"."""
+        if self is other:
+            return self
+        if self.kind == Stamp.BOTTOM:
+            return other
+        if other.kind == Stamp.BOTTOM:
+            return self
+        if self.kind == Stamp.ANY or other.kind == Stamp.ANY:
+            return ANY_STAMP
+        if self.kind != other.kind:
+            return ANY_STAMP
+        if self.kind == Stamp.INT:
+            if self.const is not None and self.const == other.const:
+                return self
+            return INT_STAMP
+        if self.kind == Stamp.VOID:
+            return self
+        # Reference meet.
+        if self.is_null and other.is_null:
+            return NULL_STAMP
+        type_name = _common_supertype(
+            self.type_name, other.type_name, program,
+            self.is_null, other.is_null,
+        )
+        return Stamp(
+            Stamp.REF,
+            type_name=type_name,
+            exact=(
+                self.exact
+                and other.exact
+                and self.type_name == other.type_name
+                and not self.is_null
+                and not other.is_null
+            ),
+            non_null=self.non_null and other.non_null,
+            is_null=False,
+        )
+
+    def join(self, other, program=None):
+        """Greatest lower bound: combine two facts about the same value.
+
+        Used when a guard adds information (e.g. after a successful
+        exact-type check). On conflicting facts returns BOTTOM, which
+        marks the path dead.
+        """
+        if self is other:
+            return self
+        if self.kind == Stamp.BOTTOM or other.kind == Stamp.BOTTOM:
+            return BOTTOM_STAMP
+        if self.kind == Stamp.ANY:
+            return other
+        if other.kind == Stamp.ANY:
+            return self
+        if self.kind != other.kind:
+            return BOTTOM_STAMP
+        if self.kind == Stamp.INT:
+            if self.const is None:
+                return other
+            if other.const is None or other.const == self.const:
+                return self
+            return BOTTOM_STAMP
+        if self.kind == Stamp.VOID:
+            return self
+        if self.is_null or other.is_null:
+            if self.non_null or other.non_null:
+                return BOTTOM_STAMP
+            return NULL_STAMP
+        if self.exact and other.exact and self.type_name != other.type_name:
+            return BOTTOM_STAMP
+        # Prefer the more specific type bound.
+        type_name = self.type_name
+        exact = self.exact
+        if other.exact:
+            type_name, exact = other.type_name, True
+        elif type_name is None:
+            type_name = other.type_name
+        elif other.type_name is not None and program is not None:
+            if program.is_subtype(other.type_name, type_name):
+                type_name = other.type_name
+        return Stamp(
+            Stamp.REF,
+            type_name=type_name,
+            exact=exact,
+            non_null=self.non_null or other.non_null,
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def _key(self):
+        return (
+            self.kind,
+            self.const,
+            self.type_name,
+            self.exact,
+            self.non_null,
+            self.is_null,
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, Stamp) and self._key() == other._key()
+
+    def __hash__(self):
+        return hash(self._key())
+
+    def __repr__(self):
+        if self.kind == Stamp.INT:
+            if self.const is not None:
+                return "i[%d]" % self.const
+            return "i"
+        if self.kind == Stamp.VOID:
+            return "void"
+        if self.kind == Stamp.BOTTOM:
+            return "bottom"
+        if self.kind == Stamp.ANY:
+            return "any"
+        if self.is_null:
+            return "null"
+        bits = []
+        if self.exact:
+            bits.append("!")
+        name = self.type_name or "Object"
+        suffix = "+" if self.non_null else ""
+        return "a[%s%s]%s" % ("".join(bits), name, suffix)
+
+
+def _common_supertype(a, b, program, a_null, b_null):
+    """Least common named supertype of two (possibly null) ref bounds."""
+    if a_null:
+        return b
+    if b_null:
+        return a
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    if program is None:
+        return bt.OBJECT
+    if program.is_subtype(a, b):
+        return b
+    if program.is_subtype(b, a):
+        return a
+    if a.endswith("[]") or b.endswith("[]"):
+        return bt.OBJECT
+    # Walk a's superclass chain for the first class that covers b.
+    for klass in program.superclass_chain(a):
+        if program.is_subtype(b, klass.name):
+            return klass.name
+    return bt.OBJECT
+
+
+#: Shared singletons for the common stamps.
+INT_STAMP = Stamp(Stamp.INT)
+VOID_STAMP = Stamp(Stamp.VOID)
+NULL_STAMP = Stamp(Stamp.REF, is_null=True)
+BOTTOM_STAMP = Stamp(Stamp.BOTTOM)
+ANY_STAMP = Stamp(Stamp.ANY)
+OBJECT_STAMP = Stamp(Stamp.REF, type_name=bt.OBJECT)
+
+
+def int_stamp():
+    return INT_STAMP
+
+
+def constant_int(value):
+    return Stamp(Stamp.INT, const=value)
+
+
+def ref_stamp(type_name, exact=False, non_null=False):
+    return Stamp(Stamp.REF, type_name=type_name, exact=exact, non_null=non_null)
+
+
+def null_stamp():
+    return NULL_STAMP
+
+
+def void_stamp():
+    return VOID_STAMP
+
+
+def stamp_for_declared_type(type_name):
+    """The stamp corresponding to a declared source-level type."""
+    if type_name == bt.INT:
+        return INT_STAMP
+    if type_name == bt.VOID:
+        return VOID_STAMP
+    return ref_stamp(type_name)
+
+
+def is_strictly_more_precise(arg_stamp, param_stamp, program):
+    """True if *arg_stamp* carries strictly more information.
+
+    This is the per-argument test behind N_s(n) in Equation 4: a callsite
+    whose arguments are more concrete than the callee's declared
+    parameters promises specialization opportunities.
+    """
+    if arg_stamp == param_stamp:
+        return False
+    if arg_stamp.kind == Stamp.INT and param_stamp.kind == Stamp.INT:
+        return arg_stamp.const is not None and param_stamp.const is None
+    if arg_stamp.kind != Stamp.REF or param_stamp.kind != Stamp.REF:
+        return False
+    if arg_stamp.is_null:
+        return True
+    if arg_stamp.exact and not param_stamp.exact:
+        return True
+    if arg_stamp.non_null and not param_stamp.non_null:
+        return True
+    if arg_stamp.type_name is None:
+        return False
+    if param_stamp.type_name is None:
+        return True
+    return (
+        arg_stamp.type_name != param_stamp.type_name
+        and program.is_subtype(arg_stamp.type_name, param_stamp.type_name)
+    )

@@ -1,0 +1,22 @@
+"""The tiered virtual machine: interpret, profile, compile, execute.
+
+This package realizes the paper's *online inlining problem* setting
+(§II): methods execute in the profiling interpreter until hot, at which
+point a compilation request is issued; the compiler — with whichever
+inlining policy is installed — sees only the method it was asked to
+compile plus profiles, never the future request stream.
+"""
+
+from repro.jit.config import JitConfig
+from repro.jit.codecache import CodeCache
+from repro.jit.compiler import JitCompiler, CompileContext
+from repro.jit.engine import Engine, IterationResult
+
+__all__ = [
+    "JitConfig",
+    "CodeCache",
+    "JitCompiler",
+    "CompileContext",
+    "Engine",
+    "IterationResult",
+]

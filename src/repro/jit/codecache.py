@@ -1,0 +1,39 @@
+"""Installed-code bookkeeping.
+
+Tracks compiled machine code per method and the total installed size —
+the quantity the paper reports in Figure 10 and Table I, and the input
+to the instruction-cache pressure model.
+"""
+
+
+class CodeCache:
+    """Mapping from methods to installed machine code."""
+
+    def __init__(self):
+        self._code = {}
+        self.total_size = 0
+        self.install_count = 0
+
+    def get(self, method):
+        return self._code.get(method)
+
+    def __contains__(self, method):
+        return method in self._code
+
+    def install(self, method, code):
+        previous = self._code.get(method)
+        if previous is not None:
+            self.total_size -= previous.size
+        self._code[method] = code
+        self.total_size += code.size
+        self.install_count += 1
+
+    def installed_methods(self):
+        return list(self._code)
+
+    def size_of(self, method):
+        code = self._code.get(method)
+        return code.size if code is not None else 0
+
+    def __len__(self):
+        return len(self._code)

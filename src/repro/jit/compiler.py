@@ -1,0 +1,111 @@
+"""The JIT compiler driver: front end → inliner → optimizer → backend.
+
+The inlining policy is pluggable: anything with a
+``run(graph, context) -> InlineReport`` method works. The paper's
+algorithm lives in :mod:`repro.core`; the comparison baselines in
+:mod:`repro.baselines`. ``context`` is a :class:`CompileContext` giving
+the policy exactly what an online inliner is allowed to see: the program
+(for resolution), profiles, graph building for callees, and the
+optimizer (for inlining trials).
+"""
+
+from repro.backend.lowering import lower_graph
+from repro.errors import CompileError
+from repro.ir.builder import build_graph
+from repro.ir.frequency import annotate_frequencies
+from repro.opts.pipeline import OptimizationPipeline
+
+
+class CompileContext:
+    """Everything an inlining policy may consult during a compilation."""
+
+    def __init__(self, program, profiles, pipeline, cost_model):
+        self.program = program
+        self.profiles = profiles
+        self.pipeline = pipeline
+        self.cost_model = cost_model
+
+    def build_callee_graph(self, method, caller=None):
+        """A fresh profiled graph for *method* (one per call-tree node,
+        so each copy can be specialized independently).
+
+        When the profile store runs in context-sensitive mode and a
+        *caller* is given, branch probabilities and receiver histograms
+        come from the profile observed *from that caller* (falling back
+        to the aggregate) — the §VI extension the paper left to future
+        work.
+        """
+        profiles = self.profiles
+        if (
+            profiles is not None
+            and caller is not None
+            and getattr(profiles, "context_sensitive", False)
+        ):
+            profiles = profiles.view_for_caller(caller)
+        graph = build_graph(method, self.program, profiles)
+        annotate_frequencies(graph)
+        return graph
+
+    def can_build(self, method):
+        return not (method.is_abstract or method.is_native)
+
+
+class CompilationRecord:
+    """Outcome of one compilation, kept for evaluation reporting."""
+
+    __slots__ = (
+        "method",
+        "code",
+        "graph_nodes",
+        "inline_report",
+        "compile_cycles",
+    )
+
+    def __init__(self, method, code, graph_nodes, inline_report, compile_cycles):
+        self.method = method
+        self.code = code
+        self.graph_nodes = graph_nodes
+        self.inline_report = inline_report
+        self.compile_cycles = compile_cycles
+
+
+class JitCompiler:
+    """Compiles single methods with a configurable inlining policy."""
+
+    def __init__(self, program, profiles, config, inliner=None):
+        self.program = program
+        self.profiles = profiles
+        self.config = config
+        self.inliner = inliner
+        self.pipeline = OptimizationPipeline(program, config.optimizer)
+        self.context = CompileContext(
+            program, profiles, self.pipeline, config.cost_model
+        )
+        self.records = []
+
+    def compile(self, method):
+        """Compile *method*; returns a :class:`CompilationRecord`."""
+        if method.is_abstract or method.is_native:
+            raise CompileError("cannot compile %s" % method.qualified_name)
+        graph = build_graph(method, self.program, self.profiles)
+        annotate_frequencies(graph)
+        self.pipeline.run(graph, peel=False, rwe=False)
+        inline_report = None
+        if self.inliner is not None:
+            inline_report = self.inliner.run(graph, self.context)
+            annotate_frequencies(graph)
+        self.pipeline.run(graph)
+        work_units = graph.node_count()
+        code = lower_graph(graph, self.config.cost_model)
+        compile_cycles = self.config.cost_model.compile_cost(
+            work_units, passes=self.config.optimizer.max_iterations
+        )
+        if inline_report is not None:
+            compile_cycles += self.config.cost_model.compile_cost(
+                inline_report.explored_nodes
+            )
+        record = CompilationRecord(
+            method, code, work_units, inline_report, compile_cycles
+        )
+        self.records.append(record)
+        return record

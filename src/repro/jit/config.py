@@ -1,0 +1,42 @@
+"""VM-level configuration."""
+
+from repro.backend.costmodel import CostModel
+from repro.backend.icache import ICacheModel
+from repro.opts.pipeline import OptimizerConfig
+
+
+class JitConfig:
+    """Configuration for one VM instance.
+
+    Attributes:
+        hot_threshold: profile hotness (invocations + backedge/8) at
+            which a method is compiled.
+        compile_enabled: False gives a pure-interpreter VM (the C1-less
+            baseline used in code-size comparisons).
+        cost_model: the :class:`~repro.backend.costmodel.CostModel`.
+        icache: the :class:`~repro.backend.icache.ICacheModel`.
+        optimizer: the :class:`~repro.opts.pipeline.OptimizerConfig`.
+        max_compiled_methods: safety valve for runaway configurations.
+        context_sensitive_profiles: record one-level-context receiver
+            and branch profiles alongside the aggregates (the §VI
+            extension); the inliner then specializes call-tree nodes
+            with caller-specific profiles.
+    """
+
+    def __init__(
+        self,
+        hot_threshold=40,
+        compile_enabled=True,
+        cost_model=None,
+        icache=None,
+        optimizer=None,
+        max_compiled_methods=2000,
+        context_sensitive_profiles=False,
+    ):
+        self.hot_threshold = hot_threshold
+        self.compile_enabled = compile_enabled
+        self.cost_model = cost_model or CostModel()
+        self.icache = icache or ICacheModel()
+        self.optimizer = optimizer or OptimizerConfig()
+        self.max_compiled_methods = max_compiled_methods
+        self.context_sensitive_profiles = context_sensitive_profiles

@@ -1,0 +1,161 @@
+"""The tiered execution engine.
+
+One :class:`Engine` is one "VM instance" in the paper's measurement
+protocol: fresh statics, empty profiles, empty code cache. Methods
+start in the profiling interpreter; when their hotness crosses the
+threshold, a compilation request is served (synchronously — our stand-in
+for the compile queue) and subsequent calls run compiled code.
+
+Cycle accounting:
+
+- interpreted bytecodes × ``INTERPRETED_OP``,
+- compiled-block cycles accumulated by the machine executor,
+- instruction-cache entry penalties,
+- compilation cycles, charged to the iteration that compiled
+  (modelling the compiler stealing cycles from the application as a
+  single-threaded JIT does; this is what the warmup figure shows).
+"""
+
+from repro.backend.machine import MachineExecutor
+from repro.errors import CompileError
+from repro.interp.interpreter import Interpreter
+from repro.interp.profiles import ProfileStore
+from repro.jit.codecache import CodeCache
+from repro.jit.config import JitConfig
+from repro.runtime.vmstate import VMState
+
+
+class IterationResult:
+    """Cycle breakdown for one benchmark iteration."""
+
+    __slots__ = (
+        "value",
+        "total_cycles",
+        "interpreted_cycles",
+        "compiled_cycles",
+        "compile_cycles",
+        "icache_cycles",
+        "compilations",
+        "installed_size",
+    )
+
+    def __init__(self, **kw):
+        for name in self.__slots__:
+            setattr(self, name, kw.get(name, 0))
+
+    def __repr__(self):
+        return (
+            "<Iteration total=%d interp=%d compiled=%d jit=%d icache=%d>"
+            % (
+                self.total_cycles,
+                self.interpreted_cycles,
+                self.compiled_cycles,
+                self.compile_cycles,
+                self.icache_cycles,
+            )
+        )
+
+
+class Engine:
+    """A tiered VM instance."""
+
+    def __init__(self, program, config=None, inliner=None, seed=0x5EED):
+        self.program = program
+        self.config = config or JitConfig()
+        self.vm = VMState(program, seed=seed)
+        self.profiles = ProfileStore(
+            context_sensitive=self.config.context_sensitive_profiles
+        )
+        self.interpreter = Interpreter(
+            self.vm, profiles=self.profiles, dispatch=self._dispatch
+        )
+        self.code_cache = CodeCache()
+        from repro.jit.compiler import JitCompiler
+
+        self.compiler = JitCompiler(program, self.profiles, self.config, inliner)
+        self.executor = MachineExecutor(self.vm, self._dispatch, self)
+        self.compiled_cycles = 0
+        self.compile_cycles = 0
+        self.icache_cycles = 0
+        self.compilation_count = 0
+        self._compile_failed = set()
+        self._dispatch_depth = 0
+
+    # ------------------------------------------------------------------
+    # Cycle sink interface (used by the machine executor)
+    # ------------------------------------------------------------------
+
+    def add_compiled_cycles(self, cycles):
+        self.compiled_cycles += cycles
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, method, args):
+        code = self.code_cache.get(method)
+        if code is None and self._should_compile(method):
+            code = self._compile(method)
+        if code is not None:
+            penalty = self.config.icache.entry_penalty(self.code_cache.total_size)
+            if penalty:
+                self.icache_cycles += penalty
+            return self.executor.execute(code, args)
+        return self.interpreter.execute(method, args)
+
+    def _should_compile(self, method):
+        config = self.config
+        if not config.compile_enabled:
+            return False
+        if method.is_native or method.is_abstract:
+            return False
+        if method in self._compile_failed:
+            return False
+        if len(self.code_cache) >= config.max_compiled_methods:
+            return False
+        return self.profiles.hotness(method) >= config.hot_threshold
+
+    def _compile(self, method):
+        try:
+            record = self.compiler.compile(method)
+        except CompileError:
+            self._compile_failed.add(method)
+            return None
+        self.code_cache.install(method, record.code)
+        self.compile_cycles += record.compile_cycles
+        self.compilation_count += 1
+        return record.code
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def call(self, class_name, method_name, args=()):
+        method = self.program.lookup_method(class_name, method_name)
+        return self._dispatch(method, list(args))
+
+    def run_iteration(self, class_name, method_name="run", args=()):
+        """Run one benchmark iteration and return its cycle breakdown."""
+        interp_before = self.interpreter.ops_executed
+        compiled_before = self.compiled_cycles
+        compile_before = self.compile_cycles
+        icache_before = self.icache_cycles
+        compilations_before = self.compilation_count
+
+        value = self.call(class_name, method_name, args)
+
+        interp_ops = self.interpreter.ops_executed - interp_before
+        interpreted = interp_ops * self.config.cost_model.INTERPRETED_OP
+        compiled = self.compiled_cycles - compiled_before
+        compile_time = self.compile_cycles - compile_before
+        icache = self.icache_cycles - icache_before
+        return IterationResult(
+            value=value,
+            interpreted_cycles=interpreted,
+            compiled_cycles=compiled,
+            compile_cycles=compile_time,
+            icache_cycles=icache,
+            total_cycles=interpreted + compiled + compile_time + icache,
+            compilations=self.compilation_count - compilations_before,
+            installed_size=self.code_cache.total_size,
+        )

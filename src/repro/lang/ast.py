@@ -1,0 +1,337 @@
+"""AST node definitions for minij.
+
+Plain data classes; the resolver annotates them in place (``.type`` on
+expressions, symbol links on names) and the code generator walks them.
+Every node carries ``line``/``column`` for diagnostics.
+"""
+
+
+class Node:
+    __slots__ = ("line", "column")
+
+    def __init__(self, line=0, column=0):
+        self.line = line
+        self.column = column
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+class Module(Node):
+    """A compilation unit: a list of class/trait/object declarations."""
+
+    __slots__ = ("decls",)
+
+    def __init__(self, decls):
+        super().__init__()
+        self.decls = decls
+
+
+class ClassDecl(Node):
+    """``class``/``trait``/``object`` declaration."""
+
+    __slots__ = ("kind", "name", "superclass", "interfaces", "fields", "methods")
+
+    def __init__(self, kind, name, superclass, interfaces, fields, methods, **pos):
+        super().__init__(**pos)
+        self.kind = kind  # "class" | "trait" | "object"
+        self.name = name
+        self.superclass = superclass
+        self.interfaces = interfaces
+        self.fields = fields
+        self.methods = methods
+
+
+class FieldDecl(Node):
+    __slots__ = ("name", "type", "is_static")
+
+    def __init__(self, name, type, is_static, **pos):
+        super().__init__(**pos)
+        self.name = name
+        self.type = type
+        self.is_static = is_static
+
+
+class MethodDecl(Node):
+    __slots__ = (
+        "name",
+        "params",
+        "return_type",
+        "body",
+        "is_static",
+        "is_abstract",
+        "annotations",
+        "owner",
+    )
+
+    def __init__(
+        self, name, params, return_type, body, is_static, annotations=(), **pos
+    ):
+        super().__init__(**pos)
+        self.name = name
+        self.params = params  # list of (name, type)
+        self.return_type = return_type
+        self.body = body  # BlockStmt or None (abstract)
+        self.is_static = is_static
+        self.is_abstract = body is None
+        self.annotations = list(annotations)
+        self.owner = None  # ClassDecl, set by the resolver
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class BlockStmt(Node):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts, **pos):
+        super().__init__(**pos)
+        self.stmts = stmts
+
+
+class VarStmt(Node):
+    __slots__ = ("name", "type", "init", "slot")
+
+    def __init__(self, name, type, init, **pos):
+        super().__init__(**pos)
+        self.name = name
+        self.type = type
+        self.init = init
+        self.slot = None
+
+
+class AssignStmt(Node):
+    """``target = value`` where target is a name, field or index expr."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target, value, **pos):
+        super().__init__(**pos)
+        self.target = target
+        self.value = value
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, **pos):
+        super().__init__(**pos)
+        self.expr = expr
+
+
+class IfStmt(Node):
+    __slots__ = ("condition", "then_body", "else_body")
+
+    def __init__(self, condition, then_body, else_body, **pos):
+        super().__init__(**pos)
+        self.condition = condition
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class WhileStmt(Node):
+    __slots__ = ("condition", "body")
+
+    def __init__(self, condition, body, **pos):
+        super().__init__(**pos)
+        self.condition = condition
+        self.body = body
+
+
+class ReturnStmt(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, **pos):
+        super().__init__(**pos)
+        self.value = value
+
+
+# ---------------------------------------------------------------------------
+# Expressions (resolver sets ``.type`` on each)
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ("type",)
+
+    def __init__(self, **pos):
+        super().__init__(**pos)
+        self.type = None
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, **pos):
+        super().__init__(**pos)
+        self.value = value
+
+
+class BoolLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, **pos):
+        super().__init__(**pos)
+        self.value = value
+
+
+class NullLit(Expr):
+    __slots__ = ()
+
+
+class ThisExpr(Expr):
+    __slots__ = ()
+
+
+class NameExpr(Expr):
+    """An identifier: local, parameter, field of ``this``, or class name
+    (in static-call position); resolution recorded in ``binding``."""
+
+    __slots__ = ("name", "binding", "slot")
+
+    def __init__(self, name, **pos):
+        super().__init__(**pos)
+        self.name = name
+        self.binding = None  # "local" | "field" | "static-field" | "class" | "capture"
+        self.slot = None
+
+
+class FieldExpr(Expr):
+    """``target.name`` — field read (or ``.length`` on arrays, or a
+    static field when target names a class)."""
+
+    __slots__ = ("target", "name", "binding", "owner")
+
+    def __init__(self, target, name, **pos):
+        super().__init__(**pos)
+        self.target = target
+        self.name = name
+        self.binding = None  # "field" | "static-field" | "arraylen"
+        self.owner = None
+
+
+class IndexExpr(Expr):
+    __slots__ = ("target", "index")
+
+    def __init__(self, target, index, **pos):
+        super().__init__(**pos)
+        self.target = target
+        self.index = index
+
+
+class CallExpr(Expr):
+    """``target.name(args)`` / ``name(args)`` / ``super.name(args)``.
+
+    Resolution (set by the resolver):
+        dispatch: "virtual" | "interface" | "static" | "special" |
+            "builtin"
+        owner: class name carrying the method.
+    """
+
+    __slots__ = ("target", "name", "args", "dispatch", "owner")
+
+    def __init__(self, target, name, args, **pos):
+        super().__init__(**pos)
+        self.target = target  # Expr, or None for bare calls
+        self.name = name
+        self.args = args
+        self.dispatch = None
+        self.owner = None
+
+
+class SuperExpr(Expr):
+    """Only valid as the target of a call."""
+
+    __slots__ = ()
+
+
+class NewExpr(Expr):
+    __slots__ = ("class_name", "args", "has_ctor")
+
+    def __init__(self, class_name, args, **pos):
+        super().__init__(**pos)
+        self.class_name = class_name
+        self.args = args
+        self.has_ctor = False
+
+
+class NewArrayExpr(Expr):
+    __slots__ = ("elem_type", "length")
+
+    def __init__(self, elem_type, length, **pos):
+        super().__init__(**pos)
+        self.elem_type = elem_type
+        self.length = length
+
+
+class UnaryExpr(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, **pos):
+        super().__init__(**pos)
+        self.op = op
+        self.operand = operand
+
+
+class BinaryExpr(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right, **pos):
+        super().__init__(**pos)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class IsExpr(Expr):
+    __slots__ = ("operand", "type_name")
+
+    def __init__(self, operand, type_name, **pos):
+        super().__init__(**pos)
+        self.operand = operand
+        self.type_name = type_name
+
+
+class AsExpr(Expr):
+    __slots__ = ("operand", "type_name")
+
+    def __init__(self, operand, type_name, **pos):
+        super().__init__(**pos)
+        self.operand = operand
+        self.type_name = type_name
+
+
+class LambdaExpr(Expr):
+    """``fun (params): ret => expr`` or ``fun (params): ret { body }``.
+
+    The resolver fills ``interface`` (the stdlib function trait it
+    implements), ``captures`` (outer locals read inside, in a stable
+    order) and ``captures_this``; the code generator then emits the
+    anonymous class.
+    """
+
+    __slots__ = (
+        "params",
+        "return_type",
+        "body",
+        "interface",
+        "captures",
+        "captures_this",
+        "class_name",
+        "_owner_class",
+    )
+
+    def __init__(self, params, return_type, body, **pos):
+        super().__init__(**pos)
+        self.params = params
+        self.return_type = return_type
+        self.body = body
+        self.interface = None
+        self.captures = []
+        self.captures_this = False
+        self.class_name = None
+        self._owner_class = "Object"  # set at the creation site

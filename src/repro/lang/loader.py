@@ -1,0 +1,32 @@
+"""Front-end driver: source text → verified bytecode program."""
+
+from repro.bytecode.program import Program
+from repro.bytecode.verifier import verify_program
+from repro.lang.codegen import CodeGen
+from repro.lang.parser import parse_module
+from repro.lang.resolver import Resolver
+from repro.lang.stdlib import STDLIB_SOURCE
+from repro.runtime.intrinsics import install_builtins
+
+
+def compile_source(source, include_stdlib=True, verify=True):
+    """Compile minij *source* (plus the stdlib) into a
+    :class:`~repro.bytecode.program.Program`."""
+    modules = []
+    if include_stdlib:
+        modules.append(parse_module(STDLIB_SOURCE))
+    modules.append(parse_module(source))
+    resolver = Resolver(modules)
+    table = resolver.run()
+    program = Program()
+    install_builtins(program)
+    CodeGen(table, resolver.lambdas, program).run()
+    if verify:
+        verify_program(program)
+    return program
+
+
+def load_program(source, **kwargs):
+    """Alias of :func:`compile_source` (reads better at call sites that
+    load benchmark programs)."""
+    return compile_source(source, **kwargs)

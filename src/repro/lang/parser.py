@@ -1,0 +1,366 @@
+"""Recursive-descent parser for minij."""
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.lexer import EOF, tokenize
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+
+def parse_module(source):
+    """Parse a compilation unit into an :class:`~repro.lang.ast.Module`."""
+    return _Parser(tokenize(source)).parse_module()
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def current(self):
+        return self.tokens[self.index]
+
+    def _at(self, kind):
+        return self.current.kind == kind
+
+    def _accept(self, kind):
+        if self._at(kind):
+            token = self.current
+            self.index += 1
+            return token
+        return None
+
+    def _expect(self, kind):
+        token = self._accept(kind)
+        if token is None:
+            raise ParseError(
+                "expected %r, found %r" % (kind, self.current.value),
+                self.current.line,
+                self.current.column,
+            )
+        return token
+
+    def _pos(self):
+        return {"line": self.current.line, "column": self.current.column}
+
+    # -- declarations ---------------------------------------------------------
+
+    def parse_module(self):
+        decls = []
+        while not self._at(EOF):
+            decls.append(self._class_decl())
+        return ast.Module(decls)
+
+    def _class_decl(self):
+        pos = self._pos()
+        if self._accept("class"):
+            kind = "class"
+        elif self._accept("trait"):
+            kind = "trait"
+        elif self._accept("object"):
+            kind = "object"
+        else:
+            raise ParseError(
+                "expected class, trait or object, found %r" % self.current.value,
+                self.current.line,
+                self.current.column,
+            )
+        name = self._expect("ident").value
+        superclass = None
+        interfaces = []
+        if self._accept("extends"):
+            superclass = self._expect("ident").value
+        if self._accept("implements"):
+            interfaces.append(self._expect("ident").value)
+            while self._accept(","):
+                interfaces.append(self._expect("ident").value)
+        self._expect("{")
+        fields = []
+        methods = []
+        while not self._accept("}"):
+            annotations = []
+            while self._accept("@"):
+                annotations.append(self._expect("ident").value)
+            is_static = bool(self._accept("static"))
+            if self._at("var"):
+                if annotations:
+                    raise ParseError(
+                        "annotations are only valid on methods",
+                        self.current.line,
+                        self.current.column,
+                    )
+                fields.append(self._field_decl(is_static or kind == "object"))
+            elif self._at("def"):
+                methods.append(
+                    self._method_decl(is_static or kind == "object", annotations)
+                )
+            else:
+                raise ParseError(
+                    "expected member, found %r" % self.current.value,
+                    self.current.line,
+                    self.current.column,
+                )
+        return ast.ClassDecl(kind, name, superclass, interfaces, fields, methods, **pos)
+
+    def _field_decl(self, is_static):
+        pos = self._pos()
+        self._expect("var")
+        name = self._expect("ident").value
+        self._expect(":")
+        type_name = self._type()
+        self._expect(";")
+        return ast.FieldDecl(name, type_name, is_static, **pos)
+
+    def _method_decl(self, is_static, annotations):
+        pos = self._pos()
+        self._expect("def")
+        name = self._expect("ident").value
+        self._expect("(")
+        params = []
+        if not self._at(")"):
+            params.append(self._param())
+            while self._accept(","):
+                params.append(self._param())
+        self._expect(")")
+        self._expect(":")
+        return_type = self._type()
+        body = None
+        if self._at("{"):
+            body = self._block()
+        else:
+            self._expect(";")
+        return ast.MethodDecl(
+            name, params, return_type, body, is_static, annotations, **pos
+        )
+
+    def _param(self):
+        name = self._expect("ident").value
+        self._expect(":")
+        return (name, self._type())
+
+    def _type(self):
+        if self._accept("int"):
+            base = "int"
+        elif self._accept("bool"):
+            base = "bool"
+        elif self._accept("void"):
+            return "void"
+        else:
+            base = self._expect("ident").value
+        while self._at("[") and self.tokens[self.index + 1].kind == "]":
+            self._expect("[")
+            self._expect("]")
+            base += "[]"
+        return base
+
+    # -- statements --------------------------------------------------------------
+
+    def _block(self):
+        pos = self._pos()
+        self._expect("{")
+        stmts = []
+        while not self._accept("}"):
+            stmts.append(self._statement())
+        return ast.BlockStmt(stmts, **pos)
+
+    def _statement(self):
+        pos = self._pos()
+        if self._at("{"):
+            return self._block()
+        if self._accept("var"):
+            name = self._expect("ident").value
+            self._expect(":")
+            type_name = self._type()
+            init = None
+            if self._accept("="):
+                init = self._expression()
+            self._expect(";")
+            return ast.VarStmt(name, type_name, init, **pos)
+        if self._accept("if"):
+            self._expect("(")
+            condition = self._expression()
+            self._expect(")")
+            then_body = self._statement()
+            else_body = None
+            if self._accept("else"):
+                else_body = self._statement()
+            return ast.IfStmt(condition, then_body, else_body, **pos)
+        if self._accept("while"):
+            self._expect("(")
+            condition = self._expression()
+            self._expect(")")
+            return ast.WhileStmt(condition, self._statement(), **pos)
+        if self._accept("return"):
+            value = None
+            if not self._at(";"):
+                value = self._expression()
+            self._expect(";")
+            return ast.ReturnStmt(value, **pos)
+        expr = self._expression()
+        if self._accept("="):
+            value = self._expression()
+            self._expect(";")
+            if not isinstance(expr, (ast.NameExpr, ast.FieldExpr, ast.IndexExpr)):
+                raise ParseError(
+                    "invalid assignment target", pos["line"], pos["column"]
+                )
+            return ast.AssignStmt(expr, value, **pos)
+        self._expect(";")
+        return ast.ExprStmt(expr, **pos)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expression(self):
+        return self._binary(0)
+
+    def _binary(self, min_precedence):
+        left = self._unary()
+        while True:
+            op = self.current.kind
+            precedence = _PRECEDENCE.get(op)
+            if precedence is None or precedence < min_precedence:
+                # `is` / `as` bind loosest of all postfix-ish forms.
+                if min_precedence == 0 and op in ("is", "as"):
+                    pos = self._pos()
+                    self.index += 1
+                    type_name = self._type()
+                    node_type = ast.IsExpr if op == "is" else ast.AsExpr
+                    left = node_type(left, type_name, **pos)
+                    continue
+                return left
+            pos = self._pos()
+            self.index += 1
+            right = self._binary(precedence + 1)
+            left = ast.BinaryExpr(op, left, right, **pos)
+
+    def _unary(self):
+        pos = self._pos()
+        if self._accept("-"):
+            return ast.UnaryExpr("-", self._unary(), **pos)
+        if self._accept("!"):
+            return ast.UnaryExpr("!", self._unary(), **pos)
+        return self._postfix()
+
+    def _postfix(self):
+        expr = self._primary()
+        while True:
+            pos = self._pos()
+            if self._accept("."):
+                name = self._expect("ident").value
+                if self._at("("):
+                    args = self._arguments()
+                    expr = ast.CallExpr(expr, name, args, **pos)
+                else:
+                    expr = ast.FieldExpr(expr, name, **pos)
+            elif self._at("["):
+                self._expect("[")
+                index = self._expression()
+                self._expect("]")
+                expr = ast.IndexExpr(expr, index, **pos)
+            else:
+                return expr
+
+    def _arguments(self):
+        self._expect("(")
+        args = []
+        if not self._at(")"):
+            args.append(self._expression())
+            while self._accept(","):
+                args.append(self._expression())
+        self._expect(")")
+        return args
+
+    def _primary(self):
+        pos = self._pos()
+        token = self.current
+        if self._at("("):
+            self._expect("(")
+            expr = self._expression()
+            self._expect(")")
+            return expr
+        if token.kind == "num":
+            self.index += 1
+            return ast.IntLit(token.value, **pos)
+        if self._accept("true"):
+            return ast.BoolLit(True, **pos)
+        if self._accept("false"):
+            return ast.BoolLit(False, **pos)
+        if self._accept("null"):
+            return ast.NullLit(**pos)
+        if self._accept("this"):
+            return ast.ThisExpr(**pos)
+        if self._accept("super"):
+            self._expect(".")
+            name = self._expect("ident").value
+            args = self._arguments()
+            call = ast.CallExpr(ast.SuperExpr(**pos), name, args, **pos)
+            return call
+        if self._accept("new"):
+            if self._at("int") or self._at("bool"):
+                elem = "int"
+                self.index += 1
+            else:
+                elem = self._expect("ident").value
+            if self._accept("["):
+                # new T[len] (possibly of array-of-array type T[][]).
+                length = self._expression()
+                self._expect("]")
+                while self._at("[") and self.tokens[self.index + 1].kind == "]":
+                    self._expect("[")
+                    self._expect("]")
+                    elem += "[]"
+                return ast.NewArrayExpr(elem, length, **pos)
+            args = self._arguments() if self._at("(") else []
+            node = ast.NewExpr(elem, args, **pos)
+            node.has_ctor = bool(args) or True  # resolver decides
+            return node
+        if self._accept("fun"):
+            self._expect("(")
+            params = []
+            if not self._at(")"):
+                params.append(self._param())
+                while self._accept(","):
+                    params.append(self._param())
+            self._expect(")")
+            self._expect(":")
+            return_type = self._type()
+            if self._accept("=>"):
+                body = ast.ReturnStmt(self._expression(), **pos)
+                if return_type == "void":
+                    body = ast.ExprStmt(body.value, **pos)
+                body = ast.BlockStmt([body], **pos)
+            else:
+                body = self._block()
+            return ast.LambdaExpr(params, return_type, body, **pos)
+        if token.kind == "ident":
+            self.index += 1
+            if self._at("("):
+                args = self._arguments()
+                return ast.CallExpr(None, token.value, args, **pos)
+            return ast.NameExpr(token.value, **pos)
+        raise ParseError(
+            "unexpected token %r" % (token.value,), token.line, token.column
+        )

@@ -1,0 +1,334 @@
+'''The minij standard library, written in minij.
+
+The library deliberately mirrors the shape of the Scala collections the
+paper's benchmarks exercise: generic traits with *default methods*
+(`Seq.foreach` is the paper's `IndexedSeqOptimized.foreach` from
+Figure 1 almost verbatim), erased `Object`-typed element access, boxed
+integers, and function traits implemented by compiler-generated
+anonymous classes. This is the abstraction tax that the incremental
+inliner is designed to collapse.
+'''
+
+STDLIB_SOURCE = """
+// ---------------------------------------------------------------------
+// Function traits (lambda targets; one per erased signature).
+// ---------------------------------------------------------------------
+trait Fn0 { def apply(): Object; }
+trait Fn1 { def apply(x: Object): Object; }
+trait Fn2 { def apply(x: Object, y: Object): Object; }
+trait Pred1 { def apply(x: Object): bool; }
+trait Pred2 { def apply(x: Object, y: Object): bool; }
+trait Action0 { def apply(): void; }
+trait Action1 { def apply(x: Object): void; }
+trait ToIntFn { def apply(x: Object): int; }
+trait ToIntFn2 { def apply(x: Object, y: Object): int; }
+trait IntFn0 { def apply(): int; }
+trait IntFn1 { def apply(x: int): int; }
+trait IntFn2 { def apply(x: int, y: int): int; }
+trait IntPred { def apply(x: int): bool; }
+trait IntPred2 { def apply(x: int, y: int): bool; }
+trait IntAction { def apply(x: int): void; }
+trait IntAction2 { def apply(x: int, y: int): void; }
+trait IntToObjFn { def apply(x: int): Object; }
+trait ObjIntFn { def apply(x: Object, y: int): Object; }
+trait ObjIntAction { def apply(x: Object, y: int): void; }
+trait ObjIntToInt { def apply(x: Object, y: int): int; }
+trait IntObjFn { def apply(x: int, y: Object): Object; }
+
+// ---------------------------------------------------------------------
+// Boxed integer (the erasure tax generic code pays on the JVM).
+// ---------------------------------------------------------------------
+class Box {
+  var value: int;
+  def init(v: int): void { this.value = v; }
+  @inline def get(): int { return this.value; }
+}
+
+// ---------------------------------------------------------------------
+// Generic sequences: trait with default combinators (Figure 1's shape).
+// ---------------------------------------------------------------------
+trait Seq {
+  def length(): int;
+  def get(i: int): Object;
+
+  def foreach(f: Action1): void {
+    var i: int = 0;
+    while (i < this.length()) { f.apply(this.get(i)); i = i + 1; }
+  }
+  def fold(z: Object, f: Fn2): Object {
+    var acc: Object = z;
+    var i: int = 0;
+    while (i < this.length()) { acc = f.apply(acc, this.get(i)); i = i + 1; }
+    return acc;
+  }
+  def count(p: Pred1): int {
+    var n: int = 0;
+    var i: int = 0;
+    while (i < this.length()) {
+      if (p.apply(this.get(i))) { n = n + 1; }
+      i = i + 1;
+    }
+    return n;
+  }
+  def sumBy(f: ToIntFn): int {
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < this.length()) { acc = acc + f.apply(this.get(i)); i = i + 1; }
+    return acc;
+  }
+  def indexWhere(p: Pred1): int {
+    var i: int = 0;
+    while (i < this.length()) {
+      if (p.apply(this.get(i))) { return i; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+}
+
+// A growable array-backed sequence (ArrayBuffer-like).
+class ArraySeq implements Seq {
+  var data: Object[];
+  var size: int;
+  def init(capacity: int): void {
+    var cap: int = capacity;
+    if (cap < 4) { cap = 4; }
+    this.data = new Object[cap];
+    this.size = 0;
+  }
+  def length(): int { return this.size; }
+  def get(i: int): Object { return this.data[i]; }
+  def set(i: int, x: Object): void { this.data[i] = x; }
+  def add(x: Object): void {
+    if (this.size == this.data.length) { this.grow(); }
+    this.data[this.size] = x;
+    this.size = this.size + 1;
+  }
+  @noinline def grow(): void {
+    var bigger: Object[] = new Object[this.data.length * 2];
+    var i: int = 0;
+    while (i < this.size) { bigger[i] = this.data[i]; i = i + 1; }
+    this.data = bigger;
+  }
+}
+
+// An immutable cons list (List-like; get is O(i)).
+class List implements Seq {
+  var head: Object;
+  var tail: List;
+  var len: int;
+  def init(h: Object, t: List): void {
+    this.head = h;
+    this.tail = t;
+    if (t == null) { this.len = 1; } else { this.len = t.len + 1; }
+  }
+  def length(): int { return this.len; }
+  def get(i: int): Object {
+    var node: List = this;
+    var j: int = i;
+    while (j > 0) { node = node.tail; j = j - 1; }
+    return node.head;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Int-specialized sequences (the @specialized escape hatch).
+// ---------------------------------------------------------------------
+trait IntSeq {
+  def length(): int;
+  def get(i: int): int;
+
+  def foreach(f: IntAction): void {
+    var i: int = 0;
+    while (i < this.length()) { f.apply(this.get(i)); i = i + 1; }
+  }
+  def fold(z: int, f: IntFn2): int {
+    var acc: int = z;
+    var i: int = 0;
+    while (i < this.length()) { acc = f.apply(acc, this.get(i)); i = i + 1; }
+    return acc;
+  }
+  def sum(): int {
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < this.length()) { acc = acc + this.get(i); i = i + 1; }
+    return acc;
+  }
+  def countWhere(p: IntPred): int {
+    var n: int = 0;
+    var i: int = 0;
+    while (i < this.length()) {
+      if (p.apply(this.get(i))) { n = n + 1; }
+      i = i + 1;
+    }
+    return n;
+  }
+}
+
+class IntArraySeq implements IntSeq {
+  var data: int[];
+  var size: int;
+  def init(capacity: int): void {
+    var cap: int = capacity;
+    if (cap < 4) { cap = 4; }
+    this.data = new int[cap];
+    this.size = 0;
+  }
+  def length(): int { return this.size; }
+  def get(i: int): int { return this.data[i]; }
+  def set(i: int, x: int): void { this.data[i] = x; }
+  def add(x: int): void {
+    if (this.size == this.data.length) { this.grow(); }
+    this.data[this.size] = x;
+    this.size = this.size + 1;
+  }
+  @noinline def grow(): void {
+    var bigger: int[] = new int[this.data.length * 2];
+    var i: int = 0;
+    while (i < this.size) { bigger[i] = this.data[i]; i = i + 1; }
+    this.data = bigger;
+  }
+}
+
+class IntRange implements IntSeq {
+  var lo: int;
+  var hi: int;
+  def init(lo: int, hi: int): void { this.lo = lo; this.hi = hi; }
+  def length(): int {
+    if (this.hi > this.lo) { return this.hi - this.lo; }
+    return 0;
+  }
+  def get(i: int): int { return this.lo + i; }
+}
+
+// ---------------------------------------------------------------------
+// An open-addressing int->int hash map (power-of-two capacity).
+// ---------------------------------------------------------------------
+class IntIntMap {
+  var keys: int[];
+  var vals: int[];
+  var used: int[];
+  var cap: int;
+  var size: int;
+  def init(capacity: int): void {
+    var cap: int = 8;
+    while (cap < capacity) { cap = cap * 2; }
+    this.cap = cap;
+    this.keys = new int[cap];
+    this.vals = new int[cap];
+    this.used = new int[cap];
+    this.size = 0;
+  }
+  @inline def slot(k: int): int { return (k * 40503) & (this.cap - 1); }
+  def put(k: int, v: int): void {
+    if (this.size * 4 >= this.cap * 3) { this.rehash(); }
+    var i: int = this.slot(k);
+    while (this.used[i] == 1 && this.keys[i] != k) {
+      i = (i + 1) & (this.cap - 1);
+    }
+    if (this.used[i] == 0) { this.size = this.size + 1; }
+    this.used[i] = 1;
+    this.keys[i] = k;
+    this.vals[i] = v;
+  }
+  def get(k: int, dflt: int): int {
+    var i: int = this.slot(k);
+    while (this.used[i] == 1) {
+      if (this.keys[i] == k) { return this.vals[i]; }
+      i = (i + 1) & (this.cap - 1);
+    }
+    return dflt;
+  }
+  def has(k: int): bool { return this.get(k, 0 - 2147483647) != 0 - 2147483647; }
+  @noinline def rehash(): void {
+    var oldKeys: int[] = this.keys;
+    var oldVals: int[] = this.vals;
+    var oldUsed: int[] = this.used;
+    var oldCap: int = this.cap;
+    this.cap = this.cap * 2;
+    this.keys = new int[this.cap];
+    this.vals = new int[this.cap];
+    this.used = new int[this.cap];
+    this.size = 0;
+    var i: int = 0;
+    while (i < oldCap) {
+      if (oldUsed[i] == 1) { this.put(oldKeys[i], oldVals[i]); }
+      i = i + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Numeric helpers.
+// ---------------------------------------------------------------------
+object MathX {
+  def sqrt(x: int): int {
+    if (x <= 0) { return 0; }
+    var guess: int = x;
+    var next: int = (guess + 1) / 2;
+    while (next < guess) {
+      guess = next;
+      next = (guess + x / guess) / 2;
+    }
+    return guess;
+  }
+  def pow(base: int, exp: int): int {
+    var result: int = 1;
+    var b: int = base;
+    var e: int = exp;
+    while (e > 0) {
+      if ((e & 1) == 1) { result = result * b; }
+      b = b * b;
+      e = e >> 1;
+    }
+    return result;
+  }
+  def gcd(a: int, b: int): int {
+    var x: int = abs(a);
+    var y: int = abs(b);
+    while (y != 0) {
+      var t: int = x % y;
+      x = y;
+      y = t;
+    }
+    return x;
+  }
+}
+
+// In-place int array sorting (insertion sort for small, quicksort above).
+object Sort {
+  def ints(a: int[]): void { Sort.quick(a, 0, a.length - 1); }
+  def quick(a: int[], lo: int, hi: int): void {
+    if (hi - lo < 12) { Sort.insertion(a, lo, hi); return; }
+    var pivot: int = a[(lo + hi) / 2];
+    var i: int = lo;
+    var j: int = hi;
+    while (i <= j) {
+      while (a[i] < pivot) { i = i + 1; }
+      while (a[j] > pivot) { j = j - 1; }
+      if (i <= j) {
+        var t: int = a[i];
+        a[i] = a[j];
+        a[j] = t;
+        i = i + 1;
+        j = j - 1;
+      }
+    }
+    Sort.quick(a, lo, j);
+    Sort.quick(a, i, hi);
+  }
+  def insertion(a: int[], lo: int, hi: int): void {
+    var i: int = lo + 1;
+    while (i <= hi) {
+      var v: int = a[i];
+      var j: int = i - 1;
+      while (j >= lo && a[j] > v) {
+        a[j + 1] = a[j];
+        j = j - 1;
+      }
+      a[j + 1] = v;
+      i = i + 1;
+    }
+  }
+}
+"""

@@ -1,0 +1,46 @@
+"""The optimizer that inlining trials piggyback on.
+
+The paper's deep inlining trials are defined operationally: propagate
+callsite argument types into the callee IR, run "canonicalization" —
+Graal's grab-bag of local simplifications (constant folding, strength
+reduction, branch pruning, global value numbering, type-check folding)
+— and count what fired (§IV, "Deep inlining trials"). This package is
+that optimizer:
+
+- :mod:`canonicalize <repro.opts.canonicalize>` — worklist-driven local
+  rewrites including branch pruning and devirtualization;
+- :mod:`gvn <repro.opts.gvn>` — dominator-scoped value numbering;
+- :mod:`dce <repro.opts.dce>` — unreachable code elimination, dead node
+  elimination and block merging;
+- :mod:`rwelim <repro.opts.rwelim>` — read/write elimination (§IV,
+  "Other optimizations");
+- :mod:`peeling <repro.opts.peeling>` — first-iteration loop peeling
+  keyed on phi stamps (§IV, "Other optimizations");
+- :mod:`pipeline <repro.opts.pipeline>` — the full pipeline with the
+  optimization *budget* that reproduces the paper's non-linearity
+  argument (§II, point 3).
+"""
+
+from repro.opts.canonicalize import canonicalize, CanonStats
+from repro.opts.gvn import global_value_numbering
+from repro.opts.dce import (
+    remove_unreachable_blocks,
+    remove_dead_nodes,
+    merge_blocks,
+)
+from repro.opts.rwelim import read_write_elimination
+from repro.opts.peeling import peel_loops
+from repro.opts.pipeline import OptimizationPipeline, OptimizerConfig
+
+__all__ = [
+    "canonicalize",
+    "CanonStats",
+    "global_value_numbering",
+    "remove_unreachable_blocks",
+    "remove_dead_nodes",
+    "merge_blocks",
+    "read_write_elimination",
+    "peel_loops",
+    "OptimizationPipeline",
+    "OptimizerConfig",
+]

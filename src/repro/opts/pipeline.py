@@ -1,0 +1,120 @@
+"""The full optimization pipeline with a compile-time budget.
+
+The paper's non-linearity argument (§II, point 3) observes that "later
+optimizations with a limited budget are less effective if inlining
+produces a huge method". We reproduce that mechanism: the pipeline's
+iteration count shrinks as the graph grows past
+:attr:`OptimizerConfig.budget_nodes`, so a bloated root method is
+genuinely optimized less thoroughly.
+"""
+
+from repro.opts.canonicalize import CanonStats, canonicalize
+from repro.opts.dce import merge_blocks, remove_dead_nodes, remove_unreachable_blocks
+from repro.opts.gvn import global_value_numbering
+from repro.opts.peeling import peel_loops
+from repro.opts.rwelim import read_write_elimination
+
+
+class OptimizerConfig:
+    """Tunables for the optimization pipeline.
+
+    Attributes:
+        max_iterations: full canonicalize/GVN/DCE rounds on small graphs.
+        budget_nodes: graph size at which the pipeline starts scaling
+            its effort down; beyond 4× this size only one round runs.
+        enable_peeling: first-iteration loop peeling (§IV).
+        enable_rwe: read/write elimination (§IV).
+        enable_devirtualization: stamp/CHA devirtualization during
+            canonicalization.
+    """
+
+    def __init__(
+        self,
+        max_iterations=3,
+        budget_nodes=2000,
+        enable_peeling=True,
+        enable_rwe=True,
+        enable_devirtualization=True,
+    ):
+        self.max_iterations = max_iterations
+        self.budget_nodes = budget_nodes
+        self.enable_peeling = enable_peeling
+        self.enable_rwe = enable_rwe
+        self.enable_devirtualization = enable_devirtualization
+
+    def iterations_for(self, node_count):
+        """Effort available for a graph of *node_count* nodes."""
+        if node_count <= self.budget_nodes:
+            return self.max_iterations
+        if node_count <= 2 * self.budget_nodes:
+            return max(1, self.max_iterations - 1)
+        if node_count <= 4 * self.budget_nodes:
+            return max(1, self.max_iterations - 2)
+        return 1
+
+
+class OptimizationPipeline:
+    """Runs the optimizer over a graph and aggregates statistics."""
+
+    def __init__(self, program, config=None):
+        self.program = program
+        self.config = config if config is not None else OptimizerConfig()
+
+    def run(self, graph, peel=None, rwe=None):
+        """Optimize *graph* in place; returns aggregate CanonStats.
+
+        *peel* / *rwe* override the config switches for a single run
+        (the inliner calls those phases only at specific round
+        boundaries, as the paper describes).
+        """
+        config = self.config
+        do_peel = config.enable_peeling if peel is None else peel
+        do_rwe = config.enable_rwe if rwe is None else rwe
+        stats = CanonStats()
+        iterations = config.iterations_for(graph.node_count())
+        for _ in range(iterations):
+            before = graph.node_count()
+            stats.merge(
+                canonicalize(
+                    graph,
+                    self.program,
+                    devirtualize=config.enable_devirtualization,
+                )
+            )
+            remove_unreachable_blocks(graph)
+            global_value_numbering(graph)
+            remove_dead_nodes(graph)
+            merge_blocks(graph)
+            if do_rwe:
+                read_write_elimination(graph, self.program)
+                remove_dead_nodes(graph)
+            if graph.node_count() == before and stats.rounds > 1:
+                break
+        if do_peel:
+            peeled = peel_loops(graph, self.program)
+            if peeled:
+                stats.merge(
+                    canonicalize(
+                        graph,
+                        self.program,
+                        devirtualize=config.enable_devirtualization,
+                    )
+                )
+                remove_unreachable_blocks(graph)
+                global_value_numbering(graph)
+                remove_dead_nodes(graph)
+                merge_blocks(graph)
+        return stats
+
+    def simplify_only(self, graph):
+        """A cheap canonicalize+cleanup round (used inside trials)."""
+        stats = canonicalize(
+            graph,
+            self.program,
+            max_rounds=2,
+            devirtualize=self.config.enable_devirtualization,
+        )
+        remove_unreachable_blocks(graph)
+        remove_dead_nodes(graph)
+        merge_blocks(graph)
+        return stats

@@ -1,0 +1,141 @@
+"""Read/write elimination.
+
+The paper applies read-write elimination to the root method at the end
+of every inlining round because it "partially restor[es] the method
+receiver type information that is lost when writing values to memory
+(and later reading the same values)" (§IV, Other optimizations).
+
+This implementation is a per-block forward walk that tracks known
+memory contents symbolically:
+
+- a load of ``obj.f`` after a store ``obj.f = v`` (same SSA object node,
+  no intervening kill) is replaced by ``v`` — recovering ``v``'s precise
+  stamp, which is the type-restoration effect the paper wants;
+- repeated loads of the same location collapse;
+- loads from a freshly allocated object with no intervening store
+  fold to the default value (0 / null);
+- a store overwritten by another store to the same location with no
+  intervening read or kill is removed (dead store elimination);
+- calls kill everything; a store to field ``f`` kills other objects'
+  ``f`` entries (no alias analysis beyond SSA identity).
+"""
+
+from repro.bytecode import types as bt
+from repro.ir import nodes as n
+
+
+def read_write_elimination(graph, program):
+    """Run RWE over every block; returns (loads_eliminated, stores_removed)."""
+    loads = 0
+    stores = 0
+    for block in graph.blocks:
+        a, b = _process_block(graph, program, block)
+        loads += a
+        stores += b
+    return loads, stores
+
+
+def _default_const(graph, block, index, field_type):
+    if field_type == bt.INT:
+        node = graph.register(n.ConstIntNode(0))
+    else:
+        node = graph.register(n.ConstNullNode())
+    block.insert(index, node)
+    return node
+
+
+def _process_block(graph, program, block):
+    # (object node, field name) -> value node for fields;
+    # ("static", class, field) -> value; (array, index) -> value.
+    known = {}
+    last_store = {}
+    fresh = set()  # New nodes allocated in this block, still un-escaped
+    loads = 0
+    stores = 0
+    index = 0
+    while index < len(block.instrs):
+        node = block.instrs[index]
+        t = type(node)
+        if t is n.NewNode:
+            fresh.add(node)
+        elif t is n.LoadFieldNode:
+            key = (node.inputs[0], node.field_name)
+            value = known.get(key)
+            if value is None and node.inputs[0] in fresh:
+                _, field = program.lookup_field(node.class_name, node.field_name)
+                value = _default_const(graph, block, index, field.type)
+                index += 1  # account for the inserted constant
+            if value is not None:
+                graph.replace_uses(node, value)
+                node.clear_inputs()
+                block.instrs.remove(node)
+                node.block = None
+                loads += 1
+                last_store.pop(key, None)
+                continue  # do not advance; same index now holds the next node
+            known[key] = node
+            last_store.pop(key, None)
+        elif t is n.StoreFieldNode:
+            obj, value = node.inputs
+            key = (obj, node.field_name)
+            previous = last_store.get(key)
+            if previous is not None and previous.block is block:
+                previous.clear_inputs()
+                block.instrs.remove(previous)
+                previous.block = None
+                index -= 1
+                stores += 1
+            # Kill possibly aliasing entries (same field, other object).
+            for other_key in list(known):
+                if (
+                    len(other_key) == 2
+                    and other_key[1] == node.field_name
+                    and other_key[0] is not obj
+                    and other_key[0] not in fresh
+                ):
+                    del known[other_key]
+            known[key] = value
+            last_store[key] = node
+            if value in fresh:
+                fresh.discard(value)  # stored somewhere: escaped
+        elif t is n.LoadStaticNode:
+            key = ("static", node.class_name, node.field_name)
+            value = known.get(key)
+            if value is not None:
+                graph.replace_uses(node, value)
+                node.clear_inputs()
+                block.instrs.remove(node)
+                node.block = None
+                loads += 1
+                continue
+            known[key] = node
+        elif t is n.StoreStaticNode:
+            key = ("static", node.class_name, node.field_name)
+            known[key] = node.inputs[0]
+            if node.inputs[0] in fresh:
+                fresh.discard(node.inputs[0])
+        elif t is n.ArrayLoadNode:
+            key = ("array", node.inputs[0], node.inputs[1])
+            value = known.get(key)
+            if value is not None:
+                graph.replace_uses(node, value)
+                node.clear_inputs()
+                block.instrs.remove(node)
+                node.block = None
+                loads += 1
+                continue
+            known[key] = node
+        elif t is n.ArrayStoreNode:
+            array, idx, value = node.inputs
+            for other_key in list(known):
+                if other_key[0] == "array":
+                    del known[other_key]
+            known[("array", array, idx)] = value
+            if value in fresh:
+                fresh.discard(value)
+        elif t is n.InvokeNode:
+            known.clear()
+            last_store.clear()
+            fresh.clear()
+        index += 1
+    return loads, stores

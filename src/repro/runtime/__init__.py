@@ -1,0 +1,20 @@
+"""Runtime object model and VM state shared by interpreter and compiled code.
+
+The runtime owns what is *dynamic* about a program: heap objects, static
+field storage, the intrinsic ("native") method table, and the
+deterministic PRNG that benchmark programs use for reproducible inputs.
+"""
+
+from repro.runtime.values import ObjRef, ArrayRef, default_value, NULL
+from repro.runtime.vmstate import VMState
+from repro.runtime.intrinsics import install_builtins, BUILTINS_CLASS
+
+__all__ = [
+    "ObjRef",
+    "ArrayRef",
+    "default_value",
+    "NULL",
+    "VMState",
+    "install_builtins",
+    "BUILTINS_CLASS",
+]

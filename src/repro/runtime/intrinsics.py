@@ -1,0 +1,90 @@
+"""Intrinsic ("native") methods available to every guest program.
+
+Intrinsics live on a synthetic ``Builtins`` class that
+:func:`install_builtins` injects into a :class:`~repro.bytecode.program.Program`.
+They are implemented by host Python functions registered in
+:data:`INTRINSIC_TABLE` and are never inlined by any compiler
+configuration (their :class:`Method` carries ``never_inline``).
+
+The set is intentionally small — just enough for benchmark programs to
+produce checkable output and deterministic pseudo-random inputs:
+
+===============  =======================================================
+``print``        append an integer to the VM output buffer
+``abs``          integer absolute value
+``imin``/``imax`` two-argument min / max
+``rand``         next value of the VM's deterministic LCG, in [0, bound)
+``seed``         reseed the LCG (lets one VM instance differ from another)
+``ticks``        a monotonically increasing counter (virtual time)
+===============  =======================================================
+"""
+
+from repro.bytecode.klass import ClassDef
+from repro.bytecode.method import Method
+from repro.errors import TrapError
+
+#: Name of the synthetic class that carries all intrinsics.
+BUILTINS_CLASS = "Builtins"
+
+
+def _print(vm, value):
+    vm.output.append(value)
+    return None
+
+
+def _abs(vm, value):
+    return -value if value < 0 else value
+
+
+def _imin(vm, a, b):
+    return a if a < b else b
+
+
+def _imax(vm, a, b):
+    return a if a > b else b
+
+
+def _rand(vm, bound):
+    if bound <= 0:
+        raise TrapError("BadRandomBound", str(bound))
+    return vm.next_random() % bound
+
+
+def _seed(vm, value):
+    vm.reseed(value)
+    return None
+
+
+def _ticks(vm):
+    vm.tick_counter += 1
+    return vm.tick_counter
+
+
+#: name -> (param_types, return_type, host function)
+INTRINSIC_TABLE = {
+    "print": (["int"], "void", _print),
+    "abs": (["int"], "int", _abs),
+    "imin": (["int", "int"], "int", _imin),
+    "imax": (["int", "int"], "int", _imax),
+    "rand": (["int"], "int", _rand),
+    "seed": (["int"], "void", _seed),
+    "ticks": ([], "int", _ticks),
+}
+
+
+def install_builtins(program):
+    """Add the ``Builtins`` class to *program* (idempotent)."""
+    if program.has_class(BUILTINS_CLASS):
+        return program.klass(BUILTINS_CLASS)
+    klass = ClassDef(BUILTINS_CLASS, is_abstract=True)
+    for name, (params, ret, _fn) in sorted(INTRINSIC_TABLE.items()):
+        klass.add_method(
+            Method(name, params, ret, is_static=True, is_native=True)
+        )
+    program.add_class(klass)
+    return klass
+
+
+def intrinsic_function(name):
+    """The host implementation of intrinsic *name*."""
+    return INTRINSIC_TABLE[name][2]

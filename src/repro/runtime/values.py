@@ -1,0 +1,72 @@
+"""Heap value representations.
+
+The guest value universe is: Python ``int`` for the primitive integer
+type, ``None`` for the null reference, :class:`ObjRef` for objects and
+:class:`ArrayRef` for arrays.
+"""
+
+from repro.bytecode import types as bt
+
+#: The null reference.
+NULL = None
+
+
+class ObjRef:
+    """An object instance: a class name plus a field dictionary.
+
+    Field storage is pre-populated with default values for every field
+    in the superclass chain at allocation time, so field reads never
+    miss.
+    """
+
+    __slots__ = ("class_name", "fields")
+
+    _counter = 0
+
+    def __init__(self, class_name, fields):
+        self.class_name = class_name
+        self.fields = fields
+
+    def __repr__(self):
+        return "<%s#%x>" % (self.class_name, id(self) & 0xFFFF)
+
+
+class ArrayRef:
+    """An array instance with a fixed element type and length."""
+
+    __slots__ = ("elem_type", "data")
+
+    def __init__(self, elem_type, length):
+        self.elem_type = elem_type
+        fill = 0 if elem_type == bt.INT else NULL
+        self.data = [fill] * length
+
+    @property
+    def type_name(self):
+        return bt.array_of(self.elem_type)
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        return "<%s[%d]>" % (self.elem_type, len(self.data))
+
+
+def default_value(type_name):
+    """The default (zero) value for a declared type."""
+    return 0 if type_name == bt.INT else NULL
+
+
+def dynamic_type_name(value):
+    """The runtime type name of a guest value (None for null)."""
+    if value is NULL:
+        return None
+    if isinstance(value, bool):
+        return bt.INT
+    if isinstance(value, int):
+        return bt.INT
+    if isinstance(value, ObjRef):
+        return value.class_name
+    if isinstance(value, ArrayRef):
+        return value.type_name
+    raise TypeError("not a guest value: %r" % (value,))

@@ -1,0 +1,98 @@
+"""Mutable VM state: statics, output, allocation accounting, PRNG."""
+
+from repro.runtime.values import ArrayRef, ObjRef, default_value
+from repro.errors import LinkError
+
+#: LCG constants (numerical recipes), masked to 63 bits.
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_MASK = (1 << 63) - 1
+
+
+class VMState:
+    """Everything mutable about one running VM instance.
+
+    A fresh :class:`VMState` models the paper's "separate JVM instance":
+    statics are re-zeroed, the PRNG is reseeded, profiles start empty.
+
+    Attributes:
+        program: the loaded :class:`~repro.bytecode.program.Program`.
+        output: list of integers produced by the ``print`` intrinsic
+            (the benchmark harness checksums it to validate runs).
+        allocation_count: number of objects and arrays allocated.
+        tick_counter: virtual clock backing the ``ticks`` intrinsic.
+    """
+
+    def __init__(self, program, seed=0x5EED):
+        self.program = program
+        self.output = []
+        self.allocation_count = 0
+        self.tick_counter = 0
+        self._statics = {}
+        self._rng_state = (seed ^ 0x9E3779B97F4A7C15) & _MASK
+        self._init_statics()
+
+    def _init_statics(self):
+        for klass in self.program.classes.values():
+            for field in klass.fields.values():
+                if field.is_static:
+                    self._statics[(klass.name, field.name)] = default_value(
+                        field.type
+                    )
+
+    # ------------------------------------------------------------------
+    # Statics
+    # ------------------------------------------------------------------
+
+    def get_static(self, class_name, field_name):
+        declaring, _ = self.program.lookup_field(class_name, field_name)
+        try:
+            return self._statics[(declaring.name, field_name)]
+        except KeyError:
+            raise LinkError(
+                "static field %s.%s not initialized" % (class_name, field_name)
+            )
+
+    def put_static(self, class_name, field_name, value):
+        declaring, _ = self.program.lookup_field(class_name, field_name)
+        self._statics[(declaring.name, field_name)] = value
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(self, class_name):
+        """Allocate an object with default-initialized fields."""
+        fields = {}
+        for klass in self.program.superclass_chain(class_name):
+            for field in klass.fields.values():
+                if not field.is_static:
+                    fields[field.name] = default_value(field.type)
+        self.allocation_count += 1
+        return ObjRef(class_name, fields)
+
+    def allocate_array(self, elem_type, length):
+        self.allocation_count += 1
+        return ArrayRef(elem_type, length)
+
+    # ------------------------------------------------------------------
+    # Deterministic randomness
+    # ------------------------------------------------------------------
+
+    def next_random(self):
+        self._rng_state = (self._rng_state * _LCG_A + _LCG_C) & _MASK
+        return self._rng_state >> 16
+
+    def reseed(self, seed):
+        self._rng_state = (seed ^ 0x9E3779B97F4A7C15) & _MASK
+
+    # ------------------------------------------------------------------
+    # Output validation
+    # ------------------------------------------------------------------
+
+    def output_checksum(self):
+        """Order-sensitive checksum of everything printed so far."""
+        acc = 0
+        for value in self.output:
+            acc = (acc * 31 + (value & _MASK)) & _MASK
+        return acc

@@ -1,0 +1,12 @@
+"""Command-line tools.
+
+- ``python -m repro.tools.run program.minij`` — compile and run a minij
+  program on the tiered VM, with optional inliner selection and
+  per-iteration statistics;
+- ``python -m repro.tools.trace program.minij Class.method`` — show the
+  inlining decisions made while compiling one method;
+- ``python -m repro.tools.disasm program.minij`` — dump bytecode, SSA IR
+  or machine code for a method;
+- ``python -m repro.tools.bench`` — run benchmark × configuration
+  sweeps from the command line.
+"""

@@ -1,0 +1,69 @@
+"""Run benchmark × configuration sweeps from the command line.
+
+Examples::
+
+    python -m repro.tools.bench --list
+    python -m repro.tools.bench --benchmarks factorie gauss-mix
+    python -m repro.tools.bench --configs no-inline greedy c2 incremental \\
+        --benchmarks stmbench7 --instances 3 --metric speedup --baseline c2
+"""
+
+import argparse
+
+from repro.bench.configs import CONFIG_FACTORIES
+from repro.bench.harness import print_table, run_matrix
+from repro.bench.suite import all_benchmarks
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list benchmarks and configs"
+    )
+    parser.add_argument("--benchmarks", nargs="*", default=None)
+    parser.add_argument(
+        "--configs", nargs="*",
+        default=["no-inline", "greedy", "c2", "incremental"],
+    )
+    parser.add_argument("--instances", type=int, default=2)
+    parser.add_argument(
+        "--metric", choices=["time", "speedup", "code"], default="time"
+    )
+    parser.add_argument("--baseline", default=None)
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("benchmarks:")
+        for spec in all_benchmarks():
+            print("  %-14s (%s) %s" % (spec.name, spec.suite, spec.description))
+        print("configs:")
+        for name in sorted(CONFIG_FACTORIES):
+            print("  %s" % name)
+        return 0
+
+    for config in args.configs:
+        if config not in CONFIG_FACTORIES:
+            parser.error("unknown config %r (see --list)" % config)
+
+    def progress(bench, config, measurement):
+        print("measured %-14s %-18s %12.0f cycles" % (
+            bench, config, measurement.mean_cycles))
+
+    results = run_matrix(
+        args.configs,
+        benchmarks=args.benchmarks,
+        instances=args.instances,
+        progress=progress,
+    )
+    print_table(
+        results, args.configs, metric=args.metric, baseline=args.baseline,
+        title="%s (%d instances)" % (args.metric, args.instances),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Shared plumbing for the CLI tools."""
+
+import argparse
+import sys
+
+from repro.baselines import C2Inliner, GreedyInliner, shallow_trials_inliner, tuned_inliner
+from repro.lang import compile_source
+
+INLINERS = {
+    "none": lambda: None,
+    "incremental": lambda: tuned_inliner(0.1),
+    "greedy": GreedyInliner,
+    "c2": C2Inliner,
+    "shallow": lambda: shallow_trials_inliner(0.1),
+}
+
+
+def load_source(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def compile_file(path):
+    return compile_source(load_source(path))
+
+
+def add_inliner_argument(parser):
+    parser.add_argument(
+        "--inliner",
+        choices=sorted(INLINERS),
+        default="incremental",
+        help="inlining policy for the second tier (default: incremental)",
+    )
+
+
+def make_inliner(name):
+    return INLINERS[name]()
+
+
+def method_argument(value):
+    """Parse ``Class.method`` CLI arguments."""
+    if "." not in value:
+        raise argparse.ArgumentTypeError(
+            "expected Class.method, got %r" % value
+        )
+    class_name, method_name = value.rsplit(".", 1)
+    return class_name, method_name

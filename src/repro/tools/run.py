@@ -1,0 +1,76 @@
+"""Run a minij program on the tiered VM.
+
+Examples::
+
+    python -m repro.tools.run program.minij
+    python -m repro.tools.run program.minij --iterations 20 --inliner greedy
+    python -m repro.tools.run program.minij --entry Main.run --stats
+"""
+
+import argparse
+
+from repro.jit import Engine, JitConfig
+from repro.tools.common import (
+    add_inliner_argument,
+    compile_file,
+    make_inliner,
+    method_argument,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.run", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("program", help="minij source file (or - for stdin)")
+    parser.add_argument(
+        "--entry", type=method_argument, default=("Main", "run"),
+        help="entry point as Class.method (default Main.run)",
+    )
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--hot-threshold", type=int, default=25)
+    parser.add_argument(
+        "--stats", action="store_true", help="print per-iteration cycle breakdown"
+    )
+    parser.add_argument(
+        "--interpret-only", action="store_true", help="disable the compiler"
+    )
+    add_inliner_argument(parser)
+    args = parser.parse_args(argv)
+
+    program = compile_file(args.program)
+    engine = Engine(
+        program,
+        JitConfig(
+            hot_threshold=args.hot_threshold,
+            compile_enabled=not args.interpret_only,
+        ),
+        inliner=None if args.interpret_only else make_inliner(args.inliner),
+    )
+    class_name, method_name = args.entry
+    if args.stats:
+        print("iter   value        total   interp  compiled  jit-time  installed")
+    result = None
+    for index in range(args.iterations):
+        result = engine.run_iteration(class_name, method_name)
+        if args.stats:
+            print("%4d %8s %12d %8d %9d %9d %10d" % (
+                index, result.value, result.total_cycles,
+                result.interpreted_cycles, result.compiled_cycles,
+                result.compile_cycles, result.installed_size,
+            ))
+    print("result: %s" % (result.value,))
+    print(
+        "steady: %d cycles/iteration, %d methods compiled, %d machine instrs"
+        % (result.total_cycles, len(engine.code_cache), engine.code_cache.total_size)
+    )
+    if engine.vm.output:
+        shown = engine.vm.output[:20]
+        suffix = " ..." if len(engine.vm.output) > 20 else ""
+        print("output: %s%s" % (" ".join(map(str, shown)), suffix))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

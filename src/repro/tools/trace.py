@@ -1,0 +1,80 @@
+"""Show the inlining decisions made while compiling one method.
+
+Warms profiles by interpreting the program a few times, then compiles
+the requested method with the incremental inliner and prints the full
+decision trace (expansions with Eq. 8 numbers, clusters, Eq. 12
+verdicts, typeswitches) plus the call tree.
+
+Example::
+
+    python -m repro.tools.trace program.minij Main.run
+"""
+
+import argparse
+
+from repro.core import IncrementalInliner, InlinerParams, InlineTracer
+from repro.interp import Interpreter
+from repro.jit.compiler import CompileContext
+from repro.ir import annotate_frequencies, build_graph
+from repro.opts.pipeline import OptimizationPipeline
+from repro.runtime import VMState
+from repro.tools.common import compile_file, method_argument
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.trace", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("program", help="minij source file")
+    parser.add_argument(
+        "method", type=method_argument, help="method to compile (Class.method)"
+    )
+    parser.add_argument(
+        "--warmup-entry", type=method_argument, default=("Main", "run"),
+        help="entry interpreted to gather profiles (default Main.run)",
+    )
+    parser.add_argument("--warmup-runs", type=int, default=3)
+    parser.add_argument(
+        "--size-factor", type=float, default=0.1,
+        help="paper-constant rescaling factor (default 0.1)",
+    )
+    args = parser.parse_args(argv)
+
+    program = compile_file(args.program)
+    vm = VMState(program)
+    interp = Interpreter(vm)
+    warm_class, warm_method = args.warmup_entry
+    for _ in range(args.warmup_runs):
+        interp.call_static(warm_class, warm_method)
+
+    class_name, method_name = args.method
+    method = program.lookup_method(class_name, method_name)
+    graph = build_graph(method, program, interp.profiles)
+    annotate_frequencies(graph)
+    context = CompileContext(
+        program, interp.profiles, OptimizationPipeline(program), None
+    )
+    tracer = InlineTracer()
+    inliner = IncrementalInliner(
+        InlinerParams.scaled(args.size_factor), tracer=tracer
+    )
+    before = graph.node_count()
+    report = inliner.run(graph, context)
+    print("compiling %s.%s with the incremental inliner" % (class_name, method_name))
+    print(
+        "graph: %d -> %d nodes; %d expansions, %d inlined, %d typeswitches\n"
+        % (
+            before,
+            report.final_root_size,
+            report.expansions,
+            report.inline_count,
+            report.typeswitch_count,
+        )
+    )
+    print(tracer.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Parameter tuning by grid search, as the paper did (§IV).
+
+"All the parameters used in our implementation were tuned by doing an
+exhaustive search over ranges of values that we defined manually based
+on our intuition. In the tuning process, we selected the parameter
+configuration that resulted in the best peak performance across all
+benchmarks, but at the same time did not cause more than a 5% slowdown
+on any benchmark with respect to the existing inliners in Graal."
+
+This tool reruns that process on the simulated substrate: it sweeps a
+grid over (r1, r2, t1, t2), scores each configuration by geomean
+steady-state cycles over the chosen benchmarks, rejects configurations
+that regress any benchmark by more than ``--max-regression`` versus the
+greedy baseline, and prints the ranking.
+
+Example::
+
+    python -m repro.tools.tune --benchmarks pmd factorie --instances 1
+"""
+
+import argparse
+import itertools
+import math
+
+from repro.baselines import GreedyInliner
+from repro.core import IncrementalInliner, InlinerParams
+from repro.bench.measurement import measure_benchmark
+from repro.bench.suite import get_benchmark
+
+#: Default grid, in paper units (scaled by --size-factor like
+#: everything else). Deliberately small so the default run is minutes,
+#: not hours; widen per axis as needed.
+DEFAULT_GRID = {
+    "r1": [1500.0, 3000.0, 4500.0],
+    "r2": [250.0, 500.0],
+    "t1": [0.001, 0.005, 0.02],
+    "t2": [60.0, 120.0, 240.0],
+}
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def evaluate(benchmarks, factory, instances, label):
+    """Steady cycles per benchmark under one policy factory."""
+    results = {}
+    for name in benchmarks:
+        spec = get_benchmark(name)
+        measurement = measure_benchmark(
+            spec.load(),
+            factory,
+            benchmark_name=name,
+            config_name=label,
+            instances=instances,
+            iterations=spec.iterations,
+            jit_config_factory=spec.jit_config_factory,
+        )
+        results[name] = measurement.mean_cycles
+    return results
+
+
+def sweep(benchmarks, grid, size_factor, instances, max_regression, log=print):
+    """Run the grid; returns (ranked configurations, baseline results)."""
+    baseline = evaluate(benchmarks, GreedyInliner, instances, "greedy")
+    log("greedy baseline: %s" % {k: int(v) for k, v in baseline.items()})
+    axes = sorted(grid)
+    ranked = []
+    for values in itertools.product(*(grid[axis] for axis in axes)):
+        assignment = dict(zip(axes, values))
+
+        def factory(assignment=assignment):
+            params = InlinerParams.scaled(
+                size_factor,
+                r1=assignment["r1"] * size_factor,
+                r2=assignment["r2"] * size_factor,
+                t1=assignment["t1"],
+                t2=assignment["t2"] * size_factor,
+            )
+            return IncrementalInliner(params)
+
+        results = evaluate(benchmarks, factory, instances, str(assignment))
+        score = geomean(list(results.values()))
+        worst_regression = max(
+            results[name] / baseline[name] for name in benchmarks
+        )
+        admissible = worst_regression <= 1.0 + max_regression
+        ranked.append((score, worst_regression, admissible, assignment))
+        log(
+            "%s  geomean=%.0f  worst-vs-greedy=%.2f%s"
+            % (
+                assignment,
+                score,
+                worst_regression,
+                "" if admissible else "  (REJECTED: regression)",
+            )
+        )
+    ranked.sort(key=lambda entry: (not entry[2], entry[0]))
+    return ranked, baseline
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.tune", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=["pmd", "factorie", "scalariform"]
+    )
+    parser.add_argument("--instances", type=int, default=1)
+    parser.add_argument("--size-factor", type=float, default=0.1)
+    parser.add_argument(
+        "--max-regression", type=float, default=0.05,
+        help="paper rule: reject configs that slow any benchmark by more "
+        "than this fraction vs the greedy baseline (default 0.05)",
+    )
+    parser.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2,...",
+        help="override one grid axis, e.g. --axis t1=0.001,0.01",
+    )
+    args = parser.parse_args(argv)
+
+    grid = {name: list(values) for name, values in DEFAULT_GRID.items()}
+    for override in args.axis:
+        name, _, values = override.partition("=")
+        if name not in grid:
+            parser.error("unknown axis %r (have %s)" % (name, sorted(grid)))
+        grid[name] = [float(v) for v in values.split(",")]
+
+    ranked, _ = sweep(
+        args.benchmarks, grid, args.size_factor, args.instances,
+        args.max_regression,
+    )
+    print("\nbest admissible configurations:")
+    for score, worst, admissible, assignment in ranked[:5]:
+        print(
+            "  %s  geomean=%.0f  worst-vs-greedy=%.2f%s"
+            % (assignment, score, worst, "" if admissible else " (rejected)")
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+"""Baseline inliner tests: greedy, C2-like, and the ablation factories."""
+
+from repro.baselines import (
+    C2Inliner,
+    GreedyInliner,
+    clustering_inliner,
+    fixed_threshold_inliner,
+    one_by_one_inliner,
+    shallow_trials_inliner,
+    tuned_inliner,
+)
+from repro.ir import annotate_frequencies, build_graph, check_graph
+from repro.jit.compiler import CompileContext
+from repro.opts.pipeline import OptimizationPipeline
+from tests.execution import execute_graph
+from tests.helpers import SHAPES_RESULT, run_static, shapes_program
+
+
+def _prepare(program, method=("Main", "run")):
+    _, _, interp = run_static(program, "Main", "run")
+    graph = build_graph(program.lookup_method(*method), program, interp.profiles)
+    annotate_frequencies(graph)
+    context = CompileContext(
+        program, interp.profiles, OptimizationPipeline(program), None
+    )
+    return graph, context
+
+
+class TestGreedy:
+    def test_inlines_small_methods(self):
+        program = shapes_program()
+        graph, context = _prepare(program)
+        report = GreedyInliner().run(graph, context)
+        check_graph(graph, program)
+        assert report.inline_count > 0
+        result, _ = execute_graph(graph, program)
+        assert result == SHAPES_RESULT
+
+    def test_respects_root_budget(self):
+        program = shapes_program()
+        graph, context = _prepare(program)
+        before = graph.node_count()
+        report = GreedyInliner(max_root_size=before).run(graph, context)
+        assert report.inline_count == 0
+
+    def test_size_threshold_blocks_large_callees(self):
+        program = shapes_program()
+        graph, context = _prepare(program)
+        report = GreedyInliner(trivial_size=1, max_callee_size=1).run(
+            graph, context
+        )
+        assert "Main.total" not in report.inlined_methods
+
+    def test_monomorphic_speculation(self):
+        program = shapes_program()
+        graph, context = _prepare(program, method=("Main", "total"))
+        report = GreedyInliner(min_probability=0.5).run(graph, context)
+        assert report.typeswitch_count == 1
+        check_graph(graph, program)
+
+    def test_never_inline_respected(self):
+        program = shapes_program()
+        program.lookup_method("Main", "total").never_inline = True
+        try:
+            graph, context = _prepare(program)
+            report = GreedyInliner().run(graph, context)
+            assert "Main.total" not in report.inlined_methods
+        finally:
+            program.lookup_method("Main", "total").never_inline = False
+
+
+class TestC2:
+    def test_two_phase_inlines(self):
+        program = shapes_program()
+        graph, context = _prepare(program)
+        report = C2Inliner().run(graph, context)
+        check_graph(graph, program)
+        assert report.rounds == 2
+        result, _ = execute_graph(graph, program)
+        assert result == SHAPES_RESULT
+
+    def test_tighter_budget_than_greedy(self):
+        assert C2Inliner().max_root_size < GreedyInliner().max_root_size
+
+    def test_bimorphic_dispatch(self):
+        program = shapes_program()
+        graph, context = _prepare(program, method=("Main", "total"))
+        report = C2Inliner(min_probability=0.2).run(graph, context)
+        assert report.typeswitch_count == 1
+        check_graph(graph, program)
+        result_invokes = [i for i in graph.invokes() if i.is_dispatched]
+        assert result_invokes  # fallback remains
+
+
+class TestVariantFactories:
+    def test_names_are_descriptive(self):
+        assert tuned_inliner().name == "incremental"
+        assert "te=" in fixed_threshold_inliner(te=1000).name
+        assert "1-by-1" in one_by_one_inliner().name
+        assert "cluster" in clustering_inliner().name
+        assert shallow_trials_inliner().name == "shallow-trials"
+
+    def test_fixed_factory_scales_paper_units(self):
+        inliner = fixed_threshold_inliner(te=1000, size_factor=0.1)
+        assert inliner.expansion.fixed_te == 100
+        assert inliner.expansion.adaptive is False
+        assert inliner.inlining.adaptive is True
+
+    def test_one_by_one_overrides_t1_t2(self):
+        inliner = one_by_one_inliner(t1=0.0001, t2=1440, size_factor=0.1)
+        assert inliner.params.t1 == 0.0001
+        assert inliner.params.t2 == 144.0
+        assert inliner.analysis.clustering is False
+
+    def test_all_variants_preserve_semantics(self):
+        factories = [
+            lambda: tuned_inliner(0.1),
+            lambda: fixed_threshold_inliner(te=3000),
+            lambda: fixed_threshold_inliner(ti=3000),
+            lambda: one_by_one_inliner(t1=0.005, t2=120),
+            shallow_trials_inliner,
+            GreedyInliner,
+            C2Inliner,
+        ]
+        program = shapes_program()
+        for factory in factories:
+            graph, context = _prepare(program)
+            factory().run(graph, context)
+            check_graph(graph, program)
+            result, _ = execute_graph(graph, program)
+            assert result == SHAPES_RESULT, factory

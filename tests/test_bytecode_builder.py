@@ -1,0 +1,171 @@
+"""Tests for MethodBuilder and the text assembler/disassembler."""
+
+import pytest
+
+from repro.bytecode import (
+    MethodBuilder,
+    Op,
+    assemble_program,
+    disassemble_method,
+    disassemble_program,
+    verify_program,
+)
+from repro.errors import BytecodeError
+from tests.helpers import run_static
+
+
+class TestMethodBuilder:
+    def test_label_resolution(self):
+        b = MethodBuilder("f", ["int"], "int", is_static=True)
+        end = b.new_label("end")
+        b.load(0).const(0).ge().if_true(end)
+        b.const(0).load(0).sub().retv()
+        b.place(end).load(0).retv()
+        method = b.build()
+        branch = method.code[3]
+        assert branch.op == Op.IF
+        assert method.code[branch.target].op == Op.LOAD
+
+    def test_unplaced_label_rejected(self):
+        b = MethodBuilder("f", [], "void", is_static=True)
+        dangling = b.new_label()
+        b.goto(dangling)
+        with pytest.raises(BytecodeError):
+            b.build()
+
+    def test_double_placement_rejected(self):
+        b = MethodBuilder("f", [], "void", is_static=True)
+        label = b.new_label()
+        b.place(label)
+        with pytest.raises(BytecodeError):
+            b.place(label)
+
+    def test_alloc_local_past_params(self):
+        b = MethodBuilder("f", ["int", "int"], "void", is_static=True)
+        assert b.alloc_local() == 2
+        assert b.alloc_local() == 3
+        b.ret()
+        assert b.build().max_locals == 4
+
+    def test_instance_method_reserves_receiver_slot(self):
+        b = MethodBuilder("m", ["int"], "void")
+        assert b.alloc_local() == 2  # 0 = this, 1 = param
+
+    def test_max_locals_tracks_stores(self):
+        b = MethodBuilder("f", [], "void", is_static=True)
+        b.const(1).store(5).ret()
+        assert b.build().max_locals == 6
+
+
+class TestAssembler:
+    PROGRAM = """
+    class Counter extends Object {
+      field value: int
+      static field total: int
+      method bump(int) -> int {
+        LOAD 0
+        GETFIELD Counter value
+        LOAD 1
+        ADD
+        STORE 2
+        LOAD 0
+        LOAD 2
+        PUTFIELD Counter value
+        LOAD 2
+        RETV
+      }
+    }
+    class Main extends Object {
+      static method run() -> int {
+        NEW Counter
+        STORE 0
+        CONST 0
+        STORE 1
+      loop:
+        LOAD 1
+        CONST 10
+        GE
+        IF done
+        LOAD 0
+        LOAD 1
+        INVOKEVIRTUAL Counter bump
+        POP
+        LOAD 1
+        CONST 1
+        ADD
+        STORE 1
+        GOTO loop
+      done:
+        LOAD 0
+        GETFIELD Counter value
+        RETV
+      }
+    }
+    """
+
+    def test_assemble_and_execute(self):
+        program = assemble_program(self.PROGRAM)
+        verify_program(program)
+        result, _vm, _interp = run_static(program, "Main", "run")
+        assert result == sum(range(10))
+
+    def test_unknown_label_rejected(self):
+        bad = """
+        class A extends Object {
+          static method f() -> void {
+            GOTO missing
+            RET
+          }
+        }
+        """
+        with pytest.raises(BytecodeError):
+            assemble_program(bad)
+
+    def test_duplicate_label_rejected(self):
+        bad = """
+        class A extends Object {
+          static method f() -> void {
+          x:
+          x:
+            RET
+          }
+        }
+        """
+        with pytest.raises(BytecodeError):
+            assemble_program(bad)
+
+    def test_abstract_method_declaration(self):
+        text = """
+        interface Greeter {
+          abstract method greet(int) -> int
+        }
+        """
+        program = assemble_program(text)
+        method = program.klass("Greeter").methods["greet"]
+        assert method.is_abstract
+        assert method.param_types == ["int"]
+
+    def test_comments_ignored(self):
+        text = """
+        # a whole-line comment
+        class A extends Object {
+          static method f() -> int {
+            CONST 42  # trailing comment
+            RETV
+          }
+        }
+        """
+        program = assemble_program(text)
+        result, _, _ = run_static(program, "A", "f")
+        assert result == 42
+
+
+class TestDisassembler:
+    def test_roundtrip_readability(self):
+        program = assemble_program(TestAssembler.PROGRAM)
+        text = disassemble_method(program.klass("Counter").methods["bump"])
+        assert "GETFIELD" in text
+        assert "bump" in text
+        whole = disassemble_program(program)
+        assert "class Counter" in whole
+        assert "static field total: int" in whole

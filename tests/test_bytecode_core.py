@@ -1,0 +1,118 @@
+"""Unit tests for instructions, opcodes, methods and classes."""
+
+import pytest
+
+from repro.bytecode import Instr, Op, is_branch, is_invoke, stack_effect
+from repro.bytecode.klass import ClassDef, FieldDef
+from repro.bytecode.method import Method
+from repro.bytecode.opcodes import is_terminator, has_receiver
+from repro.errors import BytecodeError
+from tests.helpers import fresh_program
+
+
+class TestInstr:
+    def test_equality_and_hash(self):
+        assert Instr(Op.CONST, 5) == Instr(Op.CONST, 5)
+        assert Instr(Op.CONST, 5) != Instr(Op.CONST, 6)
+        assert hash(Instr(Op.ADD)) == hash(Instr(Op.ADD))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(BytecodeError):
+            Instr("FROBNICATE")
+
+    def test_with_target_retargets_branch(self):
+        instr = Instr(Op.GOTO, 3)
+        assert instr.with_target(7).target == 7
+        assert instr.target == 3  # original unchanged
+
+    def test_repr_contains_operands(self):
+        assert "GETFIELD" in repr(Instr(Op.GETFIELD, "A", "x"))
+
+
+class TestOpcodeMetadata:
+    def test_branch_classification(self):
+        assert is_branch(Op.IF)
+        assert is_branch(Op.GOTO)
+        assert not is_branch(Op.ADD)
+
+    def test_terminators(self):
+        for op in (Op.GOTO, Op.RET, Op.RETV):
+            assert is_terminator(op)
+        assert not is_terminator(Op.IF)  # IF falls through
+
+    def test_receiver_invokes(self):
+        assert has_receiver(Op.INVOKEVIRTUAL)
+        assert has_receiver(Op.INVOKEINTERFACE)
+        assert has_receiver(Op.INVOKESPECIAL)
+        assert not has_receiver(Op.INVOKESTATIC)
+        assert is_invoke(Op.INVOKESTATIC)
+
+    def test_fixed_stack_effects(self):
+        assert stack_effect(Op.ADD) == (2, 1)
+        assert stack_effect(Op.CONST) == (0, 1)
+        assert stack_effect(Op.ASTORE) == (3, 0)
+        assert stack_effect(Op.DUP) == (1, 2)
+
+    def test_invoke_stack_effect_uses_signature(self):
+        program = fresh_program()
+        holder = program.define_class("H", is_abstract=True)
+        holder.add_method(
+            Method("f", ["int", "int"], "int", code=[Instr(Op.CONST, 0), Instr(Op.RETV)], is_static=True)
+        )
+        holder.add_method(
+            Method("g", ["int"], "void", code=[Instr(Op.RET)], is_static=True)
+        )
+        instr = Instr(Op.INVOKESTATIC, "H", "f")
+        assert stack_effect(Op.INVOKESTATIC, instr, program) == (2, 1)
+        instr = Instr(Op.INVOKESTATIC, "H", "g")
+        assert stack_effect(Op.INVOKESTATIC, instr, program) == (1, 0)
+
+    def test_invoke_effect_requires_context(self):
+        with pytest.raises(ValueError):
+            stack_effect(Op.INVOKESTATIC)
+
+
+class TestMethod:
+    def test_slots_and_arity(self):
+        m = Method("f", ["int", "Foo"], "int", is_static=True)
+        assert m.num_receiver_slots() == 0
+        assert m.num_arg_slots() == 2
+        m2 = Method("g", ["int"], "void")
+        assert m2.num_receiver_slots() == 1
+        assert m2.num_arg_slots() == 2
+        assert not m2.returns_value()
+
+    def test_abstract_with_code_rejected(self):
+        with pytest.raises(BytecodeError):
+            Method("f", [], "void", code=[Instr(Op.RET)], is_abstract=True)
+
+    def test_native_is_never_inline(self):
+        m = Method("f", [], "void", is_native=True)
+        assert m.never_inline
+
+    def test_qualified_name(self):
+        program = fresh_program()
+        holder = program.define_class("Holder", is_abstract=True)
+        m = Method("f", [], "void", code=[Instr(Op.RET)], is_static=True)
+        holder.add_method(m)
+        assert m.qualified_name == "Holder.f"
+
+
+class TestClassDef:
+    def test_duplicate_field_rejected(self):
+        klass = ClassDef("A")
+        klass.add_field(FieldDef("x", "int"))
+        with pytest.raises(BytecodeError):
+            klass.add_field(FieldDef("x", "int"))
+
+    def test_duplicate_method_rejected(self):
+        klass = ClassDef("A")
+        klass.add_method(Method("f", [], "void", code=[Instr(Op.RET)]))
+        with pytest.raises(BytecodeError):
+            klass.add_method(Method("f", [], "void", code=[Instr(Op.RET)]))
+
+    def test_interface_is_abstract(self):
+        assert ClassDef("I", is_interface=True).is_abstract
+
+    def test_interfaces_have_no_superclass(self):
+        assert ClassDef("I", is_interface=True).superclass is None

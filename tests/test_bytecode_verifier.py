@@ -1,0 +1,141 @@
+"""Verifier acceptance and rejection tests."""
+
+import pytest
+
+from repro.bytecode import Instr, MethodBuilder, Op, verify_method, verify_program
+from repro.bytecode.method import Method
+from repro.errors import VerifyError
+from tests.helpers import fresh_program, shapes_program
+
+
+def _method_of(code, params=("int",), ret="int", program=None, max_locals=None):
+    program = program or fresh_program()
+    holder = program.define_class("V", is_abstract=True)
+    method = Method(
+        "f", list(params), ret, code=code, is_static=True, max_locals=max_locals
+    )
+    holder.add_method(method)
+    return method, program
+
+
+class TestVerifierRejections:
+    def test_empty_body(self):
+        method, program = _method_of([])
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+    def test_run_off_the_end(self):
+        method, program = _method_of([Instr(Op.CONST, 1)])
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+    def test_bad_branch_target(self):
+        method, program = _method_of([Instr(Op.GOTO, 99), Instr(Op.RET)], ret="void")
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+    def test_stack_underflow(self):
+        method, program = _method_of([Instr(Op.ADD), Instr(Op.RETV)])
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+    def test_inconsistent_merge_depth(self):
+        # Path A pushes one value, path B pushes two, both merge at 5.
+        code = [
+            Instr(Op.LOAD, 0),
+            Instr(Op.IF, 4),
+            Instr(Op.CONST, 1),
+            Instr(Op.GOTO, 6),
+            Instr(Op.CONST, 1),
+            Instr(Op.CONST, 2),
+            Instr(Op.RETV),
+        ]
+        method, program = _method_of(code)
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+    def test_local_slot_out_of_range(self):
+        method, program = _method_of(
+            [Instr(Op.LOAD, 9), Instr(Op.RETV)], max_locals=2
+        )
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+    def test_ret_in_value_method(self):
+        method, program = _method_of([Instr(Op.RET)])
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+    def test_retv_in_void_method(self):
+        method, program = _method_of(
+            [Instr(Op.CONST, 1), Instr(Op.RETV)], ret="void"
+        )
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+    def test_unknown_class_in_new(self):
+        method, program = _method_of(
+            [Instr(Op.NEW, "Ghost"), Instr(Op.POP), Instr(Op.RET)], ret="void"
+        )
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+    def test_new_of_abstract_class(self):
+        program = fresh_program()
+        program.define_class("Abs", is_abstract=True)
+        method, program = _method_of(
+            [Instr(Op.NEW, "Abs"), Instr(Op.POP), Instr(Op.RET)],
+            ret="void",
+            program=program,
+        )
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+    def test_static_invoke_of_instance_method(self):
+        program = fresh_program()
+        target = program.define_class("T2")
+        target.add_method(Method("m", [], "void", code=[Instr(Op.RET)]))
+        method, program = _method_of(
+            [Instr(Op.INVOKESTATIC, "T2", "m"), Instr(Op.RET)],
+            ret="void",
+            program=program,
+        )
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+    def test_static_field_mismatch(self):
+        from repro.bytecode.klass import FieldDef
+
+        program = fresh_program()
+        holder = program.define_class("F")
+        holder.add_field(FieldDef("x", "int", is_static=False))
+        method, program = _method_of(
+            [Instr(Op.GETSTATIC, "F", "x"), Instr(Op.RETV)], program=program
+        )
+        with pytest.raises(VerifyError):
+            verify_method(method, program)
+
+
+class TestVerifierAcceptance:
+    def test_shapes_program_verifies(self):
+        assert verify_program(shapes_program()) > 0
+
+    def test_loop_with_consistent_depths(self):
+        b = MethodBuilder("f", ["int"], "int", is_static=True)
+        loop = b.new_label()
+        done = b.new_label()
+        acc = b.alloc_local()
+        b.const(0).store(acc)
+        b.place(loop).load(0).const(0).le().if_true(done)
+        b.load(acc).load(0).add().store(acc)
+        b.load(0).const(1).sub().store(0)
+        b.goto(loop)
+        b.place(done).load(acc).retv()
+        method = b.build()
+        program = fresh_program()
+        program.define_class("W", is_abstract=True).add_method(method)
+        verify_method(method, program)
+
+    def test_natives_and_abstracts_skipped(self):
+        program = fresh_program()  # Builtins natives present
+        assert verify_program(program) == 0

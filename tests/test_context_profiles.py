@@ -1,0 +1,172 @@
+"""Tests for the context-sensitive profile extension (§VI future work).
+
+The scenario that motivates it: a shared helper called from two
+callers, each passing a *different* receiver type. The aggregate
+profile at the helper's callsite is bimorphic 50/50 — type profile
+pollution — while each caller's context profile is monomorphic. In
+context-sensitive mode the inliner specializes each inlined copy with
+its caller's clean profile.
+"""
+
+from repro.baselines import tuned_inliner
+from repro.interp import Interpreter, ProfileStore
+from repro.jit import Engine, JitConfig
+from repro.lang import compile_source
+from repro.runtime import VMState
+
+POLLUTED = """
+trait Op { def apply(x: int): int; }
+class Inc implements Op { def apply(x: int): int { return x + 1; } }
+class Dbl implements Op { def apply(x: int): int { return x * 2; } }
+class Neg implements Op { def apply(x: int): int { return 0 - x; } }
+
+object Main {
+  // Receivers come from Op-typed statics, so argument-stamp
+  // specialization cannot prove their types: only profiles can.
+  static var incOp: Op;
+  static var dblOp: Op;
+  static var negOp: Op;
+
+  // The shared helper whose aggregate profile gets polluted.
+  def helper(op: Op, x: int): int { return op.apply(x); }
+
+  def viaInc(n: int): int {
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < n) { acc = acc + Main.helper(Main.incOp, i); i = i + 1; }
+    return acc;
+  }
+  def viaDbl(n: int): int {
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < n) { acc = acc + Main.helper(Main.dblOp, i); i = i + 1; }
+    return acc;
+  }
+  def run(): int {
+    if (Main.incOp == null) {
+      Main.incOp = new Inc;
+      Main.dblOp = new Dbl;
+      Main.negOp = new Neg;
+    }
+    return Main.viaInc(60) * 3 + Main.viaDbl(60);
+  }
+}
+"""
+
+
+def _profiled(context_sensitive):
+    program = compile_source(POLLUTED)
+    vm = VMState(program)
+    store = ProfileStore(context_sensitive=context_sensitive)
+    interp = Interpreter(vm, profiles=store)
+    result = interp.call_static("Main", "run")
+    return program, store, result
+
+
+class TestProfileStore:
+    def test_aggregate_profile_is_polluted(self):
+        program, store, _ = _profiled(context_sensitive=True)
+        helper = program.lookup_method("Main", "helper")
+        aggregate = store.maybe_of(helper)
+        (receiver,) = aggregate.receivers.values()
+        types = dict(receiver.observed_types())
+        assert set(types) == {"Inc", "Dbl"}
+        assert abs(types["Inc"] - 0.5) < 0.01
+
+    def test_context_profiles_are_clean(self):
+        program, store, _ = _profiled(context_sensitive=True)
+        helper = program.lookup_method("Main", "helper")
+        via_inc = program.lookup_method("Main", "viaInc")
+        via_dbl = program.lookup_method("Main", "viaDbl")
+        inc_profile = store.context_profile(helper, via_inc)
+        dbl_profile = store.context_profile(helper, via_dbl)
+        (inc_receiver,) = inc_profile.receivers.values()
+        (dbl_receiver,) = dbl_profile.receivers.values()
+        assert inc_receiver.monomorphic_type() == "Inc"
+        assert dbl_receiver.monomorphic_type() == "Dbl"
+
+    def test_disabled_mode_records_nothing_extra(self):
+        program, store, _ = _profiled(context_sensitive=False)
+        helper = program.lookup_method("Main", "helper")
+        via_inc = program.lookup_method("Main", "viaInc")
+        assert store.context_profile(helper, via_inc) is None
+        assert store.maybe_of(helper) is not None
+
+    def test_view_falls_back_to_aggregate(self):
+        program, store, _ = _profiled(context_sensitive=True)
+        run = program.lookup_method("Main", "run")
+        helper = program.lookup_method("Main", "helper")
+        # run never calls helper directly: view falls back.
+        view = store.view_for_caller(run)
+        assert view.maybe_of(helper) is store.maybe_of(helper)
+
+    def test_invocation_counts_split_by_context(self):
+        program, store, _ = _profiled(context_sensitive=True)
+        helper = program.lookup_method("Main", "helper")
+        via_inc = program.lookup_method("Main", "viaInc")
+        aggregate = store.maybe_of(helper)
+        context = store.context_profile(helper, via_inc)
+        assert aggregate.invocations == 120
+        assert context.invocations == 60
+
+
+class TestEngineIntegration:
+    def test_semantics_identical(self):
+        program = compile_source(POLLUTED)
+        results = {}
+        for flag in (False, True):
+            engine = Engine(
+                program,
+                JitConfig(hot_threshold=15, context_sensitive_profiles=flag),
+                inliner=tuned_inliner(0.1),
+            )
+            for _ in range(8):
+                iteration = engine.run_iteration("Main", "run")
+            results[flag] = iteration
+        assert results[False].value == results[True].value
+
+    def test_context_profiles_shrink_typeswitch(self):
+        """The decisive effect: compiling viaInc with caller-specific
+        profiles produces a monomorphic (1-arm) typeswitch at the
+        helper's dispatch instead of the polluted 2-arm one."""
+        from repro.core import IncrementalInliner, InlinerParams
+        from repro.ir import annotate_frequencies, build_graph
+        from repro.ir import nodes as n
+        from repro.jit.compiler import CompileContext
+        from repro.opts.pipeline import OptimizationPipeline
+
+        arm_counts = {}
+        for flag in (False, True):
+            program, store, _ = _profiled(context_sensitive=flag)
+            method = program.lookup_method("Main", "viaInc")
+            graph = build_graph(method, program, store)
+            annotate_frequencies(graph)
+            context = CompileContext(
+                program, store, OptimizationPipeline(program), None
+            )
+            IncrementalInliner(InlinerParams.scaled(0.1)).run(graph, context)
+            arm_counts[flag] = sum(
+                1
+                for block in graph.blocks
+                for node in block.instrs
+                if isinstance(node, n.InstanceOfNode) and node.exact
+            )
+        assert arm_counts[True] == 1
+        assert arm_counts[False] == 2
+
+    def test_context_mode_not_slower(self):
+        """On the polluted-helper workload, caller-specific profiles
+        should help (or at worst tie): each inlined helper copy gets a
+        monomorphic receiver profile instead of the 50/50 aggregate."""
+        program = compile_source(POLLUTED)
+        steady = {}
+        for flag in (False, True):
+            engine = Engine(
+                program,
+                JitConfig(hot_threshold=15, context_sensitive_profiles=flag),
+                inliner=tuned_inliner(0.1),
+            )
+            for _ in range(10):
+                iteration = engine.run_iteration("Main", "run")
+            steady[flag] = iteration.total_cycles
+        assert steady[True] <= steady[False] * 1.05

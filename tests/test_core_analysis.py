@@ -1,0 +1,142 @@
+"""Clustering analysis tests (Listing 6, Eq. 9–11)."""
+
+import pytest
+
+from repro.core.analysis import CostBenefitAnalysis, tuple_ge, tuple_ratio
+from repro.core.calltree import CallNode, NodeKind
+from repro.core.params import InlinerParams
+from tests.test_core_calltree import _cutoff, _root
+
+
+class _FakeContext:
+    pass
+
+
+def _analyze(root, clustering=True):
+    analysis = CostBenefitAnalysis(InlinerParams(), clustering=clustering)
+    return analysis.run(root, _FakeContext())
+
+
+class TestTupleOps:
+    def test_ratio(self):
+        node = CallNode(NodeKind.CUTOFF, None, None, None)
+        node.tuple_benefit = 10.0
+        node.tuple_cost = 4.0
+        assert tuple_ratio(node) == pytest.approx(2.5)
+
+    def test_comparison_is_by_ratio(self):
+        a = CallNode(NodeKind.CUTOFF, None, None, None)
+        b = CallNode(NodeKind.CUTOFF, None, None, None)
+        a.tuple_benefit, a.tuple_cost = 10.0, 4.0  # 2.5
+        b.tuple_benefit, b.tuple_cost = 9.0, 3.0  # 3.0
+        assert tuple_ge(b, a)
+        assert not tuple_ge(a, b)
+
+
+class TestClustering:
+    def test_single_leaf_tuple(self):
+        root = _root()
+        leaf = _cutoff(root, "leaf", size=10, frequency=6.0)
+        _analyze(root)
+        assert leaf.tuple_benefit == pytest.approx(6.0)  # f·(1+0)
+        assert leaf.tuple_cost == pytest.approx(10.0)
+        assert leaf.front == []
+        assert not leaf.inlined_flag
+
+    def test_benefit_forfeits_children(self):
+        """Inlining a parent alone subtracts its children's benefits —
+        unless merging the cluster recovers them (Listing 6)."""
+        root = _root()
+        parent = _cutoff(root, "p", size=10, frequency=2.0)
+        parent.kind = NodeKind.EXPANDED
+        child = _cutoff(parent, "c", size=5, frequency=12.0)
+        _analyze(root)
+        # Child's ratio (12/5) dominates, so it merges into the parent
+        # cluster: tuple = (parent_local − child_B + child_B) | (10+5).
+        assert child.inlined_flag
+        assert parent.tuple_benefit == pytest.approx(2.0)
+        assert parent.tuple_cost == pytest.approx(15.0)
+        assert parent.front == []
+
+    def test_low_value_child_stays_out(self):
+        root = _root()
+        parent = _cutoff(root, "p", size=5, frequency=50.0)
+        parent.kind = NodeKind.EXPANDED
+        cold = _cutoff(parent, "cold", size=400, frequency=0.01)
+        _analyze(root)
+        assert not cold.inlined_flag
+        assert parent.front == [cold]
+        # Parent keeps the forfeit: benefit reduced by the cold child's.
+        assert parent.tuple_benefit == pytest.approx(50.0 - 0.01)
+
+    def test_figure1_cluster_shape(self):
+        """foreach + {length,get,apply} either merge as one cluster —
+        the paper's central example."""
+        root = _root()
+        log = _cutoff(root, "log", size=8, frequency=1.0)
+        log.kind = NodeKind.EXPANDED
+        foreach = _cutoff(log, "foreach", size=20, frequency=1.0)
+        foreach.kind = NodeKind.EXPANDED
+        for name in ("length", "get", "apply"):
+            _cutoff(foreach, name, size=4, frequency=40.0)
+        _analyze(root)
+        assert foreach.inlined_flag
+        for child in foreach.children:
+            assert child.inlined_flag
+        assert log.front == []
+        # Cluster tuple covers all five methods' costs.
+        assert log.tuple_cost == pytest.approx(8 + 20 + 3 * 4)
+
+    def test_deleted_and_generic_excluded(self):
+        root = _root()
+        parent = _cutoff(root, "p", size=10, frequency=5.0)
+        parent.kind = NodeKind.EXPANDED
+        dead = _cutoff(parent, "dead", size=5, frequency=100.0)
+        dead.mark_deleted()
+        opaque = _cutoff(parent, "opaque", size=5, frequency=100.0)
+        opaque.kind = NodeKind.GENERIC
+        _analyze(root)
+        assert parent.front == []
+        assert parent.tuple_benefit == pytest.approx(5.0)
+
+    def test_nested_fronts_propagate(self):
+        root = _root()
+        a = _cutoff(root, "a", size=10, frequency=2.0)
+        a.kind = NodeKind.EXPANDED
+        b = _cutoff(a, "b", size=5, frequency=30.0)
+        b.kind = NodeKind.EXPANDED
+        cold = _cutoff(b, "cold", size=500, frequency=0.001)
+        _analyze(root)
+        assert b.inlined_flag
+        assert not cold.inlined_flag
+        assert a.front == [cold]  # b's front surfaced to a's cluster
+
+    def test_cluster_roots_collected_through_inlined(self):
+        root = _root()
+        done = _cutoff(root, "done", size=5)
+        done.kind = NodeKind.INLINED
+        nested = _cutoff(done, "nested", size=5, frequency=2.0)
+        direct = _cutoff(root, "direct", size=5, frequency=2.0)
+        tops = _analyze(root)
+        assert set(tops) == {nested, direct}
+
+
+class TestOneByOne:
+    def test_no_merging(self):
+        root = _root()
+        parent = _cutoff(root, "p", size=10, frequency=2.0)
+        parent.kind = NodeKind.EXPANDED
+        child = _cutoff(parent, "c", size=5, frequency=12.0)
+        _analyze(root, clustering=False)
+        assert not child.inlined_flag
+        assert parent.front == [child]
+
+    def test_classic_tuple(self):
+        root = _root()
+        parent = _cutoff(root, "p", size=10, frequency=2.0)
+        parent.kind = NodeKind.EXPANDED
+        _cutoff(parent, "c", size=5, frequency=12.0)
+        _analyze(root, clustering=False)
+        # 1-by-1 keeps plain B_L|size with no forfeit subtraction.
+        assert parent.tuple_benefit == pytest.approx(2.0)
+        assert parent.tuple_cost == pytest.approx(10.0)

@@ -1,0 +1,146 @@
+"""Call-tree structure and subtree metric tests (Eq. 1–3)."""
+
+from repro.bytecode.method import Method
+from repro.core.calltree import CallNode, NodeKind, make_root
+from repro.ir import build_graph
+from tests.helpers import shapes_program
+
+
+def _method(name, size=5):
+    return Method(
+        name,
+        [],
+        "void",
+        code=[None] * (size - 1) + [None],  # size instructions (dummy)
+        is_static=True,
+    )
+
+
+class _FakeInvoke:
+    """Stands in for an InvokeNode living in some parent graph."""
+
+    def __init__(self):
+        self.block = object()  # non-None: callsite still exists
+        self.frequency = 1.0
+        self.is_dispatched = False
+        self.target = None
+
+
+def _cutoff(parent, name, size=5, frequency=1.0):
+    method = Method.__new__(Method)
+    method.name = name
+    method.param_types = []
+    method.return_type = "void"
+    method.code = [0] * size
+    method.is_static = True
+    method.is_abstract = False
+    method.is_native = False
+    method.klass = None
+    method.max_locals = 0
+    method.force_inline = False
+    method.never_inline = False
+    node = CallNode(NodeKind.CUTOFF, parent, _FakeInvoke(), method, frequency)
+    if parent is not None:
+        parent.add_child(node)
+    return node
+
+
+def _root():
+    program = shapes_program()
+    graph = build_graph(program.lookup_method("Main", "run"), program)
+    return make_root(graph)
+
+
+class TestStructure:
+    def test_root_properties(self):
+        root = _root()
+        assert root.is_root
+        assert root.kind == NodeKind.EXPANDED
+        assert root.frequency == 1.0
+
+    def test_subtree_iteration(self):
+        root = _root()
+        a = _cutoff(root, "a")
+        b = _cutoff(root, "b")
+        c = _cutoff(a, "c")
+        names = {n.method.name for n in root.subtree() if n is not root}
+        assert names == {"a", "b", "c"}
+
+    def test_ancestors(self):
+        root = _root()
+        a = _cutoff(root, "a")
+        c = _cutoff(a, "c")
+        assert list(c.ancestors()) == [a, root]
+
+    def test_recursion_depth(self):
+        root = _root()
+        a = _cutoff(root, "a")
+        b = CallNode(NodeKind.CUTOFF, a, None, a.method, 1.0)
+        a.add_child(b)
+        c = CallNode(NodeKind.CUTOFF, b, None, a.method, 1.0)
+        b.add_child(c)
+        assert a.recursion_depth() == 0
+        assert b.recursion_depth() == 1
+        assert c.recursion_depth() == 2
+
+    def test_describe_renders_tree(self):
+        root = _root()
+        _cutoff(root, "leaf")
+        text = root.describe()
+        assert "root" in text and "C" in text
+
+
+class TestMetrics:
+    def test_cutoff_size_estimate_is_bytecode_length(self):
+        root = _root()
+        node = _cutoff(root, "a", size=12)
+        assert node.ir_size() == 12
+
+    def test_s_irn_sums_subtree(self):
+        root = _root()
+        a = _cutoff(root, "a", size=10)
+        _cutoff(a, "b", size=7)
+        root_ir = root.graph.node_count()
+        assert root.s_irn() == root_ir + 17
+        assert a.s_irn() == 17
+
+    def test_s_b_counts_only_cutoffs(self):
+        root = _root()
+        a = _cutoff(root, "a", size=10)
+        a.kind = NodeKind.GENERIC
+        _cutoff(root, "b", size=7)
+        assert root.s_b() == 7
+
+    def test_n_c(self):
+        root = _root()
+        a = _cutoff(root, "a")
+        _cutoff(a, "b")
+        deleted = _cutoff(root, "d")
+        deleted.mark_deleted()
+        assert root.n_c() == 2
+
+    def test_deleted_detection_via_invoke(self):
+        root = _root()
+        node = _cutoff(root, "a")
+        invoke = root.graph.invokes()[0]
+        node.invoke = invoke
+        assert not node.check_deleted()
+        invoke.block = None  # simulates optimization removing it
+        assert node.check_deleted()
+        assert node.kind == NodeKind.DELETED
+        assert root.n_c() == 0
+
+    def test_inlined_nodes_contribute_zero_size(self):
+        root = _root()
+        a = _cutoff(root, "a", size=10)
+        a.kind = NodeKind.INLINED
+        _cutoff(a, "b", size=4)
+        assert a.s_irn() == 4
+
+    def test_polymorphic_size_is_typeswitch_footprint(self):
+        root = _root()
+        poly = CallNode(NodeKind.POLYMORPHIC, root, None, None, 1.0)
+        root.add_child(poly)
+        _cutoff(poly, "t1")
+        _cutoff(poly, "t2")
+        assert poly.ir_size() == 4

@@ -1,0 +1,120 @@
+"""Expansion-phase unit tests (Listings 3–4)."""
+
+from repro.core.calltree import NodeKind, make_root
+from repro.core.expansion import ExpansionPhase
+from repro.core.inliner import InlineReport
+from repro.core.params import InlinerParams
+from repro.core.trials import discover_children
+from repro.ir import annotate_frequencies, build_graph
+from repro.jit.compiler import CompileContext
+from repro.opts.pipeline import OptimizationPipeline
+from tests.helpers import run_static, shapes_program
+
+
+def _setup(method=("Main", "run"), params=None):
+    program = shapes_program()
+    _, _, interp = run_static(program, "Main", "run")
+    graph = build_graph(program.lookup_method(*method), program, interp.profiles)
+    annotate_frequencies(graph)
+    root = make_root(graph)
+    context = CompileContext(
+        program, interp.profiles, OptimizationPipeline(program), None
+    )
+    params = params or InlinerParams.scaled(0.1)
+    discover_children(root, context, params)
+    return program, root, context, params
+
+
+class TestExpansion:
+    def test_expands_hot_cutoffs(self):
+        program, root, context, params = _setup()
+        phase = ExpansionPhase(params)
+        report = InlineReport()
+        expanded = phase.run(root, context, report)
+        assert expanded > 0
+        assert report.expansions == expanded
+        kinds = [c.kind for c in root.children]
+        assert NodeKind.EXPANDED in kinds
+
+    def test_expansion_descends_into_subtrees(self):
+        program, root, context, params = _setup()
+        phase = ExpansionPhase(params)
+        phase.run(root, context, InlineReport())
+        depths = []
+
+        def walk(node, depth):
+            if node.kind == NodeKind.EXPANDED and not node.is_root:
+                depths.append(depth)
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(root, 0)
+        assert depths and max(depths) >= 2  # total -> area chain explored
+
+    def test_budget_limits_expansions_per_round(self):
+        params = InlinerParams.scaled(0.1)
+        params.max_expansions_per_round = 1
+        program, root, context, params = _setup(params=params)
+        phase = ExpansionPhase(params)
+        assert phase.run(root, context, InlineReport()) == 1
+
+    def test_fixed_mode_stops_at_te(self):
+        program, root, context, params = _setup()
+        phase = ExpansionPhase(params, adaptive=False, fixed_te=0)
+        assert phase.run(root, context, InlineReport()) == 0
+        # Declined nodes stay cutoffs (still inlinable later).
+        assert all(
+            c.kind in (NodeKind.CUTOFF, NodeKind.GENERIC, NodeKind.POLYMORPHIC)
+            for c in root.children
+        )
+
+    def test_decline_is_per_round(self):
+        program, root, context, params = _setup()
+        phase = ExpansionPhase(params, adaptive=False, fixed_te=0)
+        phase.run(root, context, InlineReport())
+        declined = [c for c in root.children if c.expand_declined]
+        assert declined
+        # A new round resets the decline marks before re-deciding.
+        phase.fixed_te = 10 ** 9
+        expanded = phase.run(root, context, InlineReport())
+        assert expanded > 0
+
+    def test_queue_bookkeeping(self):
+        """A child stays on its parent's queue only while it is a
+        cutoff or has expandable descendants (Listing 3)."""
+        program, root, context, params = _setup()
+        phase = ExpansionPhase(params)
+        phase.run(root, context, InlineReport())
+        for node in root.subtree():
+            for queued in node.queue:
+                assert queued in node.children
+                assert phase._keep_on_queue(queued)
+
+    def test_polymorphic_children_expandable(self):
+        program, root, context, params = _setup(method=("Main", "total"))
+        phase = ExpansionPhase(params)
+        phase.run(root, context, InlineReport())
+        (poly,) = root.children
+        assert poly.kind == NodeKind.POLYMORPHIC
+        expanded_targets = [
+            c for c in poly.children if c.kind == NodeKind.EXPANDED
+        ]
+        assert expanded_targets  # hot receiver types got explored
+
+
+class TestPriorityOrdering:
+    def test_hotter_subtree_explored_first(self):
+        params = InlinerParams.scaled(0.1)
+        params.max_expansions_per_round = 1
+        program, root, context, params = _setup(params=params)
+        phase = ExpansionPhase(params)
+        phase.run(root, context, InlineReport())
+        expanded = [c for c in root.children if c.kind == NodeKind.EXPANDED]
+        assert len(expanded) == 1
+        # The square path (75% of iterations) is the hotter callsite.
+        others = [
+            c
+            for c in root.children
+            if c is not expanded[0] and c.method is not None
+        ]
+        assert all(expanded[0].frequency >= o.frequency for o in others)

@@ -1,0 +1,64 @@
+"""InlinerParams construction, scaling and copying."""
+
+import pytest
+
+from repro.core.params import InlinerParams
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        params = InlinerParams()
+        assert params.p1 == 1e-3
+        assert params.p2 == 1e-4
+        assert params.b1 == 0.5
+        assert params.b2 == 10.0
+        assert params.r1 == 3000.0
+        assert params.r2 == 500.0
+        assert params.t1 == 0.005
+        assert params.t2 == 120.0
+        assert params.max_typeswitch_targets == 3
+        assert params.min_target_probability == 0.10
+        assert params.max_root_size == 50_000
+        assert params.recursion_free_depth == 2
+
+
+class TestScaling:
+    def test_size_typed_constants_scale(self):
+        params = InlinerParams.scaled(0.1)
+        assert params.r1 == pytest.approx(300.0)
+        assert params.r2 == pytest.approx(50.0)
+        assert params.t2 == pytest.approx(12.0)
+        assert params.max_root_size == 5000
+
+    def test_ratio_typed_constants_do_not(self):
+        params = InlinerParams.scaled(0.1)
+        assert params.t1 == 0.005
+        assert params.b1 == 0.5
+        assert params.b2 == 10.0
+
+    def test_density_constants_scale_inversely(self):
+        params = InlinerParams.scaled(0.1)
+        assert params.p1 == pytest.approx(1e-2)
+        assert params.p2 == pytest.approx(1e-3)
+
+    def test_overrides(self):
+        params = InlinerParams.scaled(0.1, t1=0.02, max_rounds=3)
+        assert params.t1 == 0.02
+        assert params.max_rounds == 3
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError):
+            InlinerParams.scaled(0.1, warp_drive=9)
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        original = InlinerParams()
+        clone = original.copy(t1=0.5)
+        assert clone.t1 == 0.5
+        assert original.t1 == 0.005
+        assert clone.r1 == original.r1
+
+    def test_copy_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            InlinerParams().copy(nope=1)

@@ -1,0 +1,130 @@
+"""Typeswitch emission unit tests (§IV polymorphic inlining)."""
+
+import pytest
+
+from repro.core.polymorphic import emit_typeswitch
+from repro.ir import annotate_frequencies, build_graph, check_graph
+from repro.ir import nodes as n
+from tests.execution import execute_graph
+from tests.helpers import run_static, shapes_program
+
+
+def _emit(program, targets_spec):
+    _, _, interp = run_static(program, "Main", "run")
+    graph = build_graph(program.lookup_method("Main", "total"), program, interp.profiles)
+    annotate_frequencies(graph)
+    (invoke,) = graph.invokes()
+    targets = [
+        (name, probability, program.resolve_method(name, "area"))
+        for name, probability in targets_spec
+    ]
+    arms = emit_typeswitch(graph, invoke, targets, program)
+    check_graph(graph, program)
+    return graph, arms
+
+
+class TestEmission:
+    def test_structure(self):
+        program = shapes_program()
+        graph, arms = _emit(program, [("Square", 0.75), ("Circle", 0.25)])
+        assert set(arms) == {"Square", "Circle"}
+        exact_checks = [
+            x
+            for block in graph.blocks
+            for x in block.instrs
+            if isinstance(x, n.InstanceOfNode) and x.exact
+        ]
+        assert len(exact_checks) == 2
+        directs = [i for i in graph.invokes() if i.kind == "direct"]
+        fallbacks = [i for i in graph.invokes() if i.is_dispatched]
+        assert len(directs) == 2
+        assert len(fallbacks) == 1
+
+    def test_receiver_refined_in_arms(self):
+        program = shapes_program()
+        _, arms = _emit(program, [("Square", 0.9)])
+        arm = arms["Square"]
+        receiver = arm.inputs[0]
+        assert isinstance(receiver, n.PiNode)
+        assert receiver.stamp.type_name == "Square"
+        assert receiver.stamp.exact and receiver.stamp.non_null
+
+    def test_probabilities_conditional(self):
+        program = shapes_program()
+        graph, _ = _emit(program, [("Square", 0.75), ("Circle", 0.25)])
+        ifs = [
+            block.terminator
+            for block in graph.blocks
+            if isinstance(block.terminator, n.IfNode)
+        ]
+        probabilities = sorted(i.probability for i in ifs)
+        # First test: 0.75; second: 0.25/0.25 capped at 0.999.
+        assert probabilities[0] == pytest.approx(0.75)
+        assert probabilities[1] >= 0.99
+
+    def test_execution_dispatches_correctly(self):
+        from repro.runtime import VMState
+
+        program = shapes_program()
+        graph, _ = _emit(program, [("Square", 0.75), ("Circle", 0.25)])
+        vm = VMState(program)
+        square = vm.allocate("Square")
+        square.fields["side"] = 5
+        circle = vm.allocate("Circle")
+        circle.fields["r"] = 2
+        assert execute_graph(graph, program, [square, 3], vm=vm)[0] == 75
+        assert execute_graph(graph, program, [circle, 3], vm=vm)[0] == 36
+
+    def test_fallback_covers_unprofiled_type(self):
+        from repro.bytecode import MethodBuilder
+        from repro.bytecode.klass import FieldDef
+        from repro.runtime import VMState
+
+        program = shapes_program()
+        # A third Shape the profile never saw.
+        tri = program.define_class("Tri", interfaces=["Shape"])
+        tri.add_field(FieldDef("b", "int"))
+        builder = MethodBuilder("area", [], "int")
+        builder.load(0).getfield("Tri", "b").const(10).mul().retv()
+        tri.add_method(builder.build())
+
+        graph, _ = _emit(program, [("Square", 0.75), ("Circle", 0.25)])
+        vm = VMState(program)
+        triangle = vm.allocate("Tri")
+        triangle.fields["b"] = 4
+        result, _ = execute_graph(graph, program, [triangle, 1], vm=vm)
+        assert result == 40  # served by the virtual fallback
+
+    def test_void_callsite(self):
+        from repro.bytecode import MethodBuilder
+        from repro.bytecode.method import Method
+
+        program = shapes_program()
+        shape = program.klass("Shape")
+        shape.add_method(Method("poke", ["int"], "void", is_abstract=True))
+        for cname, fname in (("Square", "side"), ("Circle", "r")):
+            b = MethodBuilder("poke", ["int"], "void")
+            b.load(0).load(1).putfield(cname, fname).ret()
+            program.klass(cname).add_method(b.build())
+        b = MethodBuilder("poker", ["Shape", "int"], "void", is_static=True)
+        b.load(0).load(1).invokeinterface("Shape", "poke").ret()
+        program.klass("Main").add_method(b.build())
+
+        graph = build_graph(program.lookup_method("Main", "poker"), program)
+        (invoke,) = graph.invokes()
+        targets = [
+            ("Square", 0.6, program.resolve_method("Square", "poke")),
+            ("Circle", 0.4, program.resolve_method("Circle", "poke")),
+        ]
+        arms = emit_typeswitch(graph, invoke, targets, program)
+        check_graph(graph, program)
+        # No merge phi for void calls.
+        merge_phis = [p for block in graph.blocks for p in block.phis]
+        assert not merge_phis
+
+        from repro.runtime import VMState
+
+        vm = VMState(program)
+        square = vm.allocate("Square")
+        execute_graph(graph, program, [square, 9], vm=vm)
+        assert square.fields["side"] == 9

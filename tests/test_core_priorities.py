@@ -1,0 +1,165 @@
+"""Hand-computed checks of the paper's formulas (Eq. 4–8, 12–14)."""
+
+import math
+
+import pytest
+
+from repro.core.calltree import CallNode, NodeKind
+from repro.core.params import InlinerParams
+from repro.core.priorities import (
+    exploration_penalty,
+    intrinsic_priority,
+    local_benefit,
+    priority,
+    recursion_penalty,
+)
+from repro.core.thresholds import (
+    expansion_threshold,
+    inline_threshold,
+    should_expand,
+    should_inline,
+)
+from tests.test_core_calltree import _cutoff, _root
+
+
+class TestLocalBenefit:
+    def test_cutoff_uses_concrete_args(self):
+        root = _root()
+        node = _cutoff(root, "a", frequency=10.0)
+        node.concrete_arg_count = 2
+        assert local_benefit(node) == 10.0 * 3  # f·(1+N_s)
+
+    def test_expanded_uses_trial_opts(self):
+        root = _root()
+        node = _cutoff(root, "a", frequency=4.0)
+        node.kind = NodeKind.EXPANDED
+        node.trial_opt_count = 5
+        assert local_benefit(node) == 4.0 * 6
+
+    def test_polymorphic_weighted_sum(self):
+        root = _root()
+        poly = CallNode(NodeKind.POLYMORPHIC, root, None, None, 8.0)
+        root.add_child(poly)
+        a = _cutoff(poly, "a", frequency=8.0 * 0.75)
+        a.probability = 0.75
+        b = _cutoff(poly, "b", frequency=8.0 * 0.25)
+        b.probability = 0.25
+        expected = 0.75 * local_benefit(a) + 0.25 * local_benefit(b)
+        assert local_benefit(poly) == pytest.approx(expected)
+
+    def test_dead_and_generic_are_zero(self):
+        root = _root()
+        node = _cutoff(root, "a", frequency=10.0)
+        node.kind = NodeKind.GENERIC
+        assert local_benefit(node) == 0.0
+        node.kind = NodeKind.DELETED
+        assert local_benefit(node) == 0.0
+
+
+class TestPriorities:
+    def test_cutoff_priority_is_benefit_density(self):
+        params = InlinerParams()
+        root = _root()
+        node = _cutoff(root, "a", size=10, frequency=20.0)
+        assert intrinsic_priority(node, params) == pytest.approx(20.0 / 10)
+
+    def test_expanded_takes_max_child(self):
+        params = InlinerParams()
+        root = _root()
+        parent = _cutoff(root, "p")
+        parent.kind = NodeKind.EXPANDED
+        low = _cutoff(parent, "low", size=10, frequency=1.0)
+        high = _cutoff(parent, "high", size=10, frequency=50.0)
+        assert intrinsic_priority(parent, params) == pytest.approx(
+            intrinsic_priority(high, params)
+        )
+
+    def test_exploration_penalty_formula(self):
+        params = InlinerParams(p1=1e-3, p2=1e-4, b1=0.5, b2=10.0)
+        root = _root()
+        node = _cutoff(root, "a", size=100)
+        _cutoff(node, "b", size=50)
+        # S_irn = 150, S_b = 150 (both cutoffs), N_c = 2.
+        expected = 1e-3 * 150 + 1e-4 * 150 - 0.5 * max(0.0, 10 - 4)
+        assert exploration_penalty(node, params) == pytest.approx(expected)
+
+    def test_priority_subtracts_penalty(self):
+        params = InlinerParams()
+        root = _root()
+        node = _cutoff(root, "a", size=10, frequency=5.0)
+        assert priority(node, params) == pytest.approx(
+            intrinsic_priority(node, params) - exploration_penalty(node, params)
+        )
+
+
+class TestRecursionPenalty:
+    def test_free_until_depth_one(self):
+        params = InlinerParams()
+        root = _root()
+        a = _cutoff(root, "a", frequency=3.0)
+        b = CallNode(NodeKind.CUTOFF, a, None, a.method, 3.0)
+        a.add_child(b)
+        # depth 1: 2^1 - 2 = 0 -> no penalty yet.
+        assert recursion_penalty(b, params) == 0.0
+
+    def test_exponential_growth(self):
+        params = InlinerParams()
+        root = _root()
+        chain = _cutoff(root, "a", frequency=1.0)
+        nodes = [chain]
+        for _ in range(4):
+            nxt = CallNode(NodeKind.CUTOFF, nodes[-1], None, chain.method, 1.0)
+            nodes[-1].add_child(nxt)
+            nodes.append(nxt)
+        p2 = recursion_penalty(nodes[2], params)  # depth 2: 2^2-2 = 2
+        p3 = recursion_penalty(nodes[3], params)  # depth 3: 2^3-2 = 6
+        p4 = recursion_penalty(nodes[4], params)  # depth 4: 14
+        assert (p2, p3, p4) == (2.0, 6.0, 14.0)
+
+    def test_frequency_multiplier(self):
+        params = InlinerParams()
+        root = _root()
+        a = _cutoff(root, "a", frequency=10.0)
+        b = CallNode(NodeKind.CUTOFF, a, None, a.method, 10.0)
+        a.add_child(b)
+        c = CallNode(NodeKind.CUTOFF, b, None, a.method, 10.0)
+        b.add_child(c)
+        assert recursion_penalty(c, params) == 10.0 * 2.0
+
+
+class TestThresholds:
+    def test_expansion_threshold_rises_with_root_size(self):
+        params = InlinerParams(r1=3000, r2=500)
+        t_small = expansion_threshold(1000, params)
+        t_at_r1 = expansion_threshold(3000, params)
+        t_large = expansion_threshold(5000, params)
+        assert t_small < t_at_r1 == 1.0 < t_large
+        assert t_large == pytest.approx(math.exp(4))
+
+    def test_should_expand_decision(self):
+        params = InlinerParams(r1=3000, r2=500)
+        # benefit density 2.0 passes while the tree is small...
+        assert should_expand(20.0, 10, 1000, params)
+        # ...but not once the root has grown far past r1.
+        assert not should_expand(20.0, 10, 6000, params)
+
+    def test_inline_threshold_monotone_in_both_sizes(self):
+        params = InlinerParams(t1=0.005, t2=120)
+        base = inline_threshold(1000, 50, params)
+        bigger_root = inline_threshold(5000, 50, params)
+        bigger_callee = inline_threshold(1000, 2000, params)
+        assert base < bigger_root
+        assert base < bigger_callee
+
+    def test_inline_threshold_forgives_small_methods(self):
+        """The paper's println example: near the budget limit, a small
+        method still passes while a large one does not."""
+        params = InlinerParams(t1=0.005, t2=120)
+        root = 6000
+        ratio = 0.08
+        assert should_inline(ratio, root, 20, params)
+        assert not should_inline(ratio, root, 4000, params)
+
+    def test_threshold_guard_against_overflow(self):
+        params = InlinerParams(t1=0.005, t2=0.001)
+        assert inline_threshold(10 ** 6, 10 ** 6, params) == math.inf

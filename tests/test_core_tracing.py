@@ -1,0 +1,76 @@
+"""Tests for the inlining decision tracer."""
+
+from repro.core import IncrementalInliner, InlinerParams, InlineTracer
+from repro.ir import annotate_frequencies, build_graph
+from repro.jit.compiler import CompileContext
+from repro.opts.pipeline import OptimizationPipeline
+from tests.helpers import run_static, shapes_program
+
+
+def _traced_run(method=("Main", "run"), **inliner_kwargs):
+    program = shapes_program()
+    _, _, interp = run_static(program, "Main", "run")
+    graph = build_graph(program.lookup_method(*method), program, interp.profiles)
+    annotate_frequencies(graph)
+    context = CompileContext(
+        program, interp.profiles, OptimizationPipeline(program), None
+    )
+    tracer = InlineTracer()
+    inliner = IncrementalInliner(
+        InlinerParams.scaled(0.1), tracer=tracer, **inliner_kwargs
+    )
+    report = inliner.run(graph, context)
+    return tracer, report
+
+
+class TestTracer:
+    def test_records_rounds_and_termination(self):
+        tracer, report = _traced_run()
+        rounds = tracer.of_kind("round")
+        assert len(rounds) == report.rounds
+        (terminate,) = tracer.of_kind("terminate")
+        assert terminate.detail["reason"] in (
+            "no change in call tree",
+            "no cutoffs left",
+            "max rounds",
+            "root size bailout",
+        )
+
+    def test_expansions_traced_with_threshold_numbers(self):
+        tracer, report = _traced_run()
+        expands = tracer.of_kind("expand")
+        assert len(expands) == report.expansions
+        for event in expands:
+            assert event.detail["benefit"] >= 0
+            assert event.detail["size"] >= 1
+            assert event.detail["threshold"] > 0
+
+    def test_inline_events_match_report(self):
+        tracer, report = _traced_run()
+        inlines = tracer.of_kind("inline")
+        # Each inline event covers one *cluster*, which may substitute
+        # several methods, so events <= report.inline_count.
+        assert inlines
+        assert len(inlines) <= report.inline_count
+        clusters = tracer.of_kind("cluster")
+        assert len(clusters) == len(inlines)
+        total_members = sum(len(c.detail["members"]) for c in clusters)
+        assert total_members == report.inline_count
+
+    def test_typeswitch_traced(self):
+        tracer, report = _traced_run(method=("Main", "total"))
+        switches = tracer.of_kind("typeswitch")
+        assert len(switches) == report.typeswitch_count == 1
+        assert set(switches[0].detail["targets"]) == {"Square", "Circle"}
+
+    def test_declines_traced_under_fixed_zero_budget(self):
+        tracer, _ = _traced_run(adaptive_expansion=False, fixed_te=0)
+        assert tracer.of_kind("decline")
+        assert not tracer.of_kind("expand")
+
+    def test_render_readable(self):
+        tracer, _ = _traced_run()
+        text = tracer.render()
+        assert "round 1" in text
+        assert "INLINE" in text
+        assert "terminated:" in text

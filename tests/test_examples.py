@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs and prints what it promises."""
+
+import io
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run_example(name, argv=None):
+    path = os.path.join(EXAMPLES, name)
+    captured = io.StringIO()
+    old_stdout, old_argv = sys.stdout, sys.argv
+    sys.stdout = captured
+    sys.argv = [path] + (argv or [])
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.stdout = old_stdout
+        sys.argv = old_argv
+    return captured.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run_example("quickstart.py")
+        assert "result: %d" % (sum(x * x for x in range(100)) + 50) in out
+        assert "inlined" in out
+
+    def test_figure1(self):
+        out = _run_example("figure1_foreach.py")
+        assert "program result: %d" % sum(range(50)) in out
+        assert "call tree" in out
+        assert "E Seq.foreach" in out or "P Seq.foreach" in out
+        assert "incremental (the paper)" in out
+
+    def test_custom_policy(self):
+        out = _run_example("custom_policy.py")
+        assert out.count("value=99812") == 3
+        assert "custom hottest-callsite policy" in out
+
+    @pytest.mark.slow
+    def test_compare_inliners(self):
+        out = _run_example("compare_inliners.py", ["pmd"])
+        assert "steady cycles" in out
+        assert "pmd" in out

@@ -1,0 +1,74 @@
+"""@inline / @noinline flow through every inlining policy."""
+
+from repro.baselines import C2Inliner, GreedyInliner, tuned_inliner
+from repro.ir import annotate_frequencies, build_graph
+from repro.jit.compiler import CompileContext
+from repro.lang import compile_source
+from repro.interp import Interpreter
+from repro.opts.pipeline import OptimizationPipeline
+from repro.runtime import VMState
+
+SOURCE = """
+object Main {
+  @inline def mustInline(x: int): int {
+    // Deliberately bulky so size heuristics would normally refuse it.
+    var a: int = x;  var b: int = x * 2;  var c: int = x * 3;
+    a = a + b; b = b + c; c = c + a;
+    a = a ^ b; b = b | c; c = c & a;
+    a = a + b; b = b + c; c = c + a;
+    a = a ^ b; b = b | c; c = c & a;
+    return a + b + c;
+  }
+  @noinline def mustStay(x: int): int { return x + 1; }
+  def run(): int {
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < 40) {
+      acc = acc + Main.mustInline(i) + Main.mustStay(i);
+      i = i + 1;
+    }
+    return acc;
+  }
+}
+"""
+
+
+def _inline_run(factory):
+    program = compile_source(SOURCE)
+    vm = VMState(program)
+    interp = Interpreter(vm)
+    interp.call_static("Main", "run")
+    graph = build_graph(
+        program.lookup_method("Main", "run"), program, interp.profiles
+    )
+    annotate_frequencies(graph)
+    context = CompileContext(
+        program, interp.profiles, OptimizationPipeline(program), None
+    )
+    report = factory().run(graph, context)
+    return report, graph
+
+
+class TestAnnotations:
+    def test_incremental_respects_both(self):
+        report, graph = _inline_run(lambda: tuned_inliner(0.1))
+        assert "Main.mustInline" in report.inlined_methods
+        assert "Main.mustStay" not in report.inlined_methods
+        remaining = {i.method_name for i in graph.invokes()}
+        assert "mustStay" in remaining
+        assert "mustInline" not in remaining
+
+    def test_greedy_respects_both(self):
+        report, graph = _inline_run(
+            lambda: GreedyInliner(trivial_size=1, max_callee_size=2)
+        )
+        # Size thresholds would reject mustInline; force_inline wins.
+        assert "Main.mustInline" in report.inlined_methods
+        assert "Main.mustStay" not in report.inlined_methods
+
+    def test_c2_respects_both(self):
+        report, graph = _inline_run(
+            lambda: C2Inliner(trivial_size=1, max_callee_size=2)
+        )
+        assert "Main.mustInline" in report.inlined_methods
+        assert "Main.mustStay" not in report.inlined_methods

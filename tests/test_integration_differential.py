@@ -1,0 +1,188 @@
+"""Differential testing: every tier and every inlining policy must
+compute exactly what the interpreter computes.
+
+This is the system's strongest safety net: a random structured program
+generator (hypothesis) produces minij programs exercising arithmetic,
+control flow, virtual dispatch and closures; each is run through the
+pure interpreter and through the JIT engine under each policy.
+"""
+
+import pytest
+from hypothesis import given, settings, HealthCheck
+from hypothesis import strategies as st
+
+from repro.baselines import C2Inliner, GreedyInliner, tuned_inliner
+from repro.jit import Engine, JitConfig
+from repro.lang import compile_source
+from repro.interp import Interpreter
+from repro.runtime import VMState
+
+POLICIES = [
+    ("none", lambda: None),
+    ("greedy", GreedyInliner),
+    ("c2", C2Inliner),
+    ("incremental", lambda: tuned_inliner(0.1)),
+]
+
+
+def assert_all_tiers_agree(source, iterations=6, hot_threshold=3):
+    program = compile_source(source)
+    vm = VMState(program)
+    expected = Interpreter(vm).call_static("Main", "run")
+    for name, factory in POLICIES:
+        engine = Engine(
+            program, JitConfig(hot_threshold=hot_threshold), inliner=factory()
+        )
+        for _ in range(iterations):
+            result = engine.run_iteration("Main", "run")
+            assert result.value == expected, (
+                "policy %s diverged: %r != %r" % (name, result.value, expected)
+            )
+
+
+class TestHandPicked:
+    def test_polymorphic_collection_pipeline(self):
+        assert_all_tiers_agree(
+            """
+            object Main {
+              def run(): int {
+                var xs: ArraySeq = new ArraySeq(4);
+                var i: int = 0;
+                while (i < 30) { xs.add(new Box(i * 7 % 13)); i = i + 1; }
+                var total: int = xs.sumBy(fun (b: Box): int => b.get());
+                var big: int = xs.count(fun (b: Box): bool => b.get() > 6);
+                return total * 100 + big;
+              }
+            }
+            """
+        )
+
+    def test_figure1_foreach_shape(self):
+        """The paper's motivating example, almost verbatim."""
+        assert_all_tiers_agree(
+            """
+            object Main {
+              def log(xs: Seq): int {
+                var sum: Box = new Box(0);
+                xs.foreach(fun (x: Box): void {
+                  sum.value = sum.value + x.get();
+                });
+                return sum.value;
+              }
+              def run(): int {
+                var args: ArraySeq = new ArraySeq(4);
+                var i: int = 0;
+                while (i < 25) { args.add(new Box(i)); i = i + 1; }
+                return Main.log(args);
+              }
+            }
+            """
+        )
+
+    def test_deep_recursion_with_dispatch(self):
+        assert_all_tiers_agree(
+            """
+            trait Node { def sum(): int; }
+            class Leaf implements Node {
+              var v: int;
+              def init(v: int): void { this.v = v; }
+              def sum(): int { return this.v; }
+            }
+            class Pair implements Node {
+              var l: Node;
+              var r: Node;
+              def init(l: Node, r: Node): void { this.l = l; this.r = r; }
+              def sum(): int { return this.l.sum() + this.r.sum(); }
+            }
+            object Main {
+              def build(d: int, s: int): Node {
+                if (d == 0) { return new Leaf(s); }
+                return new Pair(Main.build(d - 1, s * 2), Main.build(d - 1, s * 2 + 1));
+              }
+              def run(): int { return Main.build(6, 1).sum(); }
+            }
+            """
+        )
+
+    def test_exceptional_control_stays_consistent(self):
+        assert_all_tiers_agree(
+            """
+            object Main {
+              def safeDiv(a: int, b: int): int {
+                if (b == 0) { return 0 - 1; }
+                return a / b;
+              }
+              def run(): int {
+                var acc: int = 0;
+                var i: int = 0 - 5;
+                while (i < 5) {
+                  acc = acc + Main.safeDiv(100, i);
+                  i = i + 1;
+                }
+                return acc;
+              }
+            }
+            """
+        )
+
+
+_EXPRS = [
+    "a + b", "a - b", "a * 3", "b % 7 + 1", "(a & b) | 5",
+    "a << 1", "b >> 2", "a ^ b",
+]
+_CONDS = ["a < b", "a == b", "a > 10", "(a & 1) == 0", "b != 0"]
+
+
+@st.composite
+def random_program(draw):
+    """A random but well-formed minij Main.run exercising statements."""
+    lines = ["var a: int = %d;" % draw(st.integers(-20, 20))]
+    lines.append("var b: int = %d;" % draw(st.integers(1, 20)))
+    statements = draw(st.integers(2, 6))
+    for index in range(statements):
+        kind = draw(st.integers(0, 2))
+        expr = draw(st.sampled_from(_EXPRS))
+        cond = draw(st.sampled_from(_CONDS))
+        if kind == 0:
+            lines.append("a = %s;" % expr)
+        elif kind == 1:
+            lines.append(
+                "if (%s) { a = %s; } else { b = b + 1; }" % (cond, expr)
+            )
+        else:
+            lines.append(
+                "var i%d: int = 0; while (i%d < %d) { a = a + (%s); i%d = i%d + 1; }"
+                % (index, index, draw(st.integers(1, 8)), expr, index, index)
+            )
+    lines.append("return a * 31 + b;")
+    return (
+        "object Main { def run(): int { %s } }" % " ".join(lines)
+    )
+
+
+class TestRandomPrograms:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(random_program())
+    def test_policies_agree_on_random_programs(self, source):
+        assert_all_tiers_agree(source, iterations=4, hot_threshold=2)
+
+
+class TestBenchmarkSubset:
+    @pytest.mark.parametrize("name", ["factorie", "jython", "stmbench7"])
+    def test_benchmark_tier_agreement(self, name):
+        from repro.bench.suite import get_benchmark
+
+        spec = get_benchmark(name)
+        program = spec.load()
+        vm = VMState(program)
+        interp = Interpreter(vm)
+        expected = [interp.call_static("Main", "run") for _ in range(4)]
+        engine = Engine(
+            program, JitConfig(hot_threshold=25), inliner=tuned_inliner(0.1)
+        )
+        actual = [engine.run_iteration("Main", "run").value for _ in range(4)]
+        assert actual == expected

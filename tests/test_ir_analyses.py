@@ -1,0 +1,133 @@
+"""Dominators, natural loops and frequency annotation."""
+
+from repro.ir import annotate_frequencies, build_graph, compute_dominators, compute_loops
+from repro.ir.dominators import dominates
+from repro.ir import nodes as n
+from tests.helpers import run_static, shapes_program, single_method_program
+
+
+def _loop_graph(trip_count=10):
+    def build(b):
+        loop = b.new_label()
+        done = b.new_label()
+        i = b.alloc_local()
+        acc = b.alloc_local()
+        b.const(0).store(i).const(0).store(acc)
+        b.place(loop).load(i).const(trip_count).ge().if_true(done)
+        b.load(acc).load(i).add().store(acc)
+        b.load(i).const(1).add().store(i)
+        b.goto(loop)
+        b.place(done).load(acc).retv()
+
+    program = single_method_program(build, params=())
+    _, _, interp = run_static(program, "T", "f")
+    method = program.lookup_method("T", "f")
+    return build_graph(method, program, interp.profiles), program
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        graph, _ = _loop_graph()
+        idom = compute_dominators(graph)
+        for block in graph.reverse_postorder():
+            assert dominates(idom, graph.entry, block)
+
+    def test_diamond_idoms(self):
+        def build(b):
+            other = b.new_label()
+            join = b.new_label()
+            b.load(0).if_true(other)
+            b.const(1).store(1).goto(join)
+            b.place(other).const(2).store(1)
+            b.place(join).load(1).retv()
+
+        program = single_method_program(build)
+        graph = build_graph(program.lookup_method("T", "f"), program)
+        idom = compute_dominators(graph)
+        join_block = [b for b in graph.blocks if len(b.preds) == 2][0]
+        assert idom[join_block] is graph.entry
+
+
+class TestLoops:
+    def test_natural_loop_detected(self):
+        graph, _ = _loop_graph()
+        loops = compute_loops(graph)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header in loop.blocks
+        assert loop.backedge_preds
+
+    def test_nested_loops_ordered_innermost_first(self):
+        def build(b):
+            outer = b.new_label()
+            outer_done = b.new_label()
+            inner = b.new_label()
+            inner_done = b.new_label()
+            i = b.alloc_local()
+            j = b.alloc_local()
+            b.const(0).store(i)
+            b.place(outer).load(i).const(3).ge().if_true(outer_done)
+            b.const(0).store(j)
+            b.place(inner).load(j).const(4).ge().if_true(inner_done)
+            b.load(j).const(1).add().store(j).goto(inner)
+            b.place(inner_done)
+            b.load(i).const(1).add().store(i).goto(outer)
+            b.place(outer_done).const(0).retv()
+
+        program = single_method_program(build, params=())
+        graph = build_graph(program.lookup_method("T", "f"), program)
+        loops = compute_loops(graph)
+        assert len(loops) == 2
+        inner, outer = loops
+        assert inner.depth == 2 and outer.depth == 1
+        assert inner.parent is outer
+        assert inner.blocks < outer.blocks
+
+
+class TestFrequencies:
+    def test_loop_frequency_matches_trip_count(self):
+        graph, _ = _loop_graph(trip_count=25)
+        loops = annotate_frequencies(graph)
+        assert len(loops) == 1
+        assert abs(loops[0].frequency - 26) < 1.0
+
+    def test_invoke_frequency_scaled_by_loop(self):
+        program = shapes_program()
+        _, _, interp = run_static(program, "Main", "run")
+        graph = build_graph(program.lookup_method("Main", "run"), program, interp.profiles)
+        annotate_frequencies(graph)
+        invokes = [i for i in graph.invokes() if i.method_name == "total"]
+        total_frequency = sum(i.frequency for i in invokes)
+        assert abs(total_frequency - 120) < 5
+
+    def test_branch_split_frequencies(self):
+        program = shapes_program()
+        _, _, interp = run_static(program, "Main", "run")
+        graph = build_graph(program.lookup_method("Main", "run"), program, interp.profiles)
+        annotate_frequencies(graph)
+        invokes = sorted(
+            (i for i in graph.invokes() if i.method_name == "total"),
+            key=lambda i: i.frequency,
+        )
+        # 25% circle path vs 75% square path.
+        assert invokes[0].frequency < invokes[1].frequency
+        ratio = invokes[1].frequency / invokes[0].frequency
+        assert 2.0 < ratio < 4.0
+
+    def test_entry_block_frequency_is_one(self):
+        graph, _ = _loop_graph()
+        annotate_frequencies(graph)
+        assert graph.entry.frequency == 1.0
+
+    def test_frequency_capped(self):
+        from repro.ir.frequency import MAX_LOOP_FREQUENCY
+        from repro.ir import nodes as n
+
+        graph, _ = _loop_graph()
+        # Force a profile claiming the loop never exits.
+        for block in graph.blocks:
+            term = block.terminator
+            if isinstance(term, n.IfNode):
+                term.probability = 0.0 if term.true_block.id > block.id else 1.0
+        loops = annotate_frequencies(graph)
+        assert loops[0].frequency <= MAX_LOOP_FREQUENCY

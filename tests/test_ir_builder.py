@@ -1,0 +1,171 @@
+"""SSA construction tests: phis, loops, stamps, invoke metadata."""
+
+import pytest
+
+from repro.bytecode import MethodBuilder
+from repro.errors import IRError
+from repro.ir import build_graph, check_graph, format_graph
+from repro.ir import nodes as n
+from repro.ir import stamps as stm
+from tests.helpers import fresh_program, run_static, shapes_program, single_method_program
+
+
+def _graph_of(program, class_name, method_name, profiles=None):
+    method = program.lookup_method(class_name, method_name)
+    graph = build_graph(method, program, profiles)
+    check_graph(graph, program)
+    return graph
+
+
+class TestStraightLine:
+    def test_parameters_become_nodes(self):
+        def build(b):
+            b.load(0).load(1).add().retv()
+
+        program = single_method_program(build, params=("int", "int"))
+        graph = _graph_of(program, "T", "f")
+        assert len(graph.params) == 2
+        assert all(isinstance(p, n.ParamNode) for p in graph.params)
+        assert graph.params[0].stamp == stm.int_stamp()
+
+    def test_receiver_param_stamp(self):
+        program = shapes_program()
+        graph = _graph_of(program, "Square", "area")
+        receiver = graph.params[0]
+        assert receiver.stamp.type_name == "Square"
+        assert receiver.stamp.non_null
+
+    def test_dup_shares_node(self):
+        def build(b):
+            b.load(0).dup().mul().retv()
+
+        program = single_method_program(build)
+        graph = _graph_of(program, "T", "f")
+        (mul,) = [x for x in graph.entry.instrs if isinstance(x, n.BinOpNode)]
+        assert mul.inputs[0] is mul.inputs[1]
+
+
+class TestJoinsAndLoops:
+    def test_if_join_creates_phi(self):
+        def build(b):
+            other = b.new_label()
+            join = b.new_label()
+            b.load(0).if_true(other)
+            b.const(10).store(1).goto(join)
+            b.place(other).const(20).store(1)
+            b.place(join).load(1).retv()
+
+        program = single_method_program(build)
+        graph = _graph_of(program, "T", "f")
+        phis = [p for block in graph.blocks for p in block.phis]
+        assert len(phis) == 1
+        values = sorted(i.value for i in phis[0].inputs)
+        assert values == [10, 20]
+
+    def test_loop_phi(self):
+        def build(b):
+            loop = b.new_label()
+            done = b.new_label()
+            acc = b.alloc_local()
+            b.const(0).store(acc)
+            b.place(loop).load(0).const(0).le().if_true(done)
+            b.load(acc).load(0).add().store(acc)
+            b.load(0).const(1).sub().store(0)
+            b.goto(loop)
+            b.place(done).load(acc).retv()
+
+        program = single_method_program(build)
+        graph = _graph_of(program, "T", "f")
+        loop_phis = [p for block in graph.blocks for p in block.phis]
+        # acc and the decremented parameter both need loop phis.
+        assert len(loop_phis) == 2
+
+    def test_trivial_phis_removed(self):
+        def build(b):
+            # A join where the local is identical on both paths.
+            other = b.new_label()
+            join = b.new_label()
+            b.const(7).store(1)
+            b.load(0).if_true(other)
+            b.goto(join)
+            b.place(other)
+            b.place(join)
+            b.load(1).retv()
+
+        program = single_method_program(build)
+        graph = _graph_of(program, "T", "f")
+        assert not any(block.phis for block in graph.blocks)
+
+    def test_unreachable_code_skipped(self):
+        def build(b):
+            b.load(0).retv()
+            b.const(999).retv()  # dead
+
+        program = single_method_program(build)
+        graph = _graph_of(program, "T", "f")
+        consts = [
+            x
+            for block in graph.blocks
+            for x in block.instrs
+            if isinstance(x, n.ConstIntNode) and x.value == 999
+        ]
+        assert not consts
+
+
+class TestInvokes:
+    def test_invoke_metadata_without_profiles(self):
+        program = shapes_program()
+        graph = _graph_of(program, "Main", "total")
+        (invoke,) = graph.invokes()
+        assert invoke.kind == "interface"
+        assert invoke.declared_class == "Shape"
+        assert invoke.receiver_types == []
+
+    def test_invoke_profile_snapshot(self):
+        program = shapes_program()
+        _, _, interp = run_static(program, "Main", "run")
+        graph = _graph_of(program, "Main", "total", interp.profiles)
+        (invoke,) = graph.invokes()
+        types = dict(invoke.receiver_types)
+        assert set(types) == {"Square", "Circle"}
+        assert invoke.bci >= 0
+
+    def test_branch_probability_from_profile(self):
+        program = shapes_program()
+        _, _, interp = run_static(program, "Main", "run")
+        graph = _graph_of(program, "Main", "run", interp.profiles)
+        ifs = [
+            block.terminator
+            for block in graph.blocks
+            if isinstance(block.terminator, n.IfNode)
+        ]
+        probabilities = sorted(i.probability for i in ifs)
+        assert probabilities[0] < 0.05  # loop exit taken rarely
+
+    def test_void_invoke_produces_no_value(self):
+        program = fresh_program()
+        holder = program.define_class("H", is_abstract=True)
+        b = MethodBuilder("log", ["int"], "void", is_static=True)
+        b.load(0).invokestatic("Builtins", "print").ret()
+        holder.add_method(b.build())
+        b = MethodBuilder("f", [], "void", is_static=True)
+        b.const(3).invokestatic("H", "log").ret()
+        holder.add_method(b.build())
+        graph = _graph_of(program, "H", "f")
+        (invoke,) = graph.invokes()
+        assert invoke.stamp.kind == stm.Stamp.VOID
+        assert not invoke.uses
+
+
+class TestBuilderErrors:
+    def test_native_method_rejected(self):
+        program = fresh_program()
+        method = program.lookup_method("Builtins", "print")
+        with pytest.raises(IRError):
+            build_graph(method, program)
+
+    def test_format_graph_smoke(self):
+        program = shapes_program()
+        graph = _graph_of(program, "Main", "run")
+        text = format_graph(graph, include_frequency=True)
+        assert "Invoke" in text and "B0" in text

@@ -1,0 +1,49 @@
+"""Dot rendering tests (structure of the output text)."""
+
+from repro.core.calltree import make_root
+from repro.core.params import InlinerParams
+from repro.core.trials import discover_children
+from repro.ir import annotate_frequencies, build_graph
+from repro.ir.dot import calltree_to_dot, graph_to_dot
+from repro.jit.compiler import CompileContext
+from repro.opts.pipeline import OptimizationPipeline
+from tests.helpers import run_static, shapes_program
+
+
+class TestGraphDot:
+    def test_blocks_and_edges_present(self):
+        program = shapes_program()
+        graph = build_graph(program.lookup_method("Main", "run"), program)
+        annotate_frequencies(graph)
+        dot = graph_to_dot(graph)
+        assert dot.startswith('digraph "Main.run"')
+        for block in graph.blocks:
+            assert "B%d [label=" % block.id in dot
+        assert '"T ' in dot and '"F ' in dot  # labeled If edges
+        assert dot.rstrip().endswith("}")
+
+    def test_quotes_escaped(self):
+        program = shapes_program()
+        graph = build_graph(program.lookup_method("Square", "area"), program)
+        dot = graph_to_dot(graph)
+        assert '\\"' not in dot or dot.count('"') % 2 == 0
+
+
+class TestCallTreeDot:
+    def test_kinds_and_edges(self):
+        program = shapes_program()
+        _, _, interp = run_static(program, "Main", "run")
+        graph = build_graph(
+            program.lookup_method("Main", "total"), program, interp.profiles
+        )
+        annotate_frequencies(graph)
+        root = make_root(graph)
+        context = CompileContext(
+            program, interp.profiles, OptimizationPipeline(program), None
+        )
+        discover_children(root, context, InlinerParams())
+        dot = calltree_to_dot(root)
+        assert "root Main.total" in dot
+        assert "P Shape.area" in dot
+        assert "C Square.area" in dot or "C Circle.area" in dot
+        assert "->" in dot

@@ -1,0 +1,151 @@
+"""Stamp lattice tests, including hypothesis properties.
+
+The meet/join operations must behave like a lattice on the stamps our
+programs actually produce — canonicalization and phi stamp computation
+silently assume commutativity, idempotence and soundness of meet.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import stamps as stm
+from tests.helpers import shapes_program
+
+
+def _program():
+    return shapes_program()
+
+
+_class_names = st.sampled_from(["Object", "Shape", "Square", "Circle"])
+
+
+@st.composite
+def ref_stamps(draw):
+    if draw(st.booleans()) and draw(st.integers(0, 9)) == 0:
+        return stm.null_stamp()
+    name = draw(_class_names)
+    exact = draw(st.booleans()) and name in ("Square", "Circle")
+    return stm.ref_stamp(name, exact=exact, non_null=draw(st.booleans()))
+
+
+@st.composite
+def any_stamps(draw):
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return stm.int_stamp()
+    if kind == 1:
+        return stm.constant_int(draw(st.integers(-100, 100)))
+    return draw(ref_stamps())
+
+
+class TestMeetProperties:
+    @given(any_stamps(), any_stamps())
+    def test_meet_commutative(self, a, b):
+        program = _program()
+        assert a.meet(b, program) == b.meet(a, program)
+
+    @given(any_stamps())
+    def test_meet_idempotent(self, a):
+        assert a.meet(a, _program()) == a
+
+    @given(ref_stamps(), ref_stamps())
+    def test_meet_is_upper_bound(self, a, b):
+        """Every value conforming to a (or b) conforms to meet(a, b)."""
+        program = _program()
+        merged = a.meet(b, program)
+        for side in (a, b):
+            if side.is_null:
+                assert not merged.non_null
+                continue
+            if merged.type_name is not None and side.type_name is not None:
+                assert program.is_subtype(side.type_name, merged.type_name)
+            if merged.non_null:
+                assert side.non_null
+            if merged.exact:
+                assert side.exact and side.type_name == merged.type_name
+
+    @given(any_stamps())
+    def test_bottom_is_meet_identity(self, a):
+        assert stm.BOTTOM_STAMP.meet(a, _program()) == a
+
+    def test_kind_mismatch_meets_to_any(self):
+        merged = stm.int_stamp().meet(stm.ref_stamp("Square"), _program())
+        assert merged.kind == stm.Stamp.ANY
+
+
+class TestJoinProperties:
+    @given(any_stamps())
+    def test_join_idempotent(self, a):
+        assert a.join(a, _program()) == a
+
+    @given(any_stamps())
+    def test_any_is_join_identity(self, a):
+        assert stm.ANY_STAMP.join(a, _program()) == a
+
+    def test_join_refines_type(self):
+        program = _program()
+        shape = stm.ref_stamp("Shape")
+        square = stm.ref_stamp("Square", exact=True, non_null=True)
+        joined = shape.join(square, program)
+        assert joined.type_name == "Square"
+        assert joined.exact and joined.non_null
+
+    def test_conflicting_exact_types_are_dead(self):
+        program = _program()
+        a = stm.ref_stamp("Square", exact=True)
+        b = stm.ref_stamp("Circle", exact=True)
+        assert a.join(b, program).kind == stm.Stamp.BOTTOM
+
+    def test_null_vs_non_null_is_dead(self):
+        program = _program()
+        joined = stm.null_stamp().join(stm.ref_stamp("Shape", non_null=True), program)
+        assert joined.kind == stm.Stamp.BOTTOM
+
+    def test_int_constants(self):
+        assert stm.constant_int(3).join(stm.int_stamp()).constant_value() == 3
+        assert (
+            stm.constant_int(3).join(stm.constant_int(4)).kind == stm.Stamp.BOTTOM
+        )
+
+
+class TestPrecision:
+    def test_constant_more_precise_than_int(self):
+        program = _program()
+        assert stm.is_strictly_more_precise(
+            stm.constant_int(1), stm.int_stamp(), program
+        )
+        assert not stm.is_strictly_more_precise(
+            stm.int_stamp(), stm.constant_int(1), program
+        )
+
+    def test_subtype_more_precise(self):
+        program = _program()
+        assert stm.is_strictly_more_precise(
+            stm.ref_stamp("Square"), stm.ref_stamp("Shape"), program
+        )
+        assert not stm.is_strictly_more_precise(
+            stm.ref_stamp("Shape"), stm.ref_stamp("Shape"), program
+        )
+
+    def test_exactness_and_nullness_count(self):
+        program = _program()
+        base = stm.ref_stamp("Square")
+        assert stm.is_strictly_more_precise(
+            stm.ref_stamp("Square", exact=True), base, program
+        )
+        assert stm.is_strictly_more_precise(
+            stm.ref_stamp("Square", non_null=True), base, program
+        )
+        assert stm.is_strictly_more_precise(stm.null_stamp(), base, program)
+
+    def test_queries(self):
+        program = _program()
+        square = stm.ref_stamp("Square", exact=True)
+        assert square.asserts_type(program, "Shape")
+        assert square.excludes_type(program, "Circle")
+        assert not stm.ref_stamp("Shape").excludes_type(program, "Circle")
+
+    def test_declared_type_stamps(self):
+        assert stm.stamp_for_declared_type("int") == stm.int_stamp()
+        assert stm.stamp_for_declared_type("void").kind == stm.Stamp.VOID
+        assert stm.stamp_for_declared_type("Square").type_name == "Square"

@@ -1,0 +1,326 @@
+"""Behavioral tests of generated code: run minij programs and check
+results in the interpreter."""
+
+from repro.lang import compile_source
+from tests.helpers import run_static
+
+
+def run_main(source, entry="run"):
+    program = compile_source(source)
+    result, vm, _ = run_static(program, "Main", entry)
+    return result, vm
+
+
+class TestExpressions:
+    def test_arithmetic_and_precedence(self):
+        result, _ = run_main(
+            "object Main { def run(): int { return 2 + 3 * 4 - 10 / 2; } }"
+        )
+        assert result == 9
+
+    def test_short_circuit_and(self):
+        source = """
+        object Main {
+          static var calls: int;
+          def side(v: bool): bool { Main.calls = Main.calls + 1; return v; }
+          def run(): int {
+            var r: bool = Main.side(false) && Main.side(true);
+            if (r) { return 0 - Main.calls; }
+            return Main.calls;
+          }
+        }
+        """
+        result, _ = run_main(source)
+        assert result == 1  # right side never evaluated
+
+    def test_short_circuit_or(self):
+        source = """
+        object Main {
+          static var calls: int;
+          def side(v: bool): bool { Main.calls = Main.calls + 1; return v; }
+          def run(): int {
+            var r: bool = Main.side(true) || Main.side(false);
+            if (r) { return Main.calls; }
+            return 0 - 1;
+          }
+        }
+        """
+        result, _ = run_main(source)
+        assert result == 1
+
+    def test_not_and_negation(self):
+        result, _ = run_main(
+            """
+            object Main {
+              def run(): int {
+                var b: bool = !(1 > 2);
+                if (b) { return -(3 - 10); }
+                return 0;
+              }
+            }
+            """
+        )
+        assert result == 7
+
+    def test_is_and_as(self):
+        result, _ = run_main(
+            """
+            class P { var v: int; }
+            object Main {
+              def run(): int {
+                var o: Object = new P;
+                if (o is P) { var p: P = o as P; p.v = 9; return p.v; }
+                return 0;
+              }
+            }
+            """
+        )
+        assert result == 9
+
+
+class TestStatementsAndState:
+    def test_while_loop(self):
+        result, _ = run_main(
+            """
+            object Main {
+              def run(): int {
+                var acc: int = 0;
+                var i: int = 1;
+                while (i <= 10) { acc = acc + i; i = i + 1; }
+                return acc;
+              }
+            }
+            """
+        )
+        assert result == 55
+
+    def test_nested_scopes_shadowing(self):
+        result, _ = run_main(
+            """
+            object Main {
+              def run(): int {
+                var x: int = 1;
+                if (true) { var y: int = 10; x = x + y; }
+                if (true) { var y: int = 100; x = x + y; }
+                return x;
+              }
+            }
+            """
+        )
+        assert result == 111
+
+    def test_statics_persist_within_vm(self):
+        source = """
+        object Main {
+          static var counter: int;
+          def run(): int {
+            counter = counter + 1;
+            return counter;
+          }
+        }
+        """
+        program = compile_source(source)
+        from repro.runtime import VMState
+        from repro.interp import Interpreter
+
+        vm = VMState(program)
+        interp = Interpreter(vm)
+        assert interp.call_static("Main", "run") == 1
+        assert interp.call_static("Main", "run") == 2
+
+    def test_print_builtin(self):
+        _, vm = run_main(
+            "object Main { def run(): int { print(3); print(4); return 0; } }"
+        )
+        assert vm.output == [3, 4]
+
+
+class TestObjects:
+    def test_constructor_and_fields(self):
+        result, _ = run_main(
+            """
+            class Point {
+              var x: int;
+              var y: int;
+              def init(x: int, y: int): void { this.x = x; this.y = y; }
+              def dist2(): int { return this.x * this.x + this.y * this.y; }
+            }
+            object Main {
+              def run(): int { return new Point(3, 4).dist2(); }
+            }
+            """
+        )
+        assert result == 25
+
+    def test_inheritance_and_super(self):
+        result, _ = run_main(
+            """
+            class Base {
+              def describe(): int { return 10; }
+            }
+            class Sub extends Base {
+              def describe(): int { return super.describe() + 1; }
+            }
+            object Main {
+              def run(): int {
+                var b: Base = new Sub;
+                return b.describe();
+              }
+            }
+            """
+        )
+        assert result == 11
+
+    def test_trait_default_method(self):
+        result, _ = run_main(
+            """
+            trait Greeter {
+              def id(): int;
+              def twice(): int { return this.id() * 2; }
+            }
+            class G implements Greeter {
+              def id(): int { return 21; }
+            }
+            object Main {
+              def run(): int { return new G().twice(); }
+            }
+            """
+        )
+        assert result == 42
+
+    def test_implicit_field_access(self):
+        result, _ = run_main(
+            """
+            class C {
+              var v: int;
+              def bump(): int { v = v + 5; return v; }
+            }
+            object Main {
+              def run(): int { var c: C = new C; c.bump(); return c.bump(); }
+            }
+            """
+        )
+        assert result == 10
+
+    def test_arrays_of_objects(self):
+        result, _ = run_main(
+            """
+            class Cell { var v: int; }
+            object Main {
+              def run(): int {
+                var cells: Cell[] = new Cell[3];
+                var i: int = 0;
+                while (i < 3) { cells[i] = new Cell; cells[i].v = i * i; i = i + 1; }
+                return cells[0].v + cells[1].v + cells[2].v;
+              }
+            }
+            """
+        )
+        assert result == 5
+
+
+class TestLambdas:
+    def test_capture_local(self):
+        result, _ = run_main(
+            """
+            object Main {
+              def run(): int {
+                var k: int = 10;
+                var f: IntFn1 = fun (x: int): int => x + k;
+                return f.apply(5);
+              }
+            }
+            """
+        )
+        assert result == 15
+
+    def test_capture_this(self):
+        result, _ = run_main(
+            """
+            class Holder {
+              var base: int;
+              def init(b: int): void { this.base = b; }
+              def adder(): IntFn1 { return fun (x: int): int => x + this.base; }
+            }
+            object Main {
+              def run(): int { return new Holder(100).adder().apply(5); }
+            }
+            """
+        )
+        assert result == 105
+
+    def test_implicit_field_in_lambda(self):
+        result, _ = run_main(
+            """
+            class Holder {
+              var base: int;
+              def init(b: int): void { this.base = b; }
+              def adder(): IntFn1 { return fun (x: int): int => x + base; }
+            }
+            object Main {
+              def run(): int { return new Holder(7).adder().apply(1); }
+            }
+            """
+        )
+        assert result == 8
+
+    def test_nested_lambda_transitive_capture(self):
+        result, _ = run_main(
+            """
+            object Main {
+              def run(): int {
+                var a: int = 3;
+                var outer: IntFn1 = fun (x: int): int {
+                  var inner: IntFn1 = fun (y: int): int => y + a + x;
+                  return inner.apply(10);
+                };
+                return outer.apply(100);
+              }
+            }
+            """
+        )
+        assert result == 113
+
+    def test_erased_ref_lambda_with_cast(self):
+        result, _ = run_main(
+            """
+            class BoxX { var v: int; def init(v: int): void { this.v = v; } }
+            object Main {
+              def run(): int {
+                var f: ToIntFn = fun (b: BoxX): int => b.v * 2;
+                return f.apply(new BoxX(21));
+              }
+            }
+            """
+        )
+        assert result == 42
+
+    def test_lambda_object_identity_per_evaluation(self):
+        result, _ = run_main(
+            """
+            object Main {
+              def mk(k: int): IntFn1 { return fun (x: int): int => x * k; }
+              def run(): int {
+                var double: IntFn1 = Main.mk(2);
+                var triple: IntFn1 = Main.mk(3);
+                return double.apply(10) + triple.apply(10);
+              }
+            }
+            """
+        )
+        assert result == 50
+
+
+class TestAnnotations:
+    def test_inline_flags_reach_methods(self):
+        program = compile_source(
+            """
+            object Main {
+              @inline def a(): int { return 1; }
+              @noinline def b(): int { return 2; }
+              def run(): int { return Main.a() + Main.b(); }
+            }
+            """
+        )
+        assert program.lookup_method("Main", "a").force_inline
+        assert program.lookup_method("Main", "b").never_inline

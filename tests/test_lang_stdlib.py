@@ -1,0 +1,209 @@
+"""Standard-library behavioral tests, including model-based property
+tests (IntIntMap vs dict, Sort vs sorted, MathX vs math)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import compile_source
+from repro.interp import Interpreter
+from repro.runtime import VMState
+
+
+def _run(source):
+    program = compile_source(source)
+    vm = VMState(program)
+    return Interpreter(vm).call_static("Main", "run"), vm
+
+
+class TestSequences:
+    def test_arrayseq_growth_and_access(self):
+        result, _ = _run(
+            """
+            object Main {
+              def run(): int {
+                var xs: ArraySeq = new ArraySeq(2);
+                var i: int = 0;
+                while (i < 40) { xs.add(new Box(i)); i = i + 1; }
+                var b: Box = xs.get(39) as Box;
+                return xs.length() * 1000 + b.get();
+              }
+            }
+            """
+        )
+        assert result == 40039
+
+    def test_seq_combinators(self):
+        result, _ = _run(
+            """
+            object Main {
+              def run(): int {
+                var xs: ArraySeq = new ArraySeq(4);
+                var i: int = 0;
+                while (i < 10) { xs.add(new Box(i)); i = i + 1; }
+                var evens: int = xs.count(fun (b: Box): bool => (b.get() & 1) == 0);
+                var total: int = xs.sumBy(fun (b: Box): int => b.get());
+                var first5: int = xs.indexWhere(fun (b: Box): bool => b.get() == 5);
+                return evens * 10000 + total * 10 + first5;
+              }
+            }
+            """
+        )
+        assert result == 5 * 10000 + 45 * 10 + 5
+
+    def test_cons_list(self):
+        result, _ = _run(
+            """
+            object Main {
+              def run(): int {
+                var l: List = new List(new Box(1), null);
+                l = new List(new Box(2), l);
+                l = new List(new Box(3), l);
+                var b0: Box = l.get(0) as Box;
+                var b2: Box = l.get(2) as Box;
+                return l.length() * 100 + b0.get() * 10 + b2.get();
+              }
+            }
+            """
+        )
+        assert result == 331
+
+    def test_int_range_and_folds(self):
+        result, _ = _run(
+            """
+            object Main {
+              def run(): int {
+                var r: IntRange = new IntRange(1, 11);
+                var s: int = r.sum();
+                var f: int = r.fold(1, fun (a: int, b: int): int {
+                  if (b < 5) { return a * b; }
+                  return a;
+                });
+                return s * 100 + f;
+              }
+            }
+            """
+        )
+        assert result == 55 * 100 + 24
+
+    def test_int_array_seq(self):
+        result, _ = _run(
+            """
+            object Main {
+              def run(): int {
+                var xs: IntArraySeq = new IntArraySeq(1);
+                var i: int = 0;
+                while (i < 20) { xs.add(i * 3); i = i + 1; }
+                return xs.sum() + xs.countWhere(fun (x: int): bool => x % 2 == 0);
+              }
+            }
+            """
+        )
+        assert result == sum(3 * i for i in range(20)) + 10
+
+
+class TestIntIntMapModel:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(-1000, 1000)),
+            max_size=60,
+        )
+    )
+    def test_matches_dict(self, operations):
+        """Random put sequences agree with a Python dict."""
+        source_puts = " ".join(
+            "m.put(%d, %d);" % (k, v) for k, v in operations
+        )
+        probes = sorted({k for k, _ in operations} | {9999})
+        source_gets = " + ".join(
+            "m.get(%d, %d)" % (k, -77) for k in probes
+        ) or "0"
+        result, _ = _run(
+            """
+            object Main {
+              def run(): int {
+                var m: IntIntMap = new IntIntMap(4);
+                %s
+                return %s + m.size * 1000000;
+              }
+            }
+            """
+            % (source_puts, source_gets)
+        )
+        model = {}
+        for k, v in operations:
+            model[k] = v
+        expected = sum(model.get(k, -77) for k in probes) + len(model) * 1000000
+        assert result == expected
+
+    def test_has(self):
+        result, _ = _run(
+            """
+            object Main {
+              def run(): int {
+                var m: IntIntMap = new IntIntMap(4);
+                m.put(5, 0);
+                var a: int = 0;
+                if (m.has(5)) { a = a + 1; }
+                if (m.has(6)) { a = a + 10; }
+                return a;
+              }
+            }
+            """
+        )
+        assert result == 1
+
+
+class TestMathAndSort:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10 ** 9))
+    def test_sqrt_is_isqrt(self, x):
+        result, _ = _run(
+            "object Main { def run(): int { return MathX.sqrt(%d); } }" % x
+        )
+        assert result == math.isqrt(x)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 12), st.integers(0, 9))
+    def test_pow(self, base, exp):
+        result, _ = _run(
+            "object Main { def run(): int { return MathX.pow(%d, %d); } }"
+            % (base, exp)
+        )
+        assert result == base ** exp
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(-10 ** 6, 10 ** 6), st.integers(-10 ** 6, 10 ** 6))
+    def test_gcd(self, a, b):
+        result, _ = _run(
+            "object Main { def run(): int { return MathX.gcd(%d, %d); } }"
+            % (a, b)
+        )
+        assert result == math.gcd(a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+    def test_sort_matches_sorted(self, values):
+        fills = " ".join(
+            "a[%d] = %d;" % (i, v) for i, v in enumerate(values)
+        )
+        checks = " + ".join(
+            "a[%d] * %d" % (i, i + 1) for i in range(len(values))
+        )
+        result, _ = _run(
+            """
+            object Main {
+              def run(): int {
+                var a: int[] = new int[%d];
+                %s
+                Sort.ints(a);
+                return %s;
+              }
+            }
+            """
+            % (len(values), fills, checks)
+        )
+        expected = sum(v * (i + 1) for i, v in enumerate(sorted(values)))
+        assert result == expected

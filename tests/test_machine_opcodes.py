@@ -1,0 +1,276 @@
+"""Per-opcode machine executor tests via hand-assembled machine code.
+
+The lowering tests already cover the common paths; these pin the exact
+semantics of each machine instruction in isolation, which matters when
+the cost model or the executor dispatch loop is refactored.
+"""
+
+import pytest
+
+from repro.backend import machine as m
+from repro.backend.machine import MachineCode, MachineExecutor
+from repro.errors import BoundsTrap, CastTrap, NullPointerTrap, VMError
+from repro.interp import Interpreter
+from repro.runtime import VMState
+from tests.helpers import fresh_program, shapes_program
+
+
+class _Sink:
+    def __init__(self):
+        self.cycles = 0
+
+    def add_compiled_cycles(self, cycles):
+        self.cycles += cycles
+
+
+def _execute(instrs, args=(), program=None, num_regs=16):
+    program = program or fresh_program()
+    vm = VMState(program)
+    interp = Interpreter(vm)
+    sink = _Sink()
+    executor = MachineExecutor(vm, interp.execute, sink)
+    method = None
+    code = MachineCode(method, list(instrs), num_regs, entry_cost=0)
+    return executor.execute(code, list(args)), vm, sink
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        result, _, _ = _execute(
+            [
+                (m.M_MOVI, 0, 2 ** 63 - 1),
+                (m.M_MOVI, 1, 1),
+                (m.M_ADD, 2, 0, 1),
+                (m.M_RETV, 2),
+            ]
+        )
+        assert result == -(2 ** 63)
+
+    def test_div_rem_jvm_semantics(self):
+        result, _, _ = _execute(
+            [
+                (m.M_MOVI, 0, -7),
+                (m.M_MOVI, 1, 2),
+                (m.M_DIV, 2, 0, 1),
+                (m.M_REM, 3, 0, 1),
+                (m.M_MOVI, 4, 10),
+                (m.M_MUL, 5, 2, 4),
+                (m.M_ADD, 6, 5, 3),
+                (m.M_RETV, 6),
+            ]
+        )
+        assert result == -31  # (-3)*10 + (-1)
+
+    def test_shifts_mask_count(self):
+        result, _, _ = _execute(
+            [
+                (m.M_MOVI, 0, 1),
+                (m.M_MOVI, 1, 65),  # 65 & 63 == 1
+                (m.M_SHL, 2, 0, 1),
+                (m.M_RETV, 2),
+            ]
+        )
+        assert result == 2
+
+
+class TestControl:
+    def test_jmp_and_br(self):
+        result, _, _ = _execute(
+            [
+                (m.M_MOVI, 0, 1),
+                (m.M_BR, 0, 3),
+                (m.M_RETV, 0),  # skipped
+                (m.M_MOVI, 1, 42),
+                (m.M_RETV, 1),
+            ]
+        )
+        assert result == 42
+
+    def test_cost_accumulates_on_ret(self):
+        _, _, sink = _execute([(m.M_COST, 7), (m.M_COST, 5), (m.M_RET,)])
+        assert sink.cycles == 12
+
+    def test_bad_opcode(self):
+        with pytest.raises(VMError):
+            _execute([(999,)])
+
+
+class TestMemory:
+    def test_arrays(self):
+        result, _, _ = _execute(
+            [
+                (m.M_MOVI, 0, 4),
+                (m.M_NEWARR, 1, 0, "int"),
+                (m.M_MOVI, 2, 2),
+                (m.M_MOVI, 3, 99),
+                (m.M_ASTORE, 1, 2, 3),
+                (m.M_ALOAD, 4, 1, 2),
+                (m.M_ALEN, 5, 1),
+                (m.M_ADD, 6, 4, 5),
+                (m.M_RETV, 6),
+            ]
+        )
+        assert result == 103
+
+    def test_array_bounds_trap(self):
+        with pytest.raises(BoundsTrap):
+            _execute(
+                [
+                    (m.M_MOVI, 0, 2),
+                    (m.M_NEWARR, 1, 0, "int"),
+                    (m.M_MOVI, 2, 5),
+                    (m.M_ALOAD, 3, 1, 2),
+                    (m.M_RETV, 3),
+                ]
+            )
+
+    def test_fields_and_null_trap(self):
+        program = shapes_program()
+        result, _, _ = _execute(
+            [
+                (m.M_NEW, 0, "Square"),
+                (m.M_MOVI, 1, 6),
+                (m.M_PUTF, 0, "side", 1),
+                (m.M_GETF, 2, 0, "side"),
+                (m.M_RETV, 2),
+            ],
+            program=program,
+        )
+        assert result == 6
+        with pytest.raises(NullPointerTrap):
+            _execute(
+                [(m.M_MOVNULL, 0), (m.M_GETF, 1, 0, "side"), (m.M_RETV, 1)],
+                program=program,
+            )
+
+    def test_statics(self):
+        from repro.bytecode.klass import FieldDef
+
+        program = fresh_program()
+        holder = program.define_class("G")
+        holder.add_field(FieldDef("c", "int", is_static=True))
+        result, _, _ = _execute(
+            [
+                (m.M_MOVI, 0, 5),
+                (m.M_PUTS, "G", "c", 0),
+                (m.M_GETS, 1, "G", "c"),
+                (m.M_RETV, 1),
+            ],
+            program=program,
+        )
+        assert result == 5
+
+
+class TestTypeOps:
+    def test_isinst_and_isexact(self):
+        program = shapes_program()
+        result, _, _ = _execute(
+            [
+                (m.M_NEW, 0, "Square"),
+                (m.M_ISINST, 1, 0, "Shape"),
+                (m.M_ISEXACT, 2, 0, "Square"),
+                (m.M_ISEXACT, 3, 0, "Shape"),  # exact check: not Shape
+                (m.M_MOVI, 4, 100),
+                (m.M_MUL, 5, 1, 4),
+                (m.M_MOVI, 6, 10),
+                (m.M_MUL, 7, 2, 6),
+                (m.M_ADD, 8, 5, 7),
+                (m.M_ADD, 9, 8, 3),
+                (m.M_RETV, 9),
+            ],
+            program=program,
+        )
+        assert result == 110
+
+    def test_cast_trap(self):
+        program = shapes_program()
+        with pytest.raises(CastTrap):
+            _execute(
+                [
+                    (m.M_NEW, 0, "Circle"),
+                    (m.M_CAST, 1, 0, "Square"),
+                    (m.M_RETV, 1),
+                ],
+                program=program,
+            )
+
+    def test_null_passes_cast_and_fails_isinst(self):
+        program = shapes_program()
+        result, _, _ = _execute(
+            [
+                (m.M_MOVNULL, 0),
+                (m.M_CAST, 1, 0, "Square"),
+                (m.M_ISINST, 2, 0, "Square"),
+                (m.M_RETV, 2),
+            ],
+            program=program,
+        )
+        assert result == 0
+
+
+class TestCalls:
+    def test_call_dispatches_to_interpreter(self):
+        program = shapes_program()
+        target = program.lookup_method("Main", "total")
+        vm = VMState(program)
+        square = vm.allocate("Square")
+        square.fields["side"] = 3
+        interp = Interpreter(vm)
+        sink = _Sink()
+        executor = MachineExecutor(vm, interp.execute, sink)
+        code = MachineCode(
+            None,
+            [
+                (m.M_MOVI, 1, 2),
+                (m.M_CALL, 2, target, (0, 1)),
+                (m.M_RETV, 2),
+            ],
+            8,
+            entry_cost=0,
+        )
+        assert executor.execute(code, [square]) == 18
+
+    def test_vcall_resolves_by_receiver(self):
+        program = shapes_program()
+        vm = VMState(program)
+        circle = vm.allocate("Circle")
+        circle.fields["r"] = 2
+        interp = Interpreter(vm)
+        executor = MachineExecutor(vm, interp.execute, _Sink())
+        code = MachineCode(
+            None, [(m.M_VCALL, 1, "area", (0,)), (m.M_RETV, 1)], 4, entry_cost=0
+        )
+        assert executor.execute(code, [circle]) == 12
+
+    def test_vcall_null_receiver_traps(self):
+        program = shapes_program()
+        vm = VMState(program)
+        interp = Interpreter(vm)
+        executor = MachineExecutor(vm, interp.execute, _Sink())
+        code = MachineCode(
+            None,
+            [(m.M_MOVNULL, 0), (m.M_VCALL, 1, "area", (0,)), (m.M_RETV, 1)],
+            4,
+            entry_cost=0,
+        )
+        with pytest.raises(NullPointerTrap):
+            executor.execute(code, [])
+
+    def test_native_call_inline(self):
+        program = fresh_program()
+        target = program.lookup_method("Builtins", "imax")
+        vm = VMState(program)
+        interp = Interpreter(vm)
+        executor = MachineExecutor(vm, interp.execute, _Sink())
+        code = MachineCode(
+            None,
+            [
+                (m.M_MOVI, 0, 3),
+                (m.M_MOVI, 1, 9),
+                (m.M_CALL, 2, target, (0, 1)),
+                (m.M_RETV, 2),
+            ],
+            4,
+            entry_cost=0,
+        )
+        assert executor.execute(code, []) == 9

@@ -1,0 +1,279 @@
+"""GVN, DCE, block merging and read/write elimination tests."""
+
+from repro.bytecode import MethodBuilder
+from repro.bytecode.klass import FieldDef
+from repro.ir import build_graph, check_graph
+from repro.ir import nodes as n
+from repro.opts import (
+    global_value_numbering,
+    merge_blocks,
+    read_write_elimination,
+    remove_dead_nodes,
+    remove_unreachable_blocks,
+)
+from tests.execution import compare_tiers
+from tests.helpers import fresh_program, single_method_program
+
+
+def _graph(program, cls, name):
+    graph = build_graph(program.lookup_method(cls, name), program)
+    check_graph(graph, program)
+    return graph
+
+
+class TestGvn:
+    def test_duplicate_expression_merged(self):
+        def build(b):
+            b.load(0).load(1).add()
+            b.load(0).load(1).add()
+            b.mul().retv()
+
+        program = single_method_program(build, params=("int", "int"))
+        graph = _graph(program, "T", "f")
+        assert global_value_numbering(graph) == 1
+        check_graph(graph, program)
+        compare_tiers(program, "T", "f", [3, 4], graph=graph)
+
+    def test_commutative_normalization(self):
+        def build(b):
+            b.load(0).load(1).add()
+            b.load(1).load(0).add()
+            b.mul().retv()
+
+        program = single_method_program(build, params=("int", "int"))
+        graph = _graph(program, "T", "f")
+        assert global_value_numbering(graph) == 1
+
+    def test_no_merge_across_siblings(self):
+        # The same expression computed in both arms of a diamond must
+        # NOT merge (neither dominates the other).
+        def build(b):
+            other = b.new_label()
+            join = b.new_label()
+            b.load(0).if_true(other)
+            b.load(1).load(1).mul().store(2).goto(join)
+            b.place(other).load(1).load(1).mul().store(2)
+            b.place(join).load(2).retv()
+
+        program = single_method_program(build, params=("int", "int"))
+        graph = _graph(program, "T", "f")
+        assert global_value_numbering(graph) == 0
+
+    def test_dominating_block_merges_into_branch(self):
+        def build(b):
+            other = b.new_label()
+            b.load(1).load(1).mul().store(2)
+            b.load(0).if_true(other)
+            b.load(2).retv()
+            b.place(other).load(1).load(1).mul().retv()
+
+        program = single_method_program(build, params=("int", "int"))
+        graph = _graph(program, "T", "f")
+        assert global_value_numbering(graph) == 1
+        compare_tiers(program, "T", "f", [1, 7], graph=graph)
+
+    def test_impure_not_merged(self):
+        def build(b):
+            b.load(0).load(1).div()
+            b.load(0).load(1).div()
+            b.add().retv()
+
+        program = single_method_program(build, params=("int", "int"))
+        graph = _graph(program, "T", "f")
+        assert global_value_numbering(graph) == 0  # divisor not constant
+
+
+class TestDce:
+    def test_dead_pure_nodes_removed(self):
+        def build(b):
+            b.load(0).load(0).mul().pop()
+            b.load(0).retv()
+
+        program = single_method_program(build)
+        graph = _graph(program, "T", "f")
+        removed = remove_dead_nodes(graph)
+        assert removed >= 1
+        muls = [
+            x
+            for block in graph.blocks
+            for x in block.instrs
+            if isinstance(x, n.BinOpNode)
+        ]
+        assert not muls
+
+    def test_unused_allocation_removed(self):
+        program = fresh_program()
+        program.define_class("Empty")
+        holder = program.define_class("H", is_abstract=True)
+        b = MethodBuilder("f", [], "int", is_static=True)
+        b.new("Empty").pop().const(1).retv()
+        holder.add_method(b.build())
+        graph = _graph(program, "H", "f")
+        remove_dead_nodes(graph)
+        news = [
+            x for block in graph.blocks for x in block.instrs if isinstance(x, n.NewNode)
+        ]
+        assert not news
+
+    def test_negative_length_array_kept(self):
+        def build(b):
+            b.const(-1).newarray("int").pop()
+            b.const(0).retv()
+
+        program = single_method_program(build, params=())
+        graph = _graph(program, "T", "f")
+        remove_dead_nodes(graph)
+        arrays = [
+            x
+            for block in graph.blocks
+            for x in block.instrs
+            if isinstance(x, n.NewArrayNode)
+        ]
+        assert arrays  # must still trap
+
+    def test_unreachable_block_removal(self):
+        def build(b):
+            dead = b.new_label()
+            b.load(0).retv()
+            b.place(dead).const(1).retv()
+
+        # The dead label block is never referenced -> builder already
+        # skips it; craft reachability loss through a pruned branch.
+        program = single_method_program(build)
+        graph = _graph(program, "T", "f")
+        before = len(graph.blocks)
+        assert remove_unreachable_blocks(graph) == 0  # builder was clean
+
+    def test_block_merging_collapses_chains(self):
+        def build(b):
+            middle = b.new_label()
+            b.goto(middle)
+            b.place(middle).load(0).retv()
+
+        program = single_method_program(build)
+        graph = _graph(program, "T", "f")
+        merged = merge_blocks(graph)
+        assert merged >= 1
+        assert len(graph.blocks) == 1
+        check_graph(graph, program)
+        compare_tiers(program, "T", "f", [9], graph=graph)
+
+
+class TestReadWriteElimination:
+    def _field_program(self):
+        program = fresh_program()
+        box = program.define_class("BoxC")
+        box.add_field(FieldDef("v", "int"))
+        program.define_class("H", is_abstract=True)
+        return program
+
+    def test_load_after_store_forwarded(self):
+        program = self._field_program()
+        b = MethodBuilder("f", ["BoxC", "int"], "int", is_static=True)
+        b.load(0).load(1).putfield("BoxC", "v")
+        b.load(0).getfield("BoxC", "v").retv()
+        program.klass("H").add_method(b.build())
+        graph = _graph(program, "H", "f")
+        loads, stores = read_write_elimination(graph, program)
+        assert loads == 1
+        returns = [
+            blk.terminator
+            for blk in graph.blocks
+            if isinstance(blk.terminator, n.ReturnNode)
+        ]
+        assert returns[0].value() is graph.params[1]
+
+    def test_dead_store_removed(self):
+        program = self._field_program()
+        b = MethodBuilder("f", ["BoxC"], "int", is_static=True)
+        b.load(0).const(1).putfield("BoxC", "v")
+        b.load(0).const(2).putfield("BoxC", "v")
+        b.load(0).getfield("BoxC", "v").retv()
+        program.klass("H").add_method(b.build())
+        graph = _graph(program, "H", "f")
+        loads, stores = read_write_elimination(graph, program)
+        assert stores == 1 and loads == 1
+        check_graph(graph, program)
+        vm_stores = [
+            x
+            for block in graph.blocks
+            for x in block.instrs
+            if isinstance(x, n.StoreFieldNode)
+        ]
+        assert len(vm_stores) == 1
+
+    def test_aliasing_store_kills(self):
+        program = self._field_program()
+        b = MethodBuilder("f", ["BoxC", "BoxC"], "int", is_static=True)
+        b.load(0).const(1).putfield("BoxC", "v")
+        b.load(1).const(2).putfield("BoxC", "v")  # may alias param 0
+        b.load(0).getfield("BoxC", "v").retv()
+        program.klass("H").add_method(b.build())
+        graph = _graph(program, "H", "f")
+        loads, _ = read_write_elimination(graph, program)
+        assert loads == 0  # must reload
+
+    def test_call_kills_knowledge(self):
+        program = self._field_program()
+        b = MethodBuilder("f", ["BoxC"], "int", is_static=True)
+        b.load(0).const(1).putfield("BoxC", "v")
+        b.const(0).invokestatic("Builtins", "abs").pop()
+        b.load(0).getfield("BoxC", "v").retv()
+        program.klass("H").add_method(b.build())
+        graph = _graph(program, "H", "f")
+        loads, _ = read_write_elimination(graph, program)
+        assert loads == 0
+
+    def test_fresh_object_default_load(self):
+        program = self._field_program()
+        b = MethodBuilder("f", [], "int", is_static=True)
+        b.new("BoxC").getfield("BoxC", "v").retv()
+        program.klass("H").add_method(b.build())
+        graph = _graph(program, "H", "f")
+        loads, _ = read_write_elimination(graph, program)
+        assert loads == 1
+        returns = [
+            blk.terminator
+            for blk in graph.blocks
+            if isinstance(blk.terminator, n.ReturnNode)
+        ]
+        assert returns[0].value().stamp.constant_value() == 0
+
+    def test_repeated_load_collapses(self):
+        program = self._field_program()
+        b = MethodBuilder("f", ["BoxC"], "int", is_static=True)
+        b.load(0).getfield("BoxC", "v")
+        b.load(0).getfield("BoxC", "v")
+        b.add().retv()
+        program.klass("H").add_method(b.build())
+        graph = _graph(program, "H", "f")
+        loads, _ = read_write_elimination(graph, program)
+        assert loads == 1
+
+    def test_semantics_preserved_with_rwe(self):
+        program = self._field_program()
+        b = MethodBuilder("f", ["BoxC", "int"], "int", is_static=True)
+        b.load(0).load(1).putfield("BoxC", "v")
+        b.load(0).getfield("BoxC", "v")
+        b.load(0).const(7).putfield("BoxC", "v")
+        b.load(0).getfield("BoxC", "v")
+        b.add().retv()
+        program.klass("H").add_method(b.build())
+        graph = _graph(program, "H", "f")
+        read_write_elimination(graph, program)
+        remove_dead_nodes(graph)
+        check_graph(graph, program)
+        # Run both tiers with an actual BoxC instance.
+        from repro.runtime import VMState
+        from repro.interp import Interpreter
+        from tests.execution import execute_graph
+
+        vm = VMState(program)
+        box = vm.allocate("BoxC")
+        expected = Interpreter(vm).execute(
+            program.lookup_method("H", "f"), [box, 5]
+        )
+        vm2 = VMState(program)
+        box2 = vm2.allocate("BoxC")
+        actual, _ = execute_graph(graph, program, [box2, 5], vm=vm2)
+        assert expected == actual == 12

@@ -1,0 +1,63 @@
+"""Optimization pipeline and budget tests."""
+
+from repro.opts import OptimizationPipeline, OptimizerConfig
+from repro.ir import build_graph, check_graph
+from tests.execution import compare_tiers
+from tests.helpers import SHAPES_RESULT, shapes_program
+
+
+class TestBudget:
+    def test_iteration_scaling(self):
+        config = OptimizerConfig(max_iterations=3, budget_nodes=1000)
+        assert config.iterations_for(500) == 3
+        assert config.iterations_for(1500) == 2
+        assert config.iterations_for(3000) == 1
+        assert config.iterations_for(100_000) == 1
+
+    def test_minimum_one_iteration(self):
+        config = OptimizerConfig(max_iterations=1, budget_nodes=10)
+        assert config.iterations_for(10 ** 6) == 1
+
+
+class TestPipeline:
+    def test_full_pipeline_preserves_semantics(self):
+        program = shapes_program()
+        graph = build_graph(program.lookup_method("Main", "run"), program)
+        OptimizationPipeline(program).run(graph)
+        check_graph(graph, program)
+        compare_tiers(program, "Main", "run", [], graph=graph)
+
+    def test_pipeline_shrinks_or_keeps_graph(self):
+        program = shapes_program()
+        graph = build_graph(program.lookup_method("Main", "run"), program)
+        before = graph.node_count()
+        OptimizationPipeline(program).run(graph)
+        assert graph.node_count() <= before
+
+    def test_switches_disable_phases(self):
+        program = shapes_program()
+        config = OptimizerConfig(
+            enable_peeling=False, enable_rwe=False, enable_devirtualization=False
+        )
+        graph = build_graph(program.lookup_method("Main", "total"), program)
+        OptimizationPipeline(program, config).run(graph)
+        (invoke,) = graph.invokes()
+        assert invoke.kind == "interface"  # devirt off
+
+    def test_simplify_only_is_cheap_and_sound(self):
+        program = shapes_program()
+        graph = build_graph(program.lookup_method("Main", "run"), program)
+        OptimizationPipeline(program).simplify_only(graph)
+        check_graph(graph, program)
+        from tests.execution import execute_graph
+
+        result, _ = execute_graph(graph, program)
+        assert result == SHAPES_RESULT
+
+    def test_per_run_overrides(self):
+        program = shapes_program()
+        pipeline = OptimizationPipeline(program)
+        graph = build_graph(program.lookup_method("Main", "run"), program)
+        # Explicitly disabling peel/rwe must not break anything.
+        pipeline.run(graph, peel=False, rwe=False)
+        check_graph(graph, program)

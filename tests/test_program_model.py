@@ -1,0 +1,128 @@
+"""Tests for Program: hierarchy queries, resolution, CHA."""
+
+import pytest
+
+from repro.bytecode import Instr, Op
+from repro.bytecode.klass import FieldDef
+from repro.bytecode.method import Method
+from repro.errors import BytecodeError, LinkError
+from tests.helpers import fresh_program
+
+
+def _hierarchy():
+    """Animal <- Dog, Cat; interface Pet (Dog only); Cat overrides."""
+    program = fresh_program()
+    pet = program.define_class("Pet", is_interface=True)
+    pet.add_method(Method("name", [], "int", is_abstract=True))
+    animal = program.define_class("Animal")
+    animal.add_field(FieldDef("age", "int"))
+    animal.add_method(
+        Method("speak", [], "int", code=[Instr(Op.CONST, 0), Instr(Op.RETV)])
+    )
+    dog = program.define_class("Dog", superclass="Animal", interfaces=["Pet"])
+    dog.add_method(
+        Method("name", [], "int", code=[Instr(Op.CONST, 7), Instr(Op.RETV)])
+    )
+    cat = program.define_class("Cat", superclass="Animal")
+    cat.add_method(
+        Method("speak", [], "int", code=[Instr(Op.CONST, 2), Instr(Op.RETV)])
+    )
+    return program
+
+
+class TestSubtyping:
+    def test_reflexive_and_object_top(self):
+        program = _hierarchy()
+        assert program.is_subtype("Dog", "Dog")
+        assert program.is_subtype("Dog", "Object")
+        assert program.is_subtype("int[]", "Object")
+
+    def test_class_chain(self):
+        program = _hierarchy()
+        assert program.is_subtype("Dog", "Animal")
+        assert not program.is_subtype("Animal", "Dog")
+
+    def test_interface_subtyping(self):
+        program = _hierarchy()
+        assert program.is_subtype("Dog", "Pet")
+        assert not program.is_subtype("Cat", "Pet")
+
+    def test_array_covariance(self):
+        program = _hierarchy()
+        assert program.is_subtype("Dog[]", "Animal[]")
+        assert not program.is_subtype("Animal[]", "Dog[]")
+        assert not program.is_subtype("int[]", "Animal[]")
+        assert program.is_subtype("int[]", "int[]")
+        assert program.is_subtype("Dog[][]", "Animal[][]")
+
+    def test_unknown_class_raises(self):
+        program = _hierarchy()
+        with pytest.raises(LinkError):
+            program.is_subtype("Ghost", "Animal")
+
+
+class TestResolution:
+    def test_inherited_method(self):
+        program = _hierarchy()
+        method = program.resolve_method("Dog", "speak")
+        assert method.klass.name == "Animal"
+
+    def test_override_wins(self):
+        program = _hierarchy()
+        method = program.resolve_method("Cat", "speak")
+        assert method.klass.name == "Cat"
+
+    def test_missing_method_raises(self):
+        program = _hierarchy()
+        with pytest.raises(LinkError):
+            program.resolve_method("Cat", "name")
+
+    def test_field_lookup_walks_chain(self):
+        program = _hierarchy()
+        owner, field = program.lookup_field("Dog", "age")
+        assert owner.name == "Animal"
+        assert field.type == "int"
+
+    def test_interface_default_method(self):
+        program = fresh_program()
+        iface = program.define_class("I", is_interface=True)
+        iface.add_method(
+            Method("d", [], "int", code=[Instr(Op.CONST, 9), Instr(Op.RETV)])
+        )
+        program.define_class("Impl", interfaces=["I"])
+        method = program.resolve_method("Impl", "d")
+        assert method.klass.name == "I"
+
+    def test_class_override_beats_default(self):
+        program = fresh_program()
+        iface = program.define_class("I", is_interface=True)
+        iface.add_method(
+            Method("d", [], "int", code=[Instr(Op.CONST, 9), Instr(Op.RETV)])
+        )
+        impl = program.define_class("Impl", interfaces=["I"])
+        impl.add_method(
+            Method("d", [], "int", code=[Instr(Op.CONST, 1), Instr(Op.RETV)])
+        )
+        assert program.resolve_method("Impl", "d").klass.name == "Impl"
+
+
+class TestCha:
+    def test_concrete_subclasses(self):
+        program = _hierarchy()
+        assert program.concrete_subclasses("Animal") == ["Animal", "Cat", "Dog"]
+        assert program.concrete_subclasses("Pet") == ["Dog"]
+
+    def test_abstract_classes_excluded(self):
+        program = fresh_program()
+        program.define_class("Base", is_abstract=True)
+        program.define_class("Only", superclass="Base")
+        assert program.concrete_subclasses("Base") == ["Only"]
+
+    def test_duplicate_class_rejected(self):
+        program = _hierarchy()
+        with pytest.raises(BytecodeError):
+            program.define_class("Dog")
+
+    def test_total_code_size(self):
+        program = _hierarchy()
+        assert program.total_code_size() == 6

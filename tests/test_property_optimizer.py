@@ -1,0 +1,130 @@
+"""Property tests for the optimizer: random expression programs must
+fold to the same values the interpreter computes, through every stage
+of the pipeline and the inliner.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bytecode import MethodBuilder, Op, verify_program
+from repro.ir import build_graph, check_graph
+from repro.opts import OptimizationPipeline, canonicalize
+from tests.execution import execute_graph
+from tests.helpers import fresh_program, run_static
+
+_BIN_OPS = [Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR]
+
+
+@st.composite
+def expression_builders(draw):
+    """A random expression over two int params as emitter instructions.
+
+    Returns (emit_ops, depth) where emit_ops is a list of closures over
+    a MethodBuilder maintaining stack discipline (each closure nets +1
+    stack entry is false — the list as a whole produces one value).
+    """
+    operations = []
+
+    def gen(depth):
+        choice = draw(st.integers(0, 3 if depth < 4 else 1))
+        if choice == 0:
+            value = draw(st.integers(-64, 64))
+            operations.append(("const", value))
+        elif choice == 1:
+            slot = draw(st.integers(0, 1))
+            operations.append(("load", slot))
+        elif choice == 2:
+            gen(depth + 1)
+            gen(depth + 1)
+            operations.append(("bin", draw(st.sampled_from(_BIN_OPS))))
+        else:
+            gen(depth + 1)
+            operations.append(("neg", None))
+
+    gen(0)
+    return operations
+
+
+def _build_program(operations):
+    program = fresh_program()
+    holder = program.define_class("T", is_abstract=True)
+    builder = MethodBuilder("f", ["int", "int"], "int", is_static=True)
+    for kind, payload in operations:
+        if kind == "const":
+            builder.const(payload)
+        elif kind == "load":
+            builder.load(payload)
+        elif kind == "bin":
+            builder.emit(payload)
+        else:
+            builder.neg()
+    builder.retv()
+    holder.add_method(builder.build())
+    verify_program(program)
+    return program
+
+
+class TestCanonicalizationSoundness:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(expression_builders(), st.integers(-100, 100), st.integers(-100, 100))
+    def test_canonicalized_value_matches_interpreter(self, operations, a, b):
+        program = _build_program(operations)
+        expected, _, _ = run_static(program, "T", "f", [a, b])
+        graph = build_graph(program.lookup_method("T", "f"), program)
+        canonicalize(graph, program)
+        check_graph(graph, program)
+        actual, _ = execute_graph(graph, program, [a, b])
+        assert actual == expected
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(expression_builders())
+    def test_constant_inputs_fold_completely(self, operations):
+        """With both params replaced by constants, the whole expression
+        must fold to a single return of a constant."""
+        from repro.ir import stamps as stm
+        from repro.ir import nodes as n
+        from repro.opts import remove_dead_nodes
+
+        program = _build_program(operations)
+        expected, _, _ = run_static(program, "T", "f", [7, -3])
+        graph = build_graph(program.lookup_method("T", "f"), program)
+        graph.params[0].stamp = stm.constant_int(7)
+        graph.params[1].stamp = stm.constant_int(-3)
+        canonicalize(graph, program)
+        remove_dead_nodes(graph)
+        check_graph(graph, program)
+        (ret,) = [
+            blk.terminator
+            for blk in graph.blocks
+            if isinstance(blk.terminator, n.ReturnNode)
+        ]
+        assert ret.value().stamp.constant_value() == expected
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(expression_builders(), st.integers(-50, 50), st.integers(-50, 50))
+    def test_full_pipeline_idempotent(self, operations, a, b):
+        """Running the pipeline twice must not change results (and the
+        second run must not find more work on an already-canonical
+        graph's node count)."""
+        program = _build_program(operations)
+        graph = build_graph(program.lookup_method("T", "f"), program)
+        pipeline = OptimizationPipeline(program)
+        pipeline.run(graph)
+        first = graph.node_count()
+        value_first, _ = execute_graph(graph, program, [a, b])
+        pipeline.run(graph)
+        assert graph.node_count() == first
+        value_second, _ = execute_graph(graph, program, [a, b])
+        assert value_first == value_second

@@ -1,0 +1,116 @@
+"""CLI tool tests (argument handling and end-to-end output)."""
+
+import pytest
+
+from repro.tools import bench as bench_tool
+from repro.tools import disasm as disasm_tool
+from repro.tools import run as run_tool
+from repro.tools import trace as trace_tool
+from repro.tools.common import method_argument
+
+DEMO = """
+object Main {
+  def helper(x: int): int { return x * 3 + 1; }
+  def run(): int {
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < 50) { acc = acc + Main.helper(i); i = i + 1; }
+    return acc;
+  }
+}
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.minij"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestRunTool:
+    def test_runs_and_prints_result(self, demo_file, capsys):
+        assert run_tool.main([demo_file, "--iterations", "6", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "result: %d" % sum(3 * i + 1 for i in range(50)) in out
+        assert "steady:" in out
+
+    def test_interpret_only(self, demo_file, capsys):
+        assert run_tool.main([demo_file, "--interpret-only", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 methods compiled" in out
+
+    def test_each_inliner_choice(self, demo_file, capsys):
+        for name in ("none", "greedy", "c2", "incremental", "shallow"):
+            assert run_tool.main([demo_file, "--inliner", name, "--iterations", "4"]) == 0
+
+    def test_bad_entry_format_rejected(self, demo_file):
+        with pytest.raises(SystemExit):
+            run_tool.main([demo_file, "--entry", "nodots"])
+
+
+class TestTraceTool:
+    def test_trace_output(self, demo_file, capsys):
+        assert trace_tool.main([demo_file, "Main.run"]) == 0
+        out = capsys.readouterr().out
+        assert "round 1" in out
+        assert "INLINE" in out
+        assert "Main.helper" in out
+
+
+class TestDisasmTool:
+    def test_bytecode_form(self, demo_file, capsys):
+        assert disasm_tool.main([demo_file, "--method", "Main.helper"]) == 0
+        out = capsys.readouterr().out
+        assert "MUL" in out and "RETV" in out
+
+    def test_ir_form(self, demo_file, capsys):
+        assert disasm_tool.main(
+            [demo_file, "--method", "Main.run", "--form", "ir"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "graph Main.run" in out and "Invoke" in out
+
+    def test_machine_form(self, demo_file, capsys):
+        assert disasm_tool.main(
+            [demo_file, "--method", "Main.helper", "--form", "machine"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "COST" in out
+
+    def test_whole_program(self, demo_file, capsys):
+        assert disasm_tool.main([demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "class Main" in out or "Main" in out
+
+
+class TestBenchTool:
+    def test_list(self, capsys):
+        assert bench_tool.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "factorie" in out and "incremental" in out
+
+    def test_small_sweep(self, capsys):
+        assert bench_tool.main(
+            [
+                "--benchmarks", "pmd",
+                "--configs", "no-inline", "incremental",
+                "--instances", "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pmd" in out
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            bench_tool.main(["--configs", "warp-speed"])
+
+
+class TestCommon:
+    def test_method_argument(self):
+        assert method_argument("A.b") == ("A", "b")
+        assert method_argument("pkg.Class.method") == ("pkg.Class", "method")
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            method_argument("nodot")

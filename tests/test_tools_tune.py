@@ -1,0 +1,45 @@
+"""Tests for the parameter-tuning tool (§IV's grid-search process)."""
+
+from repro.tools.tune import DEFAULT_GRID, geomean, sweep
+
+
+class TestSweep:
+    def test_tiny_grid_ranks_configurations(self):
+        grid = {
+            "r1": [3000.0],
+            "r2": [500.0],
+            "t1": [0.005, 0.0001],
+            "t2": [120.0],
+        }
+        messages = []
+        ranked, baseline = sweep(
+            ["pmd"], grid, 0.1, 1, 0.05, log=messages.append
+        )
+        assert len(ranked) == 2
+        assert "pmd" in baseline
+        # Sorted best-first among admissible configs.
+        admissible = [entry for entry in ranked if entry[2]]
+        if len(admissible) == 2:
+            assert admissible[0][0] <= admissible[1][0]
+        assert messages  # progress was logged
+
+    def test_regression_rule(self):
+        """A configuration that inlines nothing regresses massively vs
+        greedy and must be marked inadmissible under the 5% rule."""
+        grid = {
+            "r1": [0.0],     # expansion threshold astronomically strict
+            "r2": [1.0],
+            "t1": [1000.0],  # inlining threshold unreachable
+            "t2": [1.0],
+        }
+        ranked, _ = sweep(["pmd"], grid, 0.1, 1, 0.05, log=lambda *_: None)
+        ((score, worst, admissible, _assignment),) = ranked
+        assert worst > 1.05
+        assert not admissible
+
+    def test_default_grid_shape(self):
+        assert set(DEFAULT_GRID) == {"r1", "r2", "t1", "t2"}
+        assert all(len(v) >= 2 for k, v in DEFAULT_GRID.items() if k != "r2")
+
+    def test_geomean(self):
+        assert abs(geomean([1.0, 4.0]) - 2.0) < 1e-9
