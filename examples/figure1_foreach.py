@@ -14,6 +14,7 @@ full algorithm vs the greedy baseline.
 Run:  python examples/figure1_foreach.py
 """
 
+from repro.backend.costmodel import CostModel
 from repro.baselines import GreedyInliner, tuned_inliner
 from repro.core import IncrementalInliner, InlinerParams
 from repro.core.calltree import make_root
@@ -55,7 +56,9 @@ def show_call_tree(program, profiles):
     graph = build_graph(method, program, profiles)
     annotate_frequencies(graph)
     root = make_root(graph)
-    context = CompileContext(program, profiles, OptimizationPipeline(program), None)
+    context = CompileContext(
+        program, profiles, OptimizationPipeline(program), CostModel()
+    )
     params = InlinerParams.scaled(0.1)
     discover_children(root, context, params)
 

@@ -1,5 +1,6 @@
 """Benchmark × configuration sweeps and table rendering."""
 
+import json
 import os
 import sys
 
@@ -32,13 +33,30 @@ def selected_benchmarks(names=None):
     return all_benchmarks()
 
 
-def run_matrix(config_names, benchmarks=None, instances=2, progress=None):
+def run_matrix(
+    config_names,
+    benchmarks=None,
+    instances=2,
+    progress=None,
+    metrics_dir=None,
+):
     """Run every benchmark under every configuration.
 
     Returns ``{benchmark: {config: Measurement}}``. Validates that all
     configurations computed the same result value per instance seed —
     an inliner that changes program semantics fails loudly here.
+
+    With *metrics_dir* set, every (benchmark, configuration) run is
+    executed under full observability and a JSON metrics artifact
+    (``<benchmark>__<config>.json``, the measurement plus per-instance
+    metrics snapshots) is written next to the results.
     """
+    obs_factory = None
+    if metrics_dir is not None:
+        from repro.obs import Observability
+
+        os.makedirs(metrics_dir, exist_ok=True)
+        obs_factory = Observability
     results = {}
     for spec in selected_benchmarks(benchmarks):
         program = spec.load()
@@ -53,13 +71,27 @@ def run_matrix(config_names, benchmarks=None, instances=2, progress=None):
                 instances=instances,
                 iterations=spec.iterations,
                 jit_config_factory=spec.jit_config_factory,
+                obs_factory=obs_factory,
             )
             row[config_name] = measurement
+            if metrics_dir is not None:
+                _write_metrics_artifact(metrics_dir, measurement)
             if progress is not None:
                 progress(spec.name, config_name, measurement)
         _validate_values(spec.name, row)
         results[spec.name] = row
     return results
+
+
+def _write_metrics_artifact(metrics_dir, measurement):
+    path = os.path.join(
+        metrics_dir,
+        "%s__%s.json" % (measurement.benchmark, measurement.config_name),
+    )
+    with open(path, "w") as handle:
+        json.dump(measurement.as_dict(), handle, indent=2, default=str)
+        handle.write("\n")
+    return path
 
 
 def _validate_values(benchmark, row):

@@ -31,6 +31,7 @@ class Measurement:
         "values",
         "warmup_curves",
         "compilations",
+        "metrics",
     )
 
     def __init__(self, benchmark, config_name):
@@ -42,6 +43,21 @@ class Measurement:
         self.values = []
         self.warmup_curves = []
         self.compilations = 0
+        self.metrics = []  # one metrics snapshot per instrumented instance
+
+    def as_dict(self):
+        """The measurement as a plain dict (the JSON metrics artifact)."""
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config_name,
+            "mean_cycles": self.mean_cycles,
+            "std_cycles": self.std_cycles,
+            "installed_size": self.installed_size,
+            "compilations": self.compilations,
+            "values": self.values,
+            "warmup_curves": self.warmup_curves,
+            "metrics": self.metrics,
+        }
 
     def __repr__(self):
         return "<%s/%s %.0f ±%.0f cycles, %d code>" % (
@@ -68,6 +84,7 @@ def measure_benchmark(
     iterations=12,
     jit_config_factory=None,
     base_seed=0x5EED,
+    obs_factory=None,
 ):
     """Run one benchmark under one configuration.
 
@@ -80,6 +97,11 @@ def measure_benchmark(
             no-inlining compiler).
         jit_config_factory: optional callable creating the
             :class:`~repro.jit.config.JitConfig` per instance.
+        obs_factory: optional zero-argument callable creating a fresh
+            :class:`~repro.obs.Observability` per VM instance; each
+            instance's metrics snapshot is appended to
+            ``result.metrics``. The default (None) leaves the engines
+            un-instrumented, which keeps the cycle model bit-identical.
     """
     result = Measurement(benchmark_name, config_name)
     steady_means = []
@@ -88,11 +110,13 @@ def measure_benchmark(
         config = (
             jit_config_factory() if jit_config_factory is not None else JitConfig()
         )
+        obs = obs_factory() if obs_factory is not None else None
         engine = Engine(
             program,
             config,
             inliner=inliner_factory() if inliner_factory is not None else None,
             seed=base_seed + 7919 * instance,
+            obs=obs,
         )
         curve = []
         value = None
@@ -108,6 +132,8 @@ def measure_benchmark(
             result.installed_size, engine.code_cache.total_size
         )
         result.compilations += engine.compilation_count
+        if obs is not None:
+            result.metrics.append(obs.metrics.snapshot())
     result.mean_cycles = sum(steady_means) / len(steady_means)
     if len(steady_means) > 1:
         mean = result.mean_cycles

@@ -97,6 +97,14 @@ class IncrementalInliner:
         )
         self.deep_trials = deep_trials
 
+    def attach_tracer(self, tracer):
+        """Install *tracer* on the inliner and its phases after
+        construction (the observability bridge uses this to wire in a
+        span-scoped tracer when none was supplied)."""
+        self.tracer = tracer
+        self.expansion.tracer = tracer
+        self.inlining.tracer = tracer
+
     # ------------------------------------------------------------------
 
     def run(self, graph, context):

@@ -60,9 +60,11 @@ class Interpreter:
         dispatch: optional callable ``(method, args) -> result`` used for
             every guest call; defaults to :meth:`execute` (pure
             interpretation all the way down).
+        obs: optional :class:`~repro.obs.Observability`; when enabled,
+            interpreted calls are counted (``interp.calls``).
     """
 
-    def __init__(self, vm, profiles=None, dispatch=None):
+    def __init__(self, vm, profiles=None, dispatch=None, obs=None):
         from repro.interp.profiles import ProfileStore
 
         self.vm = vm
@@ -73,6 +75,11 @@ class Interpreter:
         self.max_depth = 0
         self._depth = 0
         self._current_method = None  # caller context for profiling
+        # Pre-bound counter: one None check per interpreted call when
+        # observability is off, no registry lookups when it is on.
+        self._calls_counter = None
+        if obs is not None and obs.enabled:
+            self._calls_counter = obs.metrics.counter("interp.calls")
 
     # ------------------------------------------------------------------
     # Entry points
@@ -96,6 +103,8 @@ class Interpreter:
             return intrinsic_function(method.name)(self.vm, *args)
         if method.is_abstract:
             raise VMError("abstract method called: %s" % method.qualified_name)
+        if self._calls_counter is not None:
+            self._calls_counter.inc()
         profile = self.profiles.of(method, caller=self._current_method)
         profile.invocations += 1
         self._depth += 1

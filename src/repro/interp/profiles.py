@@ -147,16 +147,21 @@ class ProfileStore:
     :meth:`~repro.jit.compiler.CompileContext.build_callee_graph`).
     """
 
-    def __init__(self, context_sensitive=False):
+    def __init__(self, context_sensitive=False, obs=None):
         self._methods = {}
         self._contexts = {}
         self.context_sensitive = context_sensitive
+        self._obs = obs
 
     def of(self, method, caller=None):
         key = method.qualified_name
         profile = self._methods.get(key)
         if profile is None:
             profile = self._methods[key] = MethodProfile()
+            if self._obs is not None and self._obs.enabled:
+                self._obs.metrics.gauge("profile.methods").set(
+                    len(self._methods)
+                )
         if self.context_sensitive and caller is not None:
             context_key = (caller.qualified_name, key)
             context_profile = self._contexts.get(context_key)
@@ -196,6 +201,15 @@ class ProfileStore:
         if profile is None:
             return 0
         return profile.invocations + profile.backedge_total() // 8
+
+    def hottest(self, limit=10):
+        """The *limit* hottest profiled methods as ``[(name, hotness)]``."""
+        scores = [
+            (name, profile.invocations + profile.backedge_total() // 8)
+            for name, profile in self._methods.items()
+        ]
+        scores.sort(key=lambda item: (-item[1], item[0]))
+        return scores[:limit]
 
     def __len__(self):
         return len(self._methods)

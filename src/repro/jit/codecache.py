@@ -3,19 +3,43 @@
 Tracks compiled machine code per method and the total installed size —
 the quantity the paper reports in Figure 10 and Table I, and the input
 to the instruction-cache pressure model.
+
+With observability enabled the cache records install/evict/hit/miss
+metrics (``codecache.*``); a lookup miss means the call fell back to
+the interpreter tier.
 """
+
+from repro.obs import NULL_OBS
 
 
 class CodeCache:
     """Mapping from methods to installed machine code."""
 
-    def __init__(self):
+    def __init__(self, obs=None):
         self._code = {}
         self.total_size = 0
         self.install_count = 0
+        obs = obs if obs is not None else NULL_OBS
+        self._obs = obs
+        if obs.enabled:
+            metrics = obs.metrics
+            self._hits = metrics.counter("codecache.hits")
+            self._misses = metrics.counter("codecache.misses")
+            self._installs = metrics.counter("codecache.installs")
+            self._evictions = metrics.counter("codecache.evictions")
+            self._bytes = metrics.gauge("codecache.installed_bytes")
+        else:
+            self._hits = None
+            self._misses = None
+            self._installs = None
+            self._evictions = None
+            self._bytes = None
 
     def get(self, method):
-        return self._code.get(method)
+        code = self._code.get(method)
+        if self._hits is not None:
+            (self._hits if code is not None else self._misses).inc()
+        return code
 
     def __contains__(self, method):
         return method in self._code
@@ -27,6 +51,20 @@ class CodeCache:
         self._code[method] = code
         self.total_size += code.size
         self.install_count += 1
+        if self._installs is not None:
+            self._installs.inc()
+            self._bytes.set(self.total_size)
+
+    def evict(self, method):
+        """Drop *method*'s installed code; returns True if it was present."""
+        code = self._code.pop(method, None)
+        if code is None:
+            return False
+        self.total_size -= code.size
+        if self._evictions is not None:
+            self._evictions.inc()
+            self._bytes.set(self.total_size)
+        return True
 
     def installed_methods(self):
         return list(self._code)

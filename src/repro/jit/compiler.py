@@ -7,12 +7,21 @@ algorithm lives in :mod:`repro.core`; the comparison baselines in
 the policy exactly what an online inliner is allowed to see: the program
 (for resolution), profiles, graph building for callees, and the
 optimizer (for inlining trials).
+
+With observability enabled (``obs=Observability()``) every compilation
+is recorded as a ``compile`` span with ``build`` / ``inline`` /
+``optimize`` / ``lower`` child spans, per-pass node deltas from the
+pipeline, and the inliner's decision trace bridged in as
+``inline.<kind>`` events — the stream behind
+``python -m repro.tools.stats``.
 """
 
 from repro.backend.lowering import lower_graph
 from repro.errors import CompileError
 from repro.ir.builder import build_graph
 from repro.ir.frequency import annotate_frequencies
+from repro.obs import NULL_OBS, SpanInlineTracer
+from repro.obs.tracebridge import emit_trace_event
 from repro.opts.pipeline import OptimizationPipeline
 
 
@@ -72,40 +81,109 @@ class CompilationRecord:
 class JitCompiler:
     """Compiles single methods with a configurable inlining policy."""
 
-    def __init__(self, program, profiles, config, inliner=None):
+    def __init__(self, program, profiles, config, inliner=None, obs=None):
         self.program = program
         self.profiles = profiles
         self.config = config
         self.inliner = inliner
-        self.pipeline = OptimizationPipeline(program, config.optimizer)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.pipeline = OptimizationPipeline(
+            program, config.optimizer, obs=self.obs
+        )
         self.context = CompileContext(
             program, profiles, self.pipeline, config.cost_model
         )
         self.records = []
+        if self.obs.enabled and inliner is not None:
+            # Bridge inlining decisions into the event stream: give a
+            # tracer-less incremental inliner a span-scoped tracer.
+            # Policies with a user-supplied tracer keep it and are
+            # drained into the stream after each run (see compile()).
+            if (
+                getattr(inliner, "tracer", None) is None
+                and hasattr(inliner, "attach_tracer")
+            ):
+                inliner.attach_tracer(SpanInlineTracer(self.obs.events))
 
     def compile(self, method):
         """Compile *method*; returns a :class:`CompilationRecord`."""
         if method.is_abstract or method.is_native:
             raise CompileError("cannot compile %s" % method.qualified_name)
-        graph = build_graph(method, self.program, self.profiles)
-        annotate_frequencies(graph)
-        self.pipeline.run(graph, peel=False, rwe=False)
-        inline_report = None
-        if self.inliner is not None:
-            inline_report = self.inliner.run(graph, self.context)
-            annotate_frequencies(graph)
-        self.pipeline.run(graph)
-        work_units = graph.node_count()
-        code = lower_graph(graph, self.config.cost_model)
-        compile_cycles = self.config.cost_model.compile_cost(
-            work_units, passes=self.config.optimizer.max_iterations
-        )
-        if inline_report is not None:
-            compile_cycles += self.config.cost_model.compile_cost(
-                inline_report.explored_nodes
+        obs = self.obs
+        events = obs.events
+        hotness = None
+        if obs.enabled and hasattr(self.profiles, "hotness"):
+            hotness = self.profiles.hotness(method)
+        with events.span(
+            "compile", method=method.qualified_name, hotness=hotness
+        ) as compile_span:
+            with events.span("build"):
+                graph = build_graph(method, self.program, self.profiles)
+                annotate_frequencies(graph)
+            with events.span("optimize", stage="pre-inline"):
+                self.pipeline.run(graph, peel=False, rwe=False)
+            inline_report = None
+            if self.inliner is not None:
+                inline_report = self._run_inliner(graph, obs)
+            with events.span("optimize", stage="post-inline"):
+                self.pipeline.run(graph)
+            work_units = graph.node_count()
+            with events.span("lower"):
+                code = lower_graph(graph, self.config.cost_model)
+            compile_cycles = self.config.cost_model.compile_cost(
+                work_units, passes=self.config.optimizer.max_iterations
+            )
+            if inline_report is not None:
+                compile_cycles += self.config.cost_model.compile_cost(
+                    inline_report.explored_nodes
+                )
+            compile_span.set(
+                nodes=work_units,
+                code_size=code.size,
+                compile_cycles=compile_cycles,
             )
         record = CompilationRecord(
             method, code, work_units, inline_report, compile_cycles
         )
         self.records.append(record)
         return record
+
+    def _run_inliner(self, graph, obs):
+        """Run the inlining policy inside an ``inline`` span, mirroring
+        its decision trace into the event stream."""
+        tracer = getattr(self.inliner, "tracer", None)
+        drain_from = None
+        if (
+            obs.enabled
+            and tracer is not None
+            and not isinstance(tracer, SpanInlineTracer)
+        ):
+            drain_from = len(tracer.events)
+        with obs.events.span("inline") as inline_span:
+            inline_report = self.inliner.run(graph, self.context)
+            annotate_frequencies(graph)
+            if drain_from is not None:
+                for event in tracer.events[drain_from:]:
+                    emit_trace_event(obs.events, event)
+            if obs.enabled and inline_report is not None:
+                inline_span.set(
+                    rounds=inline_report.rounds,
+                    expansions=inline_report.expansions,
+                    inlined=inline_report.inline_count,
+                    typeswitches=inline_report.typeswitch_count,
+                    explored_nodes=inline_report.explored_nodes,
+                )
+                metrics = obs.metrics
+                metrics.counter("inline.expansions").inc(
+                    inline_report.expansions
+                )
+                metrics.counter("inline.inlined").inc(
+                    inline_report.inline_count
+                )
+                metrics.counter("inline.typeswitches").inc(
+                    inline_report.typeswitch_count
+                )
+                metrics.counter("inline.explored_nodes").inc(
+                    inline_report.explored_nodes
+                )
+        return inline_report

@@ -14,6 +14,12 @@ Cycle accounting:
 - compilation cycles, charged to the iteration that compiled
   (modelling the compiler stealing cycles from the application as a
   single-threaded JIT does; this is what the warmup figure shows).
+
+Observability: pass ``obs=Observability()`` to record tier
+transitions, compile triggers/failures and per-iteration breakdowns
+into the shared metrics registry and event stream (see
+:mod:`repro.obs`). The default is the inert :data:`~repro.obs.NULL_OBS`
+and leaves the cycle model bit-identical to an un-instrumented run.
 """
 
 from repro.backend.machine import MachineExecutor
@@ -22,11 +28,19 @@ from repro.interp.interpreter import Interpreter
 from repro.interp.profiles import ProfileStore
 from repro.jit.codecache import CodeCache
 from repro.jit.config import JitConfig
+from repro.obs import NULL_OBS
 from repro.runtime.vmstate import VMState
 
 
 class IterationResult:
-    """Cycle breakdown for one benchmark iteration."""
+    """Cycle breakdown for one benchmark iteration.
+
+    All cycle fields and ``compilations`` are per-iteration deltas.
+    ``installed_size`` is the exception: it is the *absolute* code-cache
+    size after the iteration (the quantity Figure 10 / Table I report);
+    ``installed_size_delta`` is its per-iteration growth, for warmup
+    plots that chart code-cache growth alongside the cycle curve.
+    """
 
     __slots__ = (
         "value",
@@ -37,21 +51,29 @@ class IterationResult:
         "icache_cycles",
         "compilations",
         "installed_size",
+        "installed_size_delta",
     )
 
     def __init__(self, **kw):
         for name in self.__slots__:
             setattr(self, name, kw.get(name, 0))
 
+    def as_dict(self):
+        """The breakdown as a plain dict (metrics/JSON export)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
     def __repr__(self):
         return (
-            "<Iteration total=%d interp=%d compiled=%d jit=%d icache=%d>"
+            "<Iteration total=%d interp=%d compiled=%d jit=%d icache=%d "
+            "compilations=%d installed=%d>"
             % (
                 self.total_cycles,
                 self.interpreted_cycles,
                 self.compiled_cycles,
                 self.compile_cycles,
                 self.icache_cycles,
+                self.compilations,
+                self.installed_size,
             )
         )
 
@@ -59,20 +81,25 @@ class IterationResult:
 class Engine:
     """A tiered VM instance."""
 
-    def __init__(self, program, config=None, inliner=None, seed=0x5EED):
+    def __init__(self, program, config=None, inliner=None, seed=0x5EED, obs=None):
         self.program = program
         self.config = config or JitConfig()
+        self.obs = obs if obs is not None else NULL_OBS
         self.vm = VMState(program, seed=seed)
         self.profiles = ProfileStore(
-            context_sensitive=self.config.context_sensitive_profiles
+            context_sensitive=self.config.context_sensitive_profiles,
+            obs=self.obs,
         )
         self.interpreter = Interpreter(
-            self.vm, profiles=self.profiles, dispatch=self._dispatch
+            self.vm, profiles=self.profiles, dispatch=self._dispatch,
+            obs=self.obs,
         )
-        self.code_cache = CodeCache()
+        self.code_cache = CodeCache(obs=self.obs)
         from repro.jit.compiler import JitCompiler
 
-        self.compiler = JitCompiler(program, self.profiles, self.config, inliner)
+        self.compiler = JitCompiler(
+            program, self.profiles, self.config, inliner, obs=self.obs
+        )
         self.executor = MachineExecutor(self.vm, self._dispatch, self)
         self.compiled_cycles = 0
         self.compile_cycles = 0
@@ -80,6 +107,13 @@ class Engine:
         self.compilation_count = 0
         self._compile_failed = set()
         self._dispatch_depth = 0
+        # Pre-bound instrument for the hot dispatch path; None when
+        # observability is off so the fast path pays one None check.
+        self._icache_counter = (
+            self.obs.metrics.counter("icache.penalty")
+            if self.obs.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Cycle sink interface (used by the machine executor)
@@ -100,6 +134,8 @@ class Engine:
             penalty = self.config.icache.entry_penalty(self.code_cache.total_size)
             if penalty:
                 self.icache_cycles += penalty
+                if self._icache_counter is not None:
+                    self._icache_counter.inc(penalty)
             return self.executor.execute(code, args)
         return self.interpreter.execute(method, args)
 
@@ -116,14 +152,39 @@ class Engine:
         return self.profiles.hotness(method) >= config.hot_threshold
 
     def _compile(self, method):
+        obs = self.obs
+        if obs.enabled:
+            obs.events.emit(
+                "jit.trigger",
+                method=method.qualified_name,
+                hotness=self.profiles.hotness(method),
+            )
         try:
             record = self.compiler.compile(method)
         except CompileError:
             self._compile_failed.add(method)
+            if obs.enabled:
+                obs.metrics.counter("jit.compile.failures").inc()
+                obs.events.emit(
+                    "jit.compile_failed", method=method.qualified_name
+                )
             return None
         self.code_cache.install(method, record.code)
         self.compile_cycles += record.compile_cycles
         self.compilation_count += 1
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("jit.compile.count").inc()
+            metrics.counter("jit.compile.cycles").inc(record.compile_cycles)
+            metrics.histogram("jit.compile.nodes").record(record.graph_nodes)
+            metrics.histogram("jit.compile.code_size").record(record.code.size)
+            obs.events.emit(
+                "jit.install",
+                method=method.qualified_name,
+                code_size=record.code.size,
+                total_size=self.code_cache.total_size,
+                compile_cycles=record.compile_cycles,
+            )
         return record.code
 
     # ------------------------------------------------------------------
@@ -135,12 +196,19 @@ class Engine:
         return self._dispatch(method, list(args))
 
     def run_iteration(self, class_name, method_name="run", args=()):
-        """Run one benchmark iteration and return its cycle breakdown."""
+        """Run one benchmark iteration and return its cycle breakdown.
+
+        Every cycle field of the result is a per-iteration delta;
+        ``installed_size`` alone is the absolute code-cache size after
+        the iteration (use ``installed_size_delta`` for per-iteration
+        code-cache growth) — see :class:`IterationResult`.
+        """
         interp_before = self.interpreter.ops_executed
         compiled_before = self.compiled_cycles
         compile_before = self.compile_cycles
         icache_before = self.icache_cycles
         compilations_before = self.compilation_count
+        installed_before = self.code_cache.total_size
 
         value = self.call(class_name, method_name, args)
 
@@ -149,7 +217,7 @@ class Engine:
         compiled = self.compiled_cycles - compiled_before
         compile_time = self.compile_cycles - compile_before
         icache = self.icache_cycles - icache_before
-        return IterationResult(
+        result = IterationResult(
             value=value,
             interpreted_cycles=interpreted,
             compiled_cycles=compiled,
@@ -158,4 +226,16 @@ class Engine:
             total_cycles=interpreted + compiled + compile_time + icache,
             compilations=self.compilation_count - compilations_before,
             installed_size=self.code_cache.total_size,
+            installed_size_delta=self.code_cache.total_size - installed_before,
         )
+        obs = self.obs
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("engine.iterations").inc()
+            metrics.gauge("interp.ops").set(self.interpreter.ops_executed)
+            metrics.counter("engine.cycles").inc(result.total_cycles)
+            metrics.histogram("engine.iteration.cycles").record(
+                result.total_cycles
+            )
+            obs.events.emit("iteration", **result.as_dict())
+        return result

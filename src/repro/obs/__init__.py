@@ -1,0 +1,97 @@
+"""VM-wide observability: metrics, events, and compilation reports.
+
+The paper's argument is quantitative — Eq. 8 benefit/size numbers,
+round-by-round expansion, compile-time budgets, code-size curves — and
+a JIT without telemetry cannot be debugged or tuned (Graal ships
+``-Dgraal.TraceInlining`` and ``-XX:+PrintCompilation`` for exactly
+this reason). This package is the measurement substrate for the whole
+VM:
+
+- :class:`MetricsRegistry` (:mod:`repro.obs.metrics`): counters,
+  gauges and cheap fixed-bucket histograms addressable by dotted names
+  (``jit.compile.cycles``, ``interp.ops``, ``codecache.installed_bytes``).
+- :class:`EventLog` (:mod:`repro.obs.events`): a structured stream of
+  nestable spans (``compile`` → ``build``/``inline``/``optimize``/
+  ``lower``) and point events (per-pass node deltas, inlining
+  decisions, tier transitions), streamable as JSONL.
+- :class:`SpanInlineTracer` (:mod:`repro.obs.tracebridge`): bridges the
+  existing :class:`~repro.core.tracing.InlineTracer` into the event
+  stream so inlining decisions appear inline in the compilation spans.
+- :func:`build_report` / :func:`render_report`
+  (:mod:`repro.obs.report`): fold an event stream into the
+  ``PrintCompilation``-style report printed by
+  ``python -m repro.tools.stats``.
+
+An :class:`Observability` object bundles one registry with one event
+log and is threaded through :class:`~repro.jit.engine.Engine` and every
+layer below it. The default everywhere is :data:`NULL_OBS`, whose
+registry and log are inert no-ops — instrumented code only pays an
+``obs.enabled`` check, and the deterministic cycle model is untouched
+either way (verified by a differential test).
+
+Usage::
+
+    from repro.obs import Observability
+    obs = Observability()
+    engine = Engine(program, config, inliner=policy, obs=obs)
+    ...
+    obs.metrics.value("jit.compile.count")
+    obs.events.save("events.jsonl")
+"""
+
+from repro.obs.events import NULL_EVENTS, EventLog, NullEventLog
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.report import build_report, render_report
+from repro.obs.tracebridge import SpanInlineTracer
+
+
+class Observability:
+    """One metrics registry plus one event log, threaded through a VM."""
+
+    __slots__ = ("metrics", "events")
+
+    enabled = True
+
+    def __init__(self, metrics=None, events=None, events_sink=None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = (
+            events if events is not None else EventLog(sink=events_sink)
+        )
+
+
+class _NullObservability:
+    """The inert default: both halves are no-ops."""
+
+    __slots__ = ()
+
+    enabled = False
+    metrics = NULL_METRICS
+    events = NULL_EVENTS
+
+
+NULL_OBS = _NullObservability()
+
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_METRICS",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENTS",
+    "SpanInlineTracer",
+    "build_report",
+    "render_report",
+]

@@ -1,0 +1,291 @@
+"""The metrics half of the observability subsystem.
+
+A :class:`MetricsRegistry` holds counters, gauges and fixed-bucket
+histograms addressable by dotted names (``jit.compile.cycles``,
+``interp.ops``, ``codecache.installed_bytes`` — the full namespace is
+documented in ``docs/observability.md``). Instruments are created on
+first use and shared afterwards, so instrumentation sites never need to
+pre-register anything.
+
+The default registry on every VM object is :data:`NULL_METRICS`, a
+truly inert no-op: its instruments accumulate nothing and its snapshot
+is always empty, so an un-instrumented run pays only a predicate check
+(``registry.enabled``) on the rare cold paths that consult it.
+"""
+
+import math
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def snapshot(self):
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self):
+        return "<Counter %s=%d>" % (self.name, self.value)
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def add(self, amount):
+        self.value += amount
+
+    def snapshot(self):
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self):
+        return "<Gauge %s=%r>" % (self.name, self.value)
+
+
+#: Default histogram bucket upper bounds: a 1-2-5 geometric ladder wide
+#: enough for every quantity the VM records (node counts, code sizes,
+#: cycle counts). Values above the last bound land in an overflow
+#: bucket whose representative is the observed maximum.
+DEFAULT_BOUNDS = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1000, 2000, 5000, 10000, 20000, 50000,
+    100000, 200000, 500000, 1000000,
+)
+
+
+class Histogram:
+    """A cheap fixed-bucket histogram with p50/p90/p99 estimates.
+
+    Percentiles are bucket-resolution approximations: the reported
+    value is the upper bound of the bucket containing the requested
+    rank, clamped to the observed min/max. That is exact enough for
+    telemetry (order-of-magnitude distributions of compile sizes and
+    cycle counts) and costs one bisect per record.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name, bounds=None):
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def record(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q):
+        """The approximate *q*-quantile (``q`` in [0, 1])."""
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(q * self.count)
+        if rank <= 0:
+            rank = 1
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    estimate = self.bounds[index]
+                else:
+                    estimate = self.max
+                return float(min(max(estimate, self.min), self.max))
+        return float(self.max)
+
+    @property
+    def p50(self):
+        return self.percentile(0.50)
+
+    @property
+    def p90(self):
+        return self.percentile(0.90)
+
+    @property
+    def p99(self):
+        return self.percentile(0.99)
+
+    def snapshot(self):
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+        }
+
+    def __repr__(self):
+        return "<Histogram %s n=%d p50=%.0f p99=%.0f>" % (
+            self.name, self.count, self.p50, self.p99,
+        )
+
+
+class MetricsRegistry:
+    """Dotted-name registry of counters, gauges and histograms."""
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _instrument(self, name, factory, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                "metric %r already registered as %s" % (name, metric.kind)
+            )
+        return metric
+
+    def counter(self, name):
+        return self._instrument(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name):
+        return self._instrument(name, lambda: Gauge(name), Gauge)
+
+    def histogram(self, name, bounds=None):
+        return self._instrument(name, lambda: Histogram(name, bounds), Histogram)
+
+    def get(self, name):
+        """The instrument registered under *name*, or None."""
+        return self._metrics.get(name)
+
+    def value(self, name, default=0):
+        """Scalar shortcut: the value of a counter/gauge, or *default*."""
+        metric = self._metrics.get(name)
+        if metric is None or not hasattr(metric, "value"):
+            return default
+        return metric.value
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def __contains__(self, name):
+        return name in self._metrics
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def snapshot(self):
+        """``{dotted.name: {type, ...}}`` for JSON export."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+class _NullInstrument:
+    """Shared write-only sink behind :data:`NULL_METRICS`."""
+
+    __slots__ = ()
+    kind = "null"
+    name = "<null>"
+    value = 0
+    count = 0
+    total = 0
+    min = None
+    max = None
+    mean = 0.0
+    p50 = 0.0
+    p90 = 0.0
+    p99 = 0.0
+
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def add(self, amount):
+        pass
+
+    def record(self, value):
+        pass
+
+    def percentile(self, q):
+        return 0.0
+
+    def snapshot(self):
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """The default, inert registry: accepts every write, keeps nothing."""
+
+    __slots__ = ()
+    enabled = False
+
+    def counter(self, name):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, bounds=None):
+        return _NULL_INSTRUMENT
+
+    def get(self, name):
+        return None
+
+    def value(self, name, default=0):
+        return default
+
+    def names(self):
+        return []
+
+    def __contains__(self, name):
+        return False
+
+    def __len__(self):
+        return 0
+
+    def snapshot(self):
+        return {}
+
+
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,40 @@
+"""Bridge from the inliner's :class:`InlineTracer` into the event stream.
+
+The inliner already has a first-class tracing surface
+(:mod:`repro.core.tracing`) that the expansion/inlining phases call
+into. :class:`SpanInlineTracer` is a drop-in tracer that *also*
+forwards every decision to an :class:`~repro.obs.events.EventLog` as an
+``inline.<kind>`` event the moment it happens — so inlining decisions
+appear chronologically inside the enclosing ``compile``/``inline``
+span, interleaved with the optimization pipeline's pass events.
+
+The compiler installs one automatically (via
+``IncrementalInliner.attach_tracer``) when observability is enabled and
+the policy has no tracer of its own; a user-supplied plain
+:class:`InlineTracer` keeps working and is drained into the stream
+after each inliner run instead (see :meth:`JitCompiler.compile`).
+"""
+
+from repro.core.tracing import InlineTracer, TraceEvent
+
+
+def emit_trace_event(events, trace_event):
+    """Forward one :class:`TraceEvent` into *events* as ``inline.<kind>``."""
+    events.emit(
+        "inline." + trace_event.kind,
+        round=trace_event.round_index,
+        **trace_event.detail
+    )
+
+
+class SpanInlineTracer(InlineTracer):
+    """An :class:`InlineTracer` that mirrors every event into an event log."""
+
+    def __init__(self, events):
+        InlineTracer.__init__(self)
+        self.event_log = events
+
+    def _emit(self, kind, detail):
+        event = TraceEvent(kind, detail, self.round_index)
+        self.events.append(event)
+        emit_trace_event(self.event_log, event)

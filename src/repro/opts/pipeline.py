@@ -8,6 +8,7 @@ iteration count shrinks as the graph grows past
 genuinely optimized less thoroughly.
 """
 
+from repro.obs import NULL_OBS
 from repro.opts.canonicalize import CanonStats, canonicalize
 from repro.opts.dce import merge_blocks, remove_dead_nodes, remove_unreachable_blocks
 from repro.opts.gvn import global_value_numbering
@@ -56,9 +57,10 @@ class OptimizerConfig:
 class OptimizationPipeline:
     """Runs the optimizer over a graph and aggregates statistics."""
 
-    def __init__(self, program, config=None):
+    def __init__(self, program, config=None, obs=None):
         self.program = program
         self.config = config if config is not None else OptimizerConfig()
+        self.obs = obs if obs is not None else NULL_OBS
 
     def run(self, graph, peel=None, rwe=None):
         """Optimize *graph* in place; returns aggregate CanonStats.
@@ -66,13 +68,21 @@ class OptimizationPipeline:
         *peel* / *rwe* override the config switches for a single run
         (the inliner calls those phases only at specific round
         boundaries, as the paper describes).
+
+        With observability enabled, every pass emits a ``pass`` event
+        carrying its node-count delta (the ``nodes-``/``nodes+`` columns
+        of the stats report).
         """
         config = self.config
         do_peel = config.enable_peeling if peel is None else peel
         do_rwe = config.enable_rwe if rwe is None else rwe
+        obs = self.obs
+        observe = obs.enabled
+        if observe:
+            obs.metrics.counter("opt.pipeline.runs").inc()
         stats = CanonStats()
         iterations = config.iterations_for(graph.node_count())
-        for _ in range(iterations):
+        for iteration in range(iterations):
             before = graph.node_count()
             stats.merge(
                 canonicalize(
@@ -82,15 +92,33 @@ class OptimizationPipeline:
                 )
             )
             remove_unreachable_blocks(graph)
+            if observe:
+                after_canon = graph.node_count()
+                obs.events.emit(
+                    "pass", name="canonicalize", iteration=iteration,
+                    before=before, after=after_canon,
+                )
             global_value_numbering(graph)
             remove_dead_nodes(graph)
             merge_blocks(graph)
+            if observe:
+                after_gvn = graph.node_count()
+                obs.events.emit(
+                    "pass", name="gvn", iteration=iteration,
+                    before=after_canon, after=after_gvn,
+                )
             if do_rwe:
                 read_write_elimination(graph, self.program)
                 remove_dead_nodes(graph)
+                if observe:
+                    obs.events.emit(
+                        "pass", name="rwe", iteration=iteration,
+                        before=after_gvn, after=graph.node_count(),
+                    )
             if graph.node_count() == before and stats.rounds > 1:
                 break
         if do_peel:
+            before_peel = graph.node_count() if observe else 0
             peeled = peel_loops(graph, self.program)
             if peeled:
                 stats.merge(
@@ -104,10 +132,19 @@ class OptimizationPipeline:
                 global_value_numbering(graph)
                 remove_dead_nodes(graph)
                 merge_blocks(graph)
+            if observe and peeled:
+                obs.events.emit(
+                    "pass", name="peel", iteration=0,
+                    before=before_peel, after=graph.node_count(),
+                )
         return stats
 
     def simplify_only(self, graph):
         """A cheap canonicalize+cleanup round (used inside trials)."""
+        if self.obs.enabled:
+            # Trials run this constantly; count it but skip per-pass
+            # events to keep the stream readable.
+            self.obs.metrics.counter("opt.simplify.runs").inc()
         stats = canonicalize(
             graph,
             self.program,

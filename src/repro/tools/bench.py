@@ -33,6 +33,11 @@ def main(argv=None):
         "--metric", choices=["time", "speedup", "code"], default="time"
     )
     parser.add_argument("--baseline", default=None)
+    parser.add_argument(
+        "--metrics-dir", default=None, metavar="DIR",
+        help="run under observability and write one JSON metrics "
+             "artifact per (benchmark, config) into DIR",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -57,11 +62,14 @@ def main(argv=None):
         benchmarks=args.benchmarks,
         instances=args.instances,
         progress=progress,
+        metrics_dir=args.metrics_dir,
     )
     print_table(
         results, args.configs, metric=args.metric, baseline=args.baseline,
         title="%s (%d instances)" % (args.metric, args.instances),
     )
+    if args.metrics_dir:
+        print("metrics artifacts written to %s/" % args.metrics_dir)
     return 0
 
 

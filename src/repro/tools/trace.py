@@ -12,6 +12,7 @@ Example::
 
 import argparse
 
+from repro.backend.costmodel import CostModel
 from repro.core import IncrementalInliner, InlinerParams, InlineTracer
 from repro.interp import Interpreter
 from repro.jit.compiler import CompileContext
@@ -52,8 +53,11 @@ def main(argv=None):
     method = program.lookup_method(class_name, method_name)
     graph = build_graph(method, program, interp.profiles)
     annotate_frequencies(graph)
+    # A real cost model, not None: policies are entitled to consult
+    # context.cost_model (the default incremental inliner does not, but
+    # custom policies crash on None).
     context = CompileContext(
-        program, interp.profiles, OptimizationPipeline(program), None
+        program, interp.profiles, OptimizationPipeline(program), CostModel()
     )
     tracer = InlineTracer()
     inliner = IncrementalInliner(

@@ -1,0 +1,167 @@
+"""Metrics registry semantics: counters, gauges, histograms, and the
+inertness of the no-op default."""
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jit.compile.count")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(7)
+        assert registry.counter("a.b").value == 7
+
+    def test_value_shortcut(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(3)
+        assert registry.value("x") == 3
+        assert registry.value("missing") == 0
+        assert registry.value("missing", default=-1) == -1
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("codecache.installed_bytes")
+        gauge.set(100)
+        assert gauge.value == 100
+        gauge.set(64)
+        assert gauge.value == 64
+        gauge.add(6)
+        assert gauge.value == 70
+
+
+class TestHistogram:
+    def test_count_total_min_max(self):
+        histogram = Histogram("h")
+        for value in (5, 1, 100, 7):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.total == 113
+        assert histogram.min == 1
+        assert histogram.max == 100
+
+    def test_percentiles_are_bucket_approximations(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.record(value)
+        # Bucket upper bounds: p50 lands in the (20, 50] bucket,
+        # p90/p99 in (50, 100].
+        assert histogram.p50 == 50.0
+        assert histogram.p90 == 100.0
+        assert histogram.p99 == 100.0
+
+    def test_single_value(self):
+        histogram = Histogram("h")
+        histogram.record(7)
+        assert histogram.p50 == 7.0 == histogram.p99
+
+    def test_overflow_bucket_reports_observed_max(self):
+        histogram = Histogram("h", bounds=(10,))
+        histogram.record(5)
+        histogram.record(12345)
+        assert histogram.max == 12345
+        assert histogram.p99 == 12345.0
+
+    def test_empty_percentile_is_zero(self):
+        histogram = Histogram("h")
+        assert histogram.p50 == 0.0
+        assert histogram.percentile(0.99) == 0.0
+
+    def test_mean(self):
+        histogram = Histogram("h")
+        histogram.record(10)
+        histogram.record(20)
+        assert histogram.mean == 15.0
+
+    def test_snapshot_fields(self):
+        histogram = Histogram("h")
+        histogram.record(3)
+        snap = histogram.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["count"] == 1
+        assert snap["p50"] == 3.0
+
+
+class TestRegistry:
+    def test_dotted_names_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("jit.compile.count").inc(2)
+        registry.gauge("interp.ops").set(99)
+        registry.histogram("jit.compile.nodes").record(17)
+        snap = registry.snapshot()
+        assert sorted(snap) == [
+            "interp.ops", "jit.compile.count", "jit.compile.nodes",
+        ]
+        assert snap["jit.compile.count"] == {"type": "counter", "value": 2}
+        assert snap["interp.ops"]["value"] == 99
+        assert snap["jit.compile.nodes"]["count"] == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_contains_and_len(self):
+        registry = MetricsRegistry()
+        assert "a" not in registry
+        registry.counter("a")
+        assert "a" in registry
+        assert len(registry) == 1
+        assert registry.names() == ["a"]
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled is True
+        assert NullMetricsRegistry().enabled is False
+
+
+class TestNullRegistryIsInert:
+    def test_writes_accumulate_nothing(self):
+        counter = NULL_METRICS.counter("jit.compile.count")
+        counter.inc()
+        counter.inc(1000)
+        assert counter.value == 0
+        gauge = NULL_METRICS.gauge("g")
+        gauge.set(123)
+        gauge.add(7)
+        assert gauge.value == 0
+        histogram = NULL_METRICS.histogram("h")
+        histogram.record(55)
+        assert histogram.count == 0
+        assert histogram.p99 == 0.0
+
+    def test_snapshot_always_empty(self):
+        NULL_METRICS.counter("a").inc()
+        NULL_METRICS.gauge("b").set(1)
+        NULL_METRICS.histogram("c").record(1)
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.names() == []
+        assert len(NULL_METRICS) == 0
+        assert "a" not in NULL_METRICS
+
+    def test_lookups_and_values(self):
+        assert NULL_METRICS.get("anything") is None
+        assert NULL_METRICS.value("anything") == 0
+
+    def test_shared_instrument(self):
+        # All null instruments are one shared object: no allocation on
+        # instrumented paths when observability is off.
+        assert NULL_METRICS.counter("a") is NULL_METRICS.gauge("b")
+        assert NULL_METRICS.counter("a") is NULL_METRICS.histogram("c")

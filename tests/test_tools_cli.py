@@ -5,6 +5,7 @@ import pytest
 from repro.tools import bench as bench_tool
 from repro.tools import disasm as disasm_tool
 from repro.tools import run as run_tool
+from repro.tools import stats as stats_tool
 from repro.tools import trace as trace_tool
 from repro.tools.common import method_argument
 
@@ -82,6 +83,50 @@ class TestDisasmTool:
         assert disasm_tool.main([demo_file]) == 0
         out = capsys.readouterr().out
         assert "class Main" in out or "Main" in out
+
+
+class TestStatsTool:
+    def test_live_report(self, demo_file, capsys):
+        assert stats_tool.main([demo_file, "--iterations", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "== compilations" in out
+        assert "Main.helper" in out and "Main.run" in out
+        assert "== pass effectiveness" in out
+        assert "== inlining rollup" in out
+        assert "jit.compile.count" in out
+
+    def test_events_jsonl_and_replay(self, demo_file, tmp_path, capsys):
+        events = str(tmp_path / "events.jsonl")
+        assert stats_tool.main(
+            [demo_file, "--iterations", "8", "--events", events,
+             "--no-metrics-section"]
+        ) == 0
+        live_out = capsys.readouterr().out
+        assert stats_tool.main([events]) == 0
+        replay_out = capsys.readouterr().out
+        # The replayed compile table matches the live one (the hottest
+        # section legitimately differs: live reads the profile store).
+        live_compiles = live_out.split("== phase totals")[0]
+        replay_compiles = replay_out.split("== phase totals")[0]
+        assert replay_compiles == live_compiles
+
+    def test_metrics_json_artifact(self, demo_file, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert stats_tool.main(
+            [demo_file, "--iterations", "6", "--metrics", str(metrics)]
+        ) == 0
+        import json
+
+        data = json.loads(metrics.read_text())
+        assert data["metrics"]["jit.compile.count"]["value"] > 0
+        assert len(data["iterations"]) == 6
+        assert "installed_size_delta" in data["iterations"][0]
+
+    def test_each_inliner_choice(self, demo_file, capsys):
+        for name in ("none", "greedy", "c2", "incremental", "shallow"):
+            assert stats_tool.main(
+                [demo_file, "--inliner", name, "--iterations", "4"]
+            ) == 0
 
 
 class TestBenchTool:
