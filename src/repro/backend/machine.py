@@ -14,7 +14,7 @@ from repro.errors import (
     NullPointerTrap,
     VMError,
 )
-from repro.interp.interpreter import int_div, int_rem, wrap64
+from repro.runtime.int64 import int_div, int_rem, wrap64
 from repro.runtime.values import ArrayRef, ObjRef, NULL
 from repro.runtime.intrinsics import intrinsic_function
 
@@ -148,7 +148,7 @@ class MachineExecutor:
             elif op == M_DIV:
                 regs[instr[1]] = wrap64(int_div(regs[instr[2]], regs[instr[3]]))
             elif op == M_REM:
-                regs[instr[1]] = int_rem(regs[instr[2]], regs[instr[3]])
+                regs[instr[1]] = wrap64(int_rem(regs[instr[2]], regs[instr[3]]))
             elif op == M_NEG:
                 regs[instr[1]] = wrap64(-regs[instr[2]])
             elif op == M_AND:

@@ -37,7 +37,7 @@ from repro.bytecode.program import Program
 from repro.errors import BytecodeError
 
 _CLASS_RE = re.compile(
-    r"^(?P<kind>class|interface)\s+(?P<name>\w+)"
+    r"^(?P<abstract>abstract\s+)?(?P<kind>class|interface)\s+(?P<name>\w+)"
     r"(?:\s+extends\s+(?P<super>\w+))?"
     r"(?:\s+implements\s+(?P<impls>[\w,\s]+))?\s*\{$"
 )
@@ -142,6 +142,7 @@ def assemble_program(text):
             superclass=match.group("super") or "Object",
             interfaces=[s.strip() for s in impls.split(",")] if impls else (),
             is_interface=match.group("kind") == "interface",
+            is_abstract=bool(match.group("abstract")),
         )
         index = _assemble_class_body(lines, index, klass)
         if klass.name == "Object":

@@ -1,0 +1,62 @@
+"""Differential fuzzing for the VM's three semantics executors.
+
+The reproduction executes guest programs in three independent places —
+the profiling interpreter (:mod:`repro.interp.interpreter`), the
+lowered register machine (:mod:`repro.backend.machine`) and the
+canonicalizer's constant folder (:mod:`repro.opts.canonicalize`) — and
+every experiment in the paper assumes they agree.  This package is the
+safety net that checks it, in the style of JVM differential testers
+(Zang et al.'s template-extraction JIT testing, pattern-based peephole
+test generators; see PAPERS.md):
+
+- :mod:`repro.fuzz.generator` — a seeded random program generator that
+  emits verifier-clean bytecode (arithmetic with DIV/REM/shift edge
+  cases, branches, bounded loops, arrays, fields, virtual and interface
+  dispatch over a small class hierarchy, bounded recursion) plus a
+  minij-source mode that reuses :mod:`repro.lang`;
+- :mod:`repro.fuzz.oracle` — runs each program under the pure
+  interpreter and a matrix of JIT configurations (inliner policies,
+  individual optimization passes toggled) and compares return values,
+  trap kinds and printed output, iteration by iteration;
+- :mod:`repro.fuzz.bisect` — re-runs a diverging program under growing
+  prefixes of the optimization pipeline to name the guilty pass;
+- :mod:`repro.fuzz.reduce` — a delta-debugging shrinker that minimizes
+  a diverging program while preserving the divergence;
+- :mod:`repro.fuzz.serialize` — serializes reproducers as assembler
+  text (``tests/corpus/``) and loads them back;
+- :mod:`repro.fuzz.campaign` — the campaign driver behind
+  ``python -m repro.tools.fuzz``.
+"""
+
+from repro.fuzz.bisect import bisect_passes
+from repro.fuzz.campaign import CampaignResult, run_campaign
+from repro.fuzz.generator import (
+    BytecodeCase,
+    MinijCase,
+    generate_case,
+)
+from repro.fuzz.oracle import (
+    Divergence,
+    check_program,
+    oracle_config_names,
+    run_interpreter,
+)
+from repro.fuzz.reduce import shrink_case
+from repro.fuzz.serialize import load_corpus_file, load_corpus_text, program_to_asm
+
+__all__ = [
+    "BytecodeCase",
+    "MinijCase",
+    "CampaignResult",
+    "Divergence",
+    "bisect_passes",
+    "check_program",
+    "generate_case",
+    "load_corpus_file",
+    "load_corpus_text",
+    "oracle_config_names",
+    "program_to_asm",
+    "run_campaign",
+    "run_interpreter",
+    "shrink_case",
+]

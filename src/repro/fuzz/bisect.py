@@ -1,0 +1,160 @@
+"""Name the guilty pass for a diverging program.
+
+Two sweeps, both cheap (each stage is one engine run):
+
+1. **Additive**: run the program under configurations of growing
+   aggressiveness — machine lowering only, then the base canonicalize/
+   GVN/DCE pipeline, then devirtualization, RWE and peeling one at a
+   time, then the failing configuration's inliner.  The first stage
+   that disagrees with the interpreter names the culprit.
+2. **Subtractive** (only if the additive sweep pins the inliner):
+   with the inliner *on*, toggle each optimization pass off; if
+   disabling one pass restores agreement, the bug is in that pass's
+   interaction with inlined graphs, not in the inliner itself.
+"""
+
+from repro.fuzz.oracle import (
+    DEFAULT_ITERATIONS,
+    ORACLE_CONFIGS,
+    compare_records,
+    run_interpreter,
+)
+from repro.jit.config import JitConfig
+from repro.jit.engine import Engine
+from repro.opts.pipeline import OptimizerConfig
+
+_HOT = 2
+
+
+def _stage_config(devirt=False, rwe=False, peel=False, max_iterations=3):
+    return JitConfig(
+        hot_threshold=_HOT,
+        optimizer=OptimizerConfig(
+            max_iterations=max_iterations,
+            enable_peeling=peel,
+            enable_rwe=rwe,
+            enable_devirtualization=devirt,
+        ),
+    )
+
+
+#: The additive ladder: (label, config factory, uses failing inliner?).
+_STAGES = [
+    (
+        "lowering/machine",
+        lambda: _stage_config(max_iterations=0),
+        False,
+    ),
+    ("canonicalize/gvn/dce", lambda: _stage_config(), False),
+    ("devirtualization", lambda: _stage_config(devirt=True), False),
+    ("rwe", lambda: _stage_config(devirt=True, rwe=True), False),
+    (
+        "peeling",
+        lambda: _stage_config(devirt=True, rwe=True, peel=True),
+        False,
+    ),
+    ("inliner", None, True),  # the failing config, inliner included
+]
+
+#: Subtractive refinement: pass name -> kwargs that disable it.
+_SUBTRACT = [
+    ("devirtualization", {"devirt": False, "rwe": True, "peel": True}),
+    ("rwe", {"devirt": True, "rwe": False, "peel": True}),
+    ("peeling", {"devirt": True, "rwe": True, "peel": False}),
+]
+
+
+class BisectReport:
+    """Outcome of a bisection: the culprit and the per-stage verdicts."""
+
+    __slots__ = ("culprit", "stages", "divergence")
+
+    def __init__(self, culprit, stages, divergence):
+        self.culprit = culprit
+        self.stages = stages  # [(label, diverged bool)]
+        self.divergence = divergence
+
+    def describe(self):
+        ladder = ", ".join(
+            "%s=%s" % (label, "DIVERGED" if bad else "ok")
+            for label, bad in self.stages
+        )
+        return "culprit=%s [%s]" % (self.culprit, ladder)
+
+    def as_dict(self):
+        return {
+            "culprit": self.culprit,
+            "stages": [
+                {"stage": label, "diverged": bad} for label, bad in self.stages
+            ],
+        }
+
+    def __repr__(self):
+        return "<BisectReport %s>" % self.describe()
+
+
+def _run_engine(program, entry, config, inliner, iterations, vm_seed):
+    from repro.fuzz.oracle import ExecutionRecord, _observe
+
+    class_name, method_name = entry
+    engine = Engine(program, config, inliner, seed=vm_seed)
+    outcomes = [
+        _observe(
+            lambda: engine.run_iteration(class_name, method_name).value
+        )
+        for _ in range(iterations)
+    ]
+    return ExecutionRecord(outcomes, engine.vm.output)
+
+
+def bisect_passes(
+    program,
+    entry,
+    config_name,
+    iterations=DEFAULT_ITERATIONS,
+    vm_seed=0x5EED,
+):
+    """Find the first pipeline stage that diverges from the interpreter.
+
+    *config_name* is the oracle configuration that originally diverged;
+    its inliner is used for the final ladder stage and the subtractive
+    sweep.  Returns a :class:`BisectReport`.
+    """
+    reference = run_interpreter(program, entry, iterations, vm_seed)
+    stages = []
+    culprit = None
+    first_divergence = None
+    for label, factory, with_inliner in _STAGES:
+        if with_inliner:
+            config, inliner = ORACLE_CONFIGS[config_name]()
+        else:
+            config, inliner = factory(), None
+        record = _run_engine(
+            program, entry, config, inliner, iterations, vm_seed
+        )
+        divergence = compare_records(label, reference, record)
+        stages.append((label, divergence is not None))
+        if divergence is not None and culprit is None:
+            culprit = label
+            first_divergence = divergence
+            break  # later (more aggressive) stages add no information
+
+    if culprit is None:
+        # Nothing on the ladder reproduced it (e.g. a profile-shape
+        # sensitivity unique to the original config).
+        return BisectReport("config:%s" % config_name, stages, None)
+
+    if culprit == "inliner":
+        # Refine: with inlining on, which single pass's removal fixes it?
+        for pass_name, toggles in _SUBTRACT:
+            config, _ = ORACLE_CONFIGS[config_name]()
+            config.optimizer = _stage_config(**toggles).optimizer
+            _, inliner = ORACLE_CONFIGS[config_name]()
+            record = _run_engine(
+                program, entry, config, inliner, iterations, vm_seed
+            )
+            if compare_records(pass_name, reference, record) is None:
+                culprit = "%s (inlined graphs)" % pass_name
+                break
+
+    return BisectReport(culprit, stages, first_divergence)

@@ -1,0 +1,1139 @@
+"""Seeded random guest programs for differential fuzzing.
+
+Two generation modes share one entry point, :func:`generate_case`:
+
+- **bytecode mode** (:class:`BytecodeCase`) builds a program directly
+  with :class:`~repro.bytecode.builder.MethodBuilder` from a small
+  statement/expression AST.  The AST — not the finished bytecode — is
+  the unit the shrinker edits, so every reduction step rebuilds and
+  re-verifies the program.  The grammar covers the full integer ISA
+  (with DIV/REM and over-width/negative shift edge cases drawn from an
+  edge-constant pool), bounded loops, nested branches, int arrays,
+  instance and static fields, virtual/interface dispatch over a fixed
+  ``I`` / ``A`` / ``B extends A`` / ``C`` hierarchy, type tests, casts
+  and bounded recursion;
+- **minij mode** (:class:`MinijCase`) generates minij source text and
+  compiles it through :mod:`repro.lang`, exercising the front end,
+  trait dispatch and the stdlib-free language core.
+
+Programs are verifier-clean by construction: expressions emit balanced
+stack code, every local is initialized in a preamble before the
+shrinkable statement list runs, and loops have constant trip counts.
+Traps (division by zero, out-of-bounds, bad casts, null fields) are
+*intentionally* generated at low probability — the oracle compares trap
+kinds, not just values.
+"""
+
+import copy
+import random
+
+from repro.bytecode import MethodBuilder, Program, verify_program
+from repro.bytecode.klass import FieldDef
+from repro.bytecode.method import Method
+from repro.bytecode.opcodes import Op
+from repro.lang import compile_source
+from repro.runtime.int64 import INT64_MAX, INT64_MIN
+from repro.runtime.intrinsics import BUILTINS_CLASS, install_builtins
+
+#: Constants that historically break JIT arithmetic: wrap boundaries,
+#: shift-mask edges, powers of two of both signs, small divisors.
+EDGE_CONSTANTS = [
+    0, 1, 2, 3, 5, 7, 8, 15, 16, 63, 64, 65, 100,
+    -1, -2, -3, -8, -16, -64,
+    1 << 31, -(1 << 31), (1 << 62), -(1 << 62),
+    INT64_MAX, INT64_MIN, INT64_MAX - 1, INT64_MIN + 1,
+]
+
+#: Shift amounts exercising the JVM's ``& 63`` mask.
+SHIFT_CONSTANTS = [0, 1, 5, 31, 32, 62, 63, 64, 65, 127, 128, -1, -8, -63]
+
+_ARITH_OPS = [Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR]
+_CMP_OPS = [Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE]
+
+
+# ---------------------------------------------------------------------------
+# The miniature AST
+# ---------------------------------------------------------------------------
+
+
+class Const:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class LocalRef:
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class Bin:
+    __slots__ = ("op", "a", "b")
+
+    def __init__(self, op, a, b):
+        self.op = op
+        self.a = a
+        self.b = b
+
+
+class Cmp:
+    __slots__ = ("op", "a", "b")
+
+    def __init__(self, op, a, b):
+        self.op = op
+        self.a = a
+        self.b = b
+
+
+class Neg:
+    __slots__ = ("a",)
+
+    def __init__(self, a):
+        self.a = a
+
+
+class CallS:
+    """Static call to a generated helper (or intrinsic) on *owner*."""
+
+    __slots__ = ("owner", "method", "args")
+
+    def __init__(self, owner, method, args):
+        self.owner = owner
+        self.method = method
+        self.args = args
+
+
+class CallV:
+    """Virtual/interface call; *recv* names a reference local."""
+
+    __slots__ = ("declared", "method", "recv", "args")
+
+    def __init__(self, declared, method, recv, args):
+        self.declared = declared
+        self.method = method
+        self.recv = recv
+        self.args = args
+
+
+class ALoad:
+    __slots__ = ("arr", "index")
+
+    def __init__(self, arr, index):
+        self.arr = arr
+        self.index = index
+
+
+class ALen:
+    __slots__ = ("arr",)
+
+    def __init__(self, arr):
+        self.arr = arr
+
+
+class FLoad:
+    __slots__ = ("recv", "klass", "field")
+
+    def __init__(self, recv, klass, field):
+        self.recv = recv
+        self.klass = klass
+        self.field = field
+
+
+class SLoad:
+    __slots__ = ("klass", "field")
+
+    def __init__(self, klass, field):
+        self.klass = klass
+        self.field = field
+
+
+class InstOf:
+    __slots__ = ("recv", "type_name")
+
+    def __init__(self, recv, type_name):
+        self.recv = recv
+        self.type_name = type_name
+
+
+class Assign:
+    __slots__ = ("name", "expr")
+
+    def __init__(self, name, expr):
+        self.name = name
+        self.expr = expr
+
+
+class PrintS:
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class ExprS:
+    """Evaluate an expression for its side effects and pop the result."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class AStore:
+    __slots__ = ("arr", "index", "value")
+
+    def __init__(self, arr, index, value):
+        self.arr = arr
+        self.index = index
+        self.value = value
+
+
+class FStore:
+    __slots__ = ("recv", "klass", "field", "value")
+
+    def __init__(self, recv, klass, field, value):
+        self.recv = recv
+        self.klass = klass
+        self.field = field
+        self.value = value
+
+
+class SStore:
+    __slots__ = ("klass", "field", "value")
+
+    def __init__(self, klass, field, value):
+        self.klass = klass
+        self.field = field
+        self.value = value
+
+
+class IfS:
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond, then, els):
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class LoopS:
+    """``for var in 0..count`` with a constant trip count."""
+
+    __slots__ = ("var", "count", "body")
+
+    def __init__(self, var, count, body):
+        self.var = var
+        self.count = count
+        self.body = body
+
+
+class CastS:
+    """``CHECKCAST`` of a reference local (result discarded)."""
+
+    __slots__ = ("recv", "type_name")
+
+    def __init__(self, recv, type_name):
+        self.recv = recv
+        self.type_name = type_name
+
+
+# ---------------------------------------------------------------------------
+# Emission: AST -> MethodBuilder
+# ---------------------------------------------------------------------------
+
+
+def _emit_expr(b, env, expr):
+    t = type(expr)
+    if t is Const:
+        b.const(expr.value)
+    elif t is LocalRef:
+        b.load(env[expr.name])
+    elif t is Bin:
+        _emit_expr(b, env, expr.a)
+        _emit_expr(b, env, expr.b)
+        b.emit(expr.op)
+    elif t is Cmp:
+        _emit_expr(b, env, expr.a)
+        _emit_expr(b, env, expr.b)
+        b.emit(expr.op)
+    elif t is Neg:
+        _emit_expr(b, env, expr.a)
+        b.neg()
+    elif t is CallS:
+        for arg in expr.args:
+            _emit_expr(b, env, arg)
+        b.invokestatic(expr.owner, expr.method)
+    elif t is CallV:
+        b.load(env[expr.recv])
+        for arg in expr.args:
+            _emit_expr(b, env, arg)
+        if expr.declared == "I":
+            b.invokeinterface(expr.declared, expr.method)
+        else:
+            b.invokevirtual(expr.declared, expr.method)
+    elif t is ALoad:
+        b.load(env[expr.arr])
+        _emit_expr(b, env, expr.index)
+        b.aload("int")
+    elif t is ALen:
+        b.load(env[expr.arr])
+        b.arraylen()
+    elif t is FLoad:
+        b.load(env[expr.recv])
+        b.getfield(expr.klass, expr.field)
+    elif t is SLoad:
+        b.getstatic(expr.klass, expr.field)
+    elif t is InstOf:
+        b.load(env[expr.recv])
+        b.instanceof(expr.type_name)
+    else:
+        raise TypeError("unknown expression %r" % (expr,))
+
+
+def _emit_stmt(b, env, stmt):
+    t = type(stmt)
+    if t is Assign:
+        _emit_expr(b, env, stmt.expr)
+        b.store(env[stmt.name])
+    elif t is PrintS:
+        _emit_expr(b, env, stmt.expr)
+        b.invokestatic(BUILTINS_CLASS, "print")
+    elif t is ExprS:
+        _emit_expr(b, env, stmt.expr)
+        b.pop()
+    elif t is AStore:
+        b.load(env[stmt.arr])
+        _emit_expr(b, env, stmt.index)
+        _emit_expr(b, env, stmt.value)
+        b.astore()
+    elif t is FStore:
+        b.load(env[stmt.recv])
+        _emit_expr(b, env, stmt.value)
+        b.putfield(stmt.klass, stmt.field)
+    elif t is SStore:
+        _emit_expr(b, env, stmt.value)
+        b.putstatic(stmt.klass, stmt.field)
+    elif t is IfS:
+        then_label = b.new_label()
+        end_label = b.new_label()
+        _emit_expr(b, env, stmt.cond)
+        b.if_true(then_label)
+        for inner in stmt.els:
+            _emit_stmt(b, env, inner)
+        b.goto(end_label)
+        b.place(then_label)
+        for inner in stmt.then:
+            _emit_stmt(b, env, inner)
+        b.place(end_label)
+    elif t is LoopS:
+        loop_label = b.new_label()
+        end_label = b.new_label()
+        slot = env[stmt.var]
+        b.const(0).store(slot)
+        b.place(loop_label)
+        b.load(slot).const(stmt.count).ge().if_true(end_label)
+        for inner in stmt.body:
+            _emit_stmt(b, env, inner)
+        b.load(slot).const(1).add().store(slot)
+        b.goto(loop_label)
+        b.place(end_label)
+    elif t is CastS:
+        b.load(env[stmt.recv])
+        b.checkcast(stmt.type_name)
+        b.pop()
+    else:
+        raise TypeError("unknown statement %r" % (stmt,))
+
+
+def _referenced_names(stmts, ret):
+    """Every local name a statement forest + return expression mentions."""
+    names = set()
+
+    def walk_expr(expr):
+        t = type(expr)
+        if t is LocalRef:
+            names.add(expr.name)
+        elif t in (Bin, Cmp):
+            walk_expr(expr.a)
+            walk_expr(expr.b)
+        elif t is Neg:
+            walk_expr(expr.a)
+        elif t in (CallS, CallV):
+            for arg in expr.args:
+                walk_expr(arg)
+        elif t is ALoad:
+            walk_expr(expr.index)
+
+    def walk_stmts(stmts):
+        for stmt in stmts:
+            t = type(stmt)
+            if t is Assign:
+                names.add(stmt.name)
+                walk_expr(stmt.expr)
+            elif t in (PrintS, ExprS):
+                walk_expr(stmt.expr)
+            elif t is AStore:
+                walk_expr(stmt.index)
+                walk_expr(stmt.value)
+            elif t in (FStore, SStore):
+                walk_expr(stmt.value)
+            elif t is IfS:
+                walk_expr(stmt.cond)
+                walk_stmts(stmt.then)
+                walk_stmts(stmt.els)
+            elif t is LoopS:
+                names.add(stmt.var)
+                walk_stmts(stmt.body)
+
+    walk_stmts(stmts)
+    walk_expr(ret)
+    return names
+
+
+def _alloc_missing_ints(builder, env, spec):
+    """Give every yet-unbound int name a zero-initialized slot.
+
+    Loop counters (``i0``..) enter the generator's context lazily, so
+    they are not in ``spec.temps``; this keeps the emitted code free of
+    reads from uninitialized locals no matter what the shrinker deletes.
+    """
+    for name in sorted(_referenced_names(spec.stmts, spec.ret)):
+        if name not in env:
+            env[name] = builder.alloc_local()
+            builder.const(0).store(env[name])
+
+
+# ---------------------------------------------------------------------------
+# Program specs
+# ---------------------------------------------------------------------------
+
+
+class MethodSpec:
+    """One generated method: int params, int temps, statements, return."""
+
+    __slots__ = ("name", "params", "temps", "stmts", "ret")
+
+    def __init__(self, name, params, temps, stmts, ret):
+        self.name = name
+        self.params = list(params)  # parameter names, int-typed
+        self.temps = list(temps)  # [(name, initial constant)]
+        self.stmts = list(stmts)
+        self.ret = ret
+
+
+class BytecodeCase:
+    """A generated bytecode program, rebuildable from its AST.
+
+    The class hierarchy is fixed in shape (interface ``I`` with ``get``
+    and ``step``; ``A implements I``; ``B extends A`` overriding
+    ``get``; ``C implements I``) while every method body, field
+    initializer and ``Main`` statement is generated.  ``build()`` is a
+    pure function of the spec — the shrinker mutates the spec and
+    rebuilds.
+    """
+
+    kind = "bytecode"
+    ENTRY = ("Main", "main")
+
+    def __init__(self, seed):
+        self.seed = seed
+        self.helpers = []  # list of MethodSpec (static, on Main)
+        self.rec_update = None  # expr over ["n", "a"] for the recursion helper
+        self.methods = {}  # "A.get" etc. -> MethodSpec (instance)
+        self.field_inits = []  # [(local, klass, field, constant)]
+        self.array_len = 8
+        self.null_local = False  # when True, local "rn" stays null
+        self.main = None  # MethodSpec for static main()
+
+    # -- building ---------------------------------------------------------
+
+    def build(self):
+        program = Program()
+        install_builtins(program)
+
+        iface = program.define_class("I", is_interface=True)
+        iface.add_method(Method("get", [], "int", is_abstract=True))
+        iface.add_method(Method("step", ["int"], "int", is_abstract=True))
+
+        a = program.define_class("A", interfaces=["I"])
+        a.add_field(FieldDef("x", "int"))
+        b = program.define_class("B", superclass="A")
+        b.add_field(FieldDef("y", "int"))
+        c = program.define_class("C", interfaces=["I"])
+        c.add_field(FieldDef("z", "int"))
+
+        for key, spec in sorted(self.methods.items()):
+            owner, _ = key.split(".")
+            holder = {"A": a, "B": b, "C": c}[owner]
+            holder.add_method(self._build_instance_method(spec))
+
+        main = program.define_class("Main", is_abstract=True)
+        main.add_field(FieldDef("s0", "int", is_static=True))
+        main.add_field(FieldDef("s1", "int", is_static=True))
+        for spec in self.helpers:
+            main.add_method(self._build_static_method(spec))
+        if self.rec_update is not None:
+            main.add_method(self._build_rec())
+        main.add_method(self._build_main())
+        verify_program(program)
+        return program, self.ENTRY
+
+    def _build_instance_method(self, spec):
+        b = MethodBuilder(spec.name, ["int"] * len(spec.params), "int")
+        env = {"this": 0}
+        for index, pname in enumerate(spec.params):
+            env[pname] = 1 + index
+        for tname, init in spec.temps:
+            env[tname] = b.alloc_local()
+            b.const(init).store(env[tname])
+        _alloc_missing_ints(b, env, spec)
+        for stmt in spec.stmts:
+            _emit_stmt(b, env, stmt)
+        _emit_expr(b, env, spec.ret)
+        b.retv()
+        return b.build()
+
+    def _build_static_method(self, spec):
+        b = MethodBuilder(
+            spec.name, ["int"] * len(spec.params), "int", is_static=True
+        )
+        env = {}
+        for index, pname in enumerate(spec.params):
+            env[pname] = index
+        for tname, init in spec.temps:
+            env[tname] = b.alloc_local()
+            b.const(init).store(env[tname])
+        _alloc_missing_ints(b, env, spec)
+        for stmt in spec.stmts:
+            _emit_stmt(b, env, stmt)
+        _emit_expr(b, env, spec.ret)
+        b.retv()
+        return b.build()
+
+    def _build_rec(self):
+        b = MethodBuilder("rec", ["int", "int"], "int", is_static=True)
+        env = {"n": 0, "a": 1}
+        base = b.new_label()
+        b.load(0).const(0).le().if_true(base)
+        b.load(0).const(1).sub()
+        _emit_expr(b, env, self.rec_update)
+        b.invokestatic("Main", "rec").retv()
+        b.place(base).load(1).retv()
+        return b.build()
+
+    def _build_main(self):
+        spec = self.main
+        b = MethodBuilder("main", [], "int", is_static=True)
+        env = {}
+        # Non-shrinkable preamble: every local the body may touch is
+        # initialized here, so no statement removal can expose an
+        # uninitialized slot to the SSA builder.
+        for name, klass in (("ra", "A"), ("rb", "B"), ("rc", "C")):
+            env[name] = b.alloc_local()
+            b.new(klass).store(env[name])
+        env["rn"] = b.alloc_local()
+        if self.null_local:
+            b.null().store(env["rn"])
+        else:
+            b.new("A").store(env["rn"])
+        env["arr"] = b.alloc_local()
+        b.const(self.array_len).newarray("int").store(env["arr"])
+        for local, klass, field, value in self.field_inits:
+            b.load(env[local]).const(value).putfield(klass, field)
+        for tname, init in spec.temps:
+            env[tname] = b.alloc_local()
+            b.const(init).store(env[tname])
+        _alloc_missing_ints(b, env, spec)
+        for stmt in spec.stmts:
+            _emit_stmt(b, env, stmt)
+        _emit_expr(b, env, spec.ret)
+        b.retv()
+        return b.build()
+
+    # -- shrinking support ------------------------------------------------
+
+    def size(self):
+        total = 0
+        for spec in self._all_specs():
+            total += _forest_size(spec.stmts) + _tree_size(spec.ret)
+        if self.rec_update is not None:
+            total += _tree_size(self.rec_update)
+        return total
+
+    def _all_specs(self):
+        specs = list(self.helpers)
+        specs.extend(spec for _, spec in sorted(self.methods.items()))
+        specs.append(self.main)
+        return specs
+
+    def shrink_candidates(self):
+        """Yield strictly smaller copies of this case (see reduce.py)."""
+        for index in range(len(self.helpers) - 1, -1, -1):
+            clone = copy.deepcopy(self)
+            del clone.helpers[index]
+            yield clone
+        if self.rec_update is not None and _tree_size(self.rec_update) > 1:
+            clone = copy.deepcopy(self)
+            clone.rec_update = LocalRef("a")
+            yield clone
+        spec_keys = (
+            [("helper", i) for i in range(len(self.helpers))]
+            + [("method", key) for key in sorted(self.methods)]
+            + [("main", None)]
+        )
+        for key in spec_keys:
+            spec = self._spec_for(key)
+            for mutated in _shrink_stmt_forest(spec.stmts):
+                clone = copy.deepcopy(self)
+                self._spec_for(key, clone).stmts = mutated
+                yield clone
+            for mutated in _shrink_expr(spec.ret):
+                clone = copy.deepcopy(self)
+                self._spec_for(key, clone).ret = mutated
+                yield clone
+
+    def _spec_for(self, key, case=None):
+        case = case if case is not None else self
+        kind, value = key
+        if kind == "helper":
+            return case.helpers[value]
+        if kind == "method":
+            return case.methods[value]
+        return case.main
+
+    def description(self):
+        return "bytecode seed=%d size=%d" % (self.seed, self.size())
+
+
+def _tree_size(expr):
+    t = type(expr)
+    if t in (Const, LocalRef, SLoad, ALen, FLoad, InstOf):
+        return 1
+    if t in (Bin, Cmp):
+        return 1 + _tree_size(expr.a) + _tree_size(expr.b)
+    if t is Neg:
+        return 1 + _tree_size(expr.a)
+    if t in (CallS, CallV):
+        return 1 + sum(_tree_size(a) for a in expr.args)
+    if t is ALoad:
+        return 1 + _tree_size(expr.index)
+    return 1
+
+
+def _forest_size(stmts):
+    total = 0
+    for stmt in stmts:
+        t = type(stmt)
+        total += 1
+        if t is IfS:
+            total += _tree_size(stmt.cond)
+            total += _forest_size(stmt.then) + _forest_size(stmt.els)
+        elif t is LoopS:
+            total += _forest_size(stmt.body)
+        elif t in (Assign, PrintS, ExprS):
+            total += _tree_size(stmt.expr)
+        elif t is AStore:
+            total += _tree_size(stmt.index) + _tree_size(stmt.value)
+        elif t in (FStore, SStore):
+            total += _tree_size(stmt.value)
+    return total
+
+
+def _shrink_expr(expr):
+    """Yield strictly smaller replacement expressions."""
+    if _tree_size(expr) <= 1:
+        return
+    yield Const(0)
+    yield Const(1)
+    t = type(expr)
+    if t in (Bin, Cmp):
+        yield expr.a
+        yield expr.b
+        for smaller in _shrink_expr(expr.a):
+            yield type(expr)(expr.op, smaller, expr.b)
+        for smaller in _shrink_expr(expr.b):
+            yield type(expr)(expr.op, expr.a, smaller)
+    elif t is Neg:
+        yield expr.a
+    elif t in (CallS, CallV):
+        for arg in expr.args:
+            if type(arg) is not Const:
+                args = [Const(0) if a is arg else a for a in expr.args]
+                if t is CallS:
+                    yield CallS(expr.owner, expr.method, args)
+                else:
+                    yield CallV(expr.declared, expr.method, expr.recv, args)
+    elif t is ALoad:
+        for smaller in _shrink_expr(expr.index):
+            yield ALoad(expr.arr, smaller)
+
+
+def _shrink_stmt_forest(stmts):
+    """Yield strictly smaller copies of a statement list."""
+    for index in range(len(stmts) - 1, -1, -1):
+        clone = list(stmts)
+        del clone[index]
+        yield clone
+    for index, stmt in enumerate(stmts):
+        t = type(stmt)
+        if t is IfS:
+            if stmt.then:
+                yield stmts[:index] + stmt.then + stmts[index + 1 :]
+            if stmt.els:
+                yield stmts[:index] + stmt.els + stmts[index + 1 :]
+        elif t is LoopS:
+            if stmt.count > 1:
+                clone = list(stmts)
+                clone[index] = LoopS(stmt.var, 1, copy.deepcopy(stmt.body))
+                yield clone
+            if stmt.body:
+                yield stmts[:index] + stmt.body + stmts[index + 1 :]
+        elif t in (Assign, PrintS, ExprS):
+            for smaller in _shrink_expr(stmt.expr):
+                clone = list(stmts)
+                clone[index] = t(stmt.name, smaller) if t is Assign else t(smaller)
+                yield clone
+        elif t is AStore:
+            for smaller in _shrink_expr(stmt.value):
+                clone = list(stmts)
+                clone[index] = AStore(stmt.arr, copy.deepcopy(stmt.index), smaller)
+                yield clone
+        for nested, rebuild in _nested_forests(stmts, index):
+            for mutated in _shrink_stmt_forest(nested):
+                yield rebuild(mutated)
+
+
+def _nested_forests(stmts, index):
+    """Yield (inner stmt list, rebuild(list)->outer list) pairs."""
+    stmt = stmts[index]
+    t = type(stmt)
+    if t is IfS:
+
+        def rebuild_then(inner, stmts=stmts, index=index, stmt=stmt):
+            clone = list(stmts)
+            clone[index] = IfS(
+                copy.deepcopy(stmt.cond), inner, copy.deepcopy(stmt.els)
+            )
+            return clone
+
+        def rebuild_els(inner, stmts=stmts, index=index, stmt=stmt):
+            clone = list(stmts)
+            clone[index] = IfS(
+                copy.deepcopy(stmt.cond), copy.deepcopy(stmt.then), inner
+            )
+            return clone
+
+        yield stmt.then, rebuild_then
+        yield stmt.els, rebuild_els
+    elif t is LoopS:
+
+        def rebuild_body(inner, stmts=stmts, index=index, stmt=stmt):
+            clone = list(stmts)
+            clone[index] = LoopS(stmt.var, stmt.count, inner)
+            return clone
+
+        yield stmt.body, rebuild_body
+
+
+# ---------------------------------------------------------------------------
+# The random generator (bytecode mode)
+# ---------------------------------------------------------------------------
+
+
+class _Context:
+    """What a generated expression may reference at one program point."""
+
+    __slots__ = ("ints", "muts", "refs", "arrays", "this_fields", "calls")
+
+    def __init__(self, ints, refs=(), arrays=(), this_fields=(), calls=()):
+        self.ints = list(ints)  # readable int locals
+        # Assignable int locals.  Loop counters join ``ints`` only:
+        # letting a loop body overwrite its own counter is the classic
+        # non-terminating-generator bug.
+        self.muts = list(ints)
+        self.refs = list(refs)  # [(local, static class)]
+        self.arrays = list(arrays)
+        self.this_fields = list(this_fields)  # [(class, field)]
+        self.calls = list(calls)  # [("static", owner, name, argc) | ...]
+
+
+class _Generator:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self._loop_seq = 0  # unique loop-counter names (see stmt())
+
+    def constant(self):
+        rng = self.rng
+        if rng.random() < 0.55:
+            return rng.choice(EDGE_CONSTANTS)
+        return rng.randint(-60, 60)
+
+    def expr(self, ctx, depth):
+        rng = self.rng
+        if depth <= 0:
+            return self.leaf(ctx)
+        roll = rng.random()
+        if roll < 0.38:
+            op = rng.choice(_ARITH_OPS)
+            return Bin(op, self.expr(ctx, depth - 1), self.expr(ctx, depth - 1))
+        if roll < 0.50:
+            return self.div_rem(ctx, depth)
+        if roll < 0.60:
+            return self.shift(ctx, depth)
+        if roll < 0.68:
+            return Cmp(
+                rng.choice(_CMP_OPS),
+                self.expr(ctx, depth - 1),
+                self.expr(ctx, depth - 1),
+            )
+        if roll < 0.73:
+            return Neg(self.expr(ctx, depth - 1))
+        if roll < 0.83 and ctx.calls:
+            return self.call(ctx, depth)
+        if roll < 0.90 and ctx.arrays:
+            return ALoad(rng.choice(ctx.arrays), self.index_expr(ctx, depth))
+        return self.leaf(ctx)
+
+    def div_rem(self, ctx, depth):
+        rng = self.rng
+        op = rng.choice([Op.DIV, Op.REM])
+        divisor = self.expr(ctx, depth - 1)
+        if rng.random() < 0.88:
+            # OR 1 makes the divisor odd, hence non-zero — the common
+            # "guarded" case; the remaining 12% may trap, on purpose.
+            divisor = Bin(Op.OR, divisor, Const(1))
+        return Bin(op, self.expr(ctx, depth - 1), divisor)
+
+    def shift(self, ctx, depth):
+        rng = self.rng
+        op = rng.choice([Op.SHL, Op.SHR])
+        if rng.random() < 0.6:
+            amount = Const(rng.choice(SHIFT_CONSTANTS))
+        else:
+            amount = self.expr(ctx, depth - 1)
+        return Bin(op, self.expr(ctx, depth - 1), amount)
+
+    def index_expr(self, ctx, depth):
+        rng = self.rng
+        index = self.expr(ctx, max(0, depth - 1))
+        if rng.random() < 0.88:
+            # Power-of-two array length: AND masks the index in range.
+            return Bin(Op.AND, index, Const(7))
+        return index
+
+    def call(self, ctx, depth):
+        rng = self.rng
+        kind = rng.choice(ctx.calls)
+        if kind[0] == "static":
+            _, owner, name, argc = kind
+            if name == "rec":
+                args = [Const(rng.randint(0, 10)), self.expr(ctx, depth - 1)]
+            else:
+                args = [self.expr(ctx, depth - 1) for _ in range(argc)]
+            return CallS(owner, name, args)
+        _, declared, name, argc = kind
+        recv, _klass = rng.choice(ctx.refs)
+        args = [self.expr(ctx, depth - 1) for _ in range(argc)]
+        return CallV(declared, name, recv, args)
+
+    def leaf(self, ctx):
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.35 or not ctx.ints:
+            return Const(self.constant())
+        if roll < 0.70:
+            return LocalRef(rng.choice(ctx.ints))
+        if roll < 0.78 and ctx.this_fields:
+            klass, field = rng.choice(ctx.this_fields)
+            return FLoad("this", klass, field)
+        if roll < 0.80 and ctx.refs:
+            recv, klass = rng.choice(ctx.refs)
+            field = {"A": "x", "B": "y", "C": "z"}[klass]
+            return FLoad(recv, klass, field)
+        if roll < 0.84 and ctx.refs:
+            recv, _klass = rng.choice(ctx.refs)
+            return InstOf(recv, rng.choice(["A", "B", "C", "I"]))
+        if roll < 0.88 and ctx.arrays:
+            return ALen(rng.choice(ctx.arrays))
+        if roll < 0.93:
+            return SLoad("Main", rng.choice(["s0", "s1"]))
+        return LocalRef(rng.choice(ctx.ints))
+
+    def stmt(self, ctx, depth, budget):
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.34:
+            return Assign(rng.choice(ctx.muts), self.expr(ctx, depth))
+        if roll < 0.44:
+            return PrintS(self.expr(ctx, depth - 1))
+        if roll < 0.52 and ctx.arrays:
+            return AStore(
+                rng.choice(ctx.arrays),
+                self.index_expr(ctx, depth),
+                self.expr(ctx, depth - 1),
+            )
+        if roll < 0.60 and ctx.refs:
+            recv, klass = rng.choice(ctx.refs)
+            field = {"A": "x", "B": "y", "C": "z"}[klass]
+            return FStore(recv, klass, field, self.expr(ctx, depth - 1))
+        if roll < 0.66:
+            return SStore(
+                "Main", rng.choice(["s0", "s1"]), self.expr(ctx, depth - 1)
+            )
+        if roll < 0.78 and budget > 2:
+            cond = self.cond(ctx, depth - 1)
+            then = self.stmts(ctx, depth - 1, budget // 2)
+            els = self.stmts(ctx, depth - 1, budget // 3) if rng.random() < 0.6 else []
+            return IfS(cond, then, els)
+        if roll < 0.88 and budget > 2:
+            # A fresh name per loop: nested loops sharing a counter
+            # (the inner resetting the outer's) would never terminate.
+            var = "i%d" % self._loop_seq
+            self._loop_seq += 1
+            ctx.ints.append(var)
+            count = rng.choice([1, 2, 3, 4, 7, 8])
+            return LoopS(var, count, self.stmts(ctx, depth - 1, budget // 2))
+        if roll < 0.92 and ctx.refs:
+            recv, klass = rng.choice(ctx.refs)
+            safe = {"A": ["A", "I"], "B": ["A", "B", "I"], "C": ["C", "I"]}[klass]
+            if rng.random() < 0.08:
+                return CastS(recv, rng.choice(["A", "B", "C"]))
+            return CastS(recv, rng.choice(safe))
+        if roll < 0.97 and ctx.calls:
+            return ExprS(self.call(ctx, depth))
+        return Assign(rng.choice(ctx.muts), self.expr(ctx, depth))
+
+    def cond(self, ctx, depth):
+        rng = self.rng
+        if rng.random() < 0.7:
+            return Cmp(
+                rng.choice(_CMP_OPS),
+                self.expr(ctx, depth),
+                self.expr(ctx, depth),
+            )
+        return Bin(Op.AND, self.expr(ctx, depth), Const(1))
+
+    def stmts(self, ctx, depth, budget):
+        return [
+            self.stmt(ctx, depth, budget)
+            for _ in range(self.rng.randint(1, max(1, budget)))
+        ]
+
+    # -- whole-case assembly ----------------------------------------------
+
+    def generate(self):
+        rng = self.rng
+        case = BytecodeCase(self.seed)
+        case.null_local = rng.random() < 0.2
+        case.array_len = 8
+
+        # Instance methods: get() on A, B, C and step(v) on A and C.
+        for owner, field in (("A", "x"), ("B", "y"), ("C", "z")):
+            fields = [(owner, field)]
+            if owner == "B":
+                fields.append(("A", "x"))
+            ctx = _Context(ints=[], this_fields=fields)
+            case.methods["%s.get" % owner] = MethodSpec(
+                "get", [], [], [], self.expr(ctx, 2)
+            )
+        for owner, field in (("A", "x"), ("C", "z")):
+            ctx = _Context(ints=["v"], this_fields=[(owner, field)])
+            stmts = []
+            if rng.random() < 0.7:
+                stmts.append(
+                    FStore("this", owner, field, self.expr(ctx, 2))
+                )
+            case.methods["%s.step" % owner] = MethodSpec(
+                "step", ["v"], [], stmts, self.expr(ctx, 2)
+            )
+
+        # Static helpers (each may call earlier helpers and rec).
+        calls = []
+        if rng.random() < 0.8:
+            ctx = _Context(ints=["n", "a"])
+            case.rec_update = self.expr(ctx, 2)
+            calls.append(("static", "Main", "rec", 2))
+        helper_count = rng.randint(1, 3)
+        for index in range(helper_count):
+            name = "h%d" % index
+            ctx = _Context(ints=["p0", "p1", "t0"], calls=list(calls))
+            temps = [("t0", self.constant())]
+            stmts = self.stmts(ctx, 2, 3)
+            case.helpers.append(
+                MethodSpec(name, ["p0", "p1"], temps, stmts, self.expr(ctx, 2))
+            )
+            calls.append(("static", "Main", name, 2))
+
+        # Field initializers for the allocated receivers.
+        for local, klass, field in (
+            ("ra", "A", "x"),
+            ("rb", "B", "x"),
+            ("rb", "B", "y"),
+            ("rc", "C", "z"),
+        ):
+            case.field_inits.append((local, klass, field, self.constant()))
+
+        # Main body.
+        refs = [("ra", "A"), ("rb", "B"), ("rc", "C")]
+        if rng.random() < 0.25:
+            refs.append(("rn", "A"))  # may be null: NPE coverage
+        virtuals = [
+            ("virtual", "I", "get", 0),
+            ("virtual", "I", "step", 1),
+            ("virtual", "A", "get", 0),
+        ]
+        ctx = _Context(
+            ints=["acc", "t0", "t1"],
+            refs=refs,
+            arrays=["arr"],
+            calls=calls + virtuals,
+        )
+        temps = [("acc", self.constant()), ("t0", self.constant()), ("t1", self.constant())]
+        stmts = self.stmts(ctx, 3, rng.randint(4, 9))
+        ret = Bin(Op.ADD, LocalRef("acc"), self.expr(ctx, 2))
+        case.main = MethodSpec("main", [], temps, stmts, ret)
+        return case
+
+
+# ---------------------------------------------------------------------------
+# minij mode
+# ---------------------------------------------------------------------------
+
+_MINIJ_TEMPLATE = """\
+trait Fn {
+  def apply(v: int): int;
+}
+class Adder implements Fn {
+  var bias: int;
+  def init(b: int): void { this.bias = b; }
+  def apply(v: int): int { return v + this.bias; }
+}
+class Scaler implements Fn {
+  var k: int;
+  def init(k: int): void { this.k = k; }
+  def apply(v: int): int { return v * this.k - this.k / (v | 1); }
+}
+object Main {
+  def helper(a: int, b: int): int {
+    %(helper_body)s
+  }
+  def rec(n: int, a: int): int {
+    if (n <= 0) { return a; }
+    return Main.rec(n - 1, %(rec_expr)s);
+  }
+  def run(): int {
+    var f: Fn = new Adder(%(c0)d);
+    var g: Fn = new Scaler(%(c1)d);
+    var a: int = %(a0)d;
+    var b: int = %(b0)d;
+    %(stmts)s
+    return a * 31 + b + f.apply(a) - g.apply(b);
+  }
+}
+"""
+
+_MINIJ_EXPRS = [
+    "a + b", "a - b * 3", "a * %(k)d", "b %% 7 + 1", "(a & b) | %(k)d",
+    "a << %(s)d", "b >> %(s)d", "a ^ b", "a / (b | 1)",
+    "Main.helper(a, b)", "Main.rec(%(d)d, a)", "f.apply(b)", "g.apply(a)",
+    "0 - a",
+]
+
+_MINIJ_CONDS = [
+    "a < b", "a == b", "a > %(k)d", "(a & 1) == 0", "b != 0", "a >= 0 - %(k)d",
+]
+
+
+class MinijCase:
+    """A generated minij source program (front-end + JIT coverage)."""
+
+    kind = "minij"
+    ENTRY = ("Main", "run")
+
+    def __init__(self, seed, params, stmts):
+        self.seed = seed
+        self.params = dict(params)
+        self.stmts = list(stmts)
+
+    def build(self):
+        program = compile_source(self.source())
+        return program, self.ENTRY
+
+    def source(self):
+        values = dict(self.params)
+        values["stmts"] = "\n    ".join(self.stmts)
+        return _MINIJ_TEMPLATE % values
+
+    def size(self):
+        return len(self.stmts)
+
+    def shrink_candidates(self):
+        for index in range(len(self.stmts) - 1, -1, -1):
+            clone = list(self.stmts)
+            del clone[index]
+            yield MinijCase(self.seed, self.params, clone)
+
+    def description(self):
+        return "minij seed=%d stmts=%d" % (self.seed, len(self.stmts))
+
+
+def _minij_expr(rng):
+    template = rng.choice(_MINIJ_EXPRS)
+    return template % {
+        "k": rng.choice([1, 2, 3, 5, 8, 16, 63]),
+        "s": rng.choice([0, 1, 5, 31, 63, 64, 65]),
+        "d": rng.randint(0, 8),
+    }
+
+
+def _generate_minij(seed):
+    rng = random.Random(seed ^ 0x6D696E69)
+    params = {
+        "c0": rng.randint(-9, 9),
+        "c1": rng.choice([2, 3, -2, 7, 16]),
+        "a0": rng.randint(-30, 30),
+        "b0": rng.randint(1, 30),
+        "helper_body": "return a * %d - b %% %d;"
+        % (rng.choice([2, 3, 5, -4]), rng.choice([3, 5, 7])),
+        "rec_expr": "a + n * %d" % rng.choice([1, 2, 7, -3]),
+    }
+    stmts = []
+    for index in range(rng.randint(3, 8)):
+        kind = rng.randint(0, 3)
+        expr = _minij_expr(rng)
+        cond = rng.choice(_MINIJ_CONDS) % {"k": rng.randint(0, 12)}
+        if kind == 0:
+            stmts.append("a = %s;" % expr)
+        elif kind == 1:
+            stmts.append("b = %s;" % expr)
+        elif kind == 2:
+            stmts.append(
+                "if (%s) { a = %s; } else { b = b + %d; }"
+                % (cond, expr, rng.randint(1, 4))
+            )
+        else:
+            stmts.append(
+                "var i%d: int = 0; while (i%d < %d) "
+                "{ a = a + (%s); i%d = i%d + 1; }"
+                % (index, index, rng.randint(1, 9), expr, index, index)
+            )
+    return MinijCase(seed, params, stmts)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def generate_case(seed, mode=None):
+    """Generate one fuzz case.  *mode* forces ``"bytecode"``/``"minij"``;
+    by default roughly one case in four is minij-sourced."""
+    if mode is None:
+        mode = "minij" if random.Random(seed ^ 0xABCD).random() < 0.25 else "bytecode"
+    if mode == "minij":
+        return _generate_minij(seed)
+    return _Generator(seed).generate()

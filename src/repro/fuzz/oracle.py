@@ -1,0 +1,223 @@
+"""The differential oracle: run one program everywhere, compare.
+
+The reference semantics is the pure profiling interpreter on a fresh
+:class:`~repro.runtime.vmstate.VMState`.  Every other executor is an
+:class:`~repro.jit.engine.Engine` under some :class:`JitConfig` /
+inliner combination with an aggressive ``hot_threshold`` so the entry
+method (and everything it calls) is compiled within the first couple of
+iterations.  All executors observe:
+
+- the **outcome** of each iteration — either ``("value", v)`` or
+  ``("trap", kind)``; trap *kinds* are comparable across tiers, trap
+  detail strings intentionally are not;
+- the cumulative **printed output** after all iterations (the ``print``
+  intrinsic appends to ``vm.output`` in every tier).
+
+A trap aborts only its own iteration; the oracle keeps running the
+remaining iterations against the same VM state.  This matters twice
+over: always-trapping programs still exercise the compiled tiers (the
+method gets hot from the attempts), and statics mutated before a trap
+persist into later iterations, so precise-exception bugs — state
+diverging at the trap point — become observable.
+"""
+
+from repro.baselines import C2Inliner, GreedyInliner, tuned_inliner
+from repro.errors import TrapError, VMError
+from repro.interp import Interpreter
+from repro.jit.config import JitConfig
+from repro.jit.engine import Engine
+from repro.opts.pipeline import OptimizerConfig
+from repro.runtime import VMState
+
+#: Iterations per executor: enough for hot_threshold=2 compilation to
+#: kick in and for post-compilation state to be re-observed.
+DEFAULT_ITERATIONS = 5
+
+_HOT = 2
+
+
+def _cfg(**kw):
+    kw.setdefault("hot_threshold", _HOT)
+    return JitConfig(**kw)
+
+
+def _opt(**kw):
+    return OptimizerConfig(**kw)
+
+
+#: name -> factory returning a fresh ``(JitConfig, inliner)`` pair.
+#: Factories (not instances) because inliners and configs carry state.
+ORACLE_CONFIGS = {
+    # Compilation with no inlining: lowering + full pass pipeline.
+    "jit": lambda: (_cfg(), None),
+    # The paper's inliners, exercising substitution + reoptimization.
+    "jit-incremental": lambda: (_cfg(), tuned_inliner(0.1)),
+    "jit-greedy": lambda: (_cfg(), GreedyInliner()),
+    "jit-c2": lambda: (_cfg(), C2Inliner()),
+    # Compilation with the optimizer effectively off: isolates the
+    # bytecode->IR->machine translation itself.
+    "opt-none": lambda: (
+        _cfg(
+            optimizer=_opt(
+                max_iterations=0,
+                enable_peeling=False,
+                enable_rwe=False,
+                enable_devirtualization=False,
+            )
+        ),
+        None,
+    ),
+    # One pass toggled off at a time (with inlining on, so pass/inline
+    # interactions are covered): a divergence that disappears under
+    # exactly one of these fingers the guilty pass directly.
+    "no-peel": lambda: (
+        _cfg(optimizer=_opt(enable_peeling=False)),
+        tuned_inliner(0.1),
+    ),
+    "no-rwe": lambda: (
+        _cfg(optimizer=_opt(enable_rwe=False)),
+        tuned_inliner(0.1),
+    ),
+    "no-devirt": lambda: (
+        _cfg(optimizer=_opt(enable_devirtualization=False)),
+        tuned_inliner(0.1),
+    ),
+    # Context-sensitive profiles feed different data to the inliner.
+    "ctx-profiles": lambda: (
+        _cfg(context_sensitive_profiles=True),
+        tuned_inliner(0.1),
+    ),
+}
+
+
+def oracle_config_names():
+    """All known oracle configuration names, in a stable order."""
+    return list(ORACLE_CONFIGS)
+
+
+class ExecutionRecord:
+    """What one executor observed over a whole run."""
+
+    __slots__ = ("outcomes", "output")
+
+    def __init__(self, outcomes, output):
+        self.outcomes = list(outcomes)
+        self.output = list(output)
+
+    def __eq__(self, other):
+        return (
+            self.outcomes == other.outcomes and self.output == other.output
+        )
+
+
+class Divergence:
+    """A disagreement between the interpreter and one configuration."""
+
+    __slots__ = ("config", "kind", "iteration", "expected", "actual")
+
+    def __init__(self, config, kind, iteration, expected, actual):
+        self.config = config
+        self.kind = kind  # "outcome" | "output"
+        self.iteration = iteration  # int for outcomes, None for output
+        self.expected = expected
+        self.actual = actual
+
+    def describe(self):
+        where = (
+            "iteration %d" % self.iteration
+            if self.iteration is not None
+            else "printed output"
+        )
+        return "config=%s %s (%s): interpreter=%r, engine=%r" % (
+            self.config,
+            self.kind,
+            where,
+            self.expected,
+            self.actual,
+        )
+
+    def as_dict(self):
+        return {
+            "config": self.config,
+            "kind": self.kind,
+            "iteration": self.iteration,
+            "expected": repr(self.expected),
+            "actual": repr(self.actual),
+        }
+
+    def __repr__(self):
+        return "<Divergence %s>" % self.describe()
+
+
+def _observe(call):
+    """Run one iteration thunk; normalize its outcome."""
+    try:
+        return ("value", call())
+    except TrapError as trap:
+        return ("trap", trap.kind)
+    except VMError as crash:  # a tier blew up: still comparable
+        return ("crash", type(crash).__name__)
+    except RecursionError:
+        return ("crash", "RecursionError")
+
+
+def run_interpreter(program, entry, iterations=DEFAULT_ITERATIONS, vm_seed=0x5EED):
+    """Reference execution: the pure interpreter, no compilation."""
+    class_name, method_name = entry
+    vm = VMState(program, seed=vm_seed)
+    interp = Interpreter(vm)
+    outcomes = [
+        _observe(lambda: interp.call_static(class_name, method_name, ()))
+        for _ in range(iterations)
+    ]
+    return ExecutionRecord(outcomes, vm.output)
+
+
+def run_config(program, entry, name, iterations=DEFAULT_ITERATIONS, vm_seed=0x5EED):
+    """Execute under oracle configuration *name* with a fresh engine."""
+    class_name, method_name = entry
+    config, inliner = ORACLE_CONFIGS[name]()
+    engine = Engine(program, config, inliner, seed=vm_seed)
+    outcomes = [
+        _observe(
+            lambda: engine.run_iteration(class_name, method_name).value
+        )
+        for _ in range(iterations)
+    ]
+    return ExecutionRecord(outcomes, engine.vm.output)
+
+
+def compare_records(config, reference, record):
+    """First :class:`Divergence` between two records, or ``None``."""
+    for index, (expected, actual) in enumerate(
+        zip(reference.outcomes, record.outcomes)
+    ):
+        if expected != actual:
+            return Divergence(config, "outcome", index, expected, actual)
+    if reference.output != record.output:
+        return Divergence(
+            config, "output", None, reference.output, record.output
+        )
+    return None
+
+
+def check_program(
+    program,
+    entry,
+    config_names=None,
+    iterations=DEFAULT_ITERATIONS,
+    vm_seed=0x5EED,
+):
+    """Run *program* under the interpreter and every configuration.
+
+    Returns the first :class:`Divergence`, or ``None`` when all
+    configurations agree with the interpreter.
+    """
+    names = config_names if config_names is not None else oracle_config_names()
+    reference = run_interpreter(program, entry, iterations, vm_seed)
+    for name in names:
+        record = run_config(program, entry, name, iterations, vm_seed)
+        divergence = compare_records(name, reference, record)
+        if divergence is not None:
+            return divergence
+    return None

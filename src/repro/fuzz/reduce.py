@@ -1,0 +1,83 @@
+"""Greedy delta-debugging shrinker for diverging fuzz cases.
+
+Cases expose ``shrink_candidates()`` — an iterator of strictly smaller
+copies of themselves (statement deletion, branch flattening, loop
+trip-count reduction, expression simplification; see the generator).
+The shrinker walks candidates greedily: the first candidate that still
+*diverges the same way* becomes the new current case and the walk
+restarts from it.  When a full pass over the candidates yields nothing,
+the case is 1-minimal with respect to the candidate moves and we stop.
+
+Candidates that fail to build (the mutation broke verification or the
+minij type checker) are skipped silently — the generator's moves are
+conservative, but e.g. deleting the assignment that makes a cast safe
+can turn a value divergence into a build error.
+"""
+
+from repro.fuzz.oracle import DEFAULT_ITERATIONS, check_program
+
+#: Hard cap on oracle invocations per shrink; keeps pathological cases
+#: from stalling a campaign.  Each check is ~10 engine runs.
+DEFAULT_BUDGET = 400
+
+
+def _same_bug(old, new):
+    """Is *new* plausibly the same divergence as *old*?
+
+    Shrinking to *any* divergence risks chasing a different (easier)
+    bug; demanding exact equality of values is too strict because the
+    values legitimately change as the program shrinks.  The middle
+    ground: same comparison kind, and for outcome divergences the same
+    outcome *category* pair (value/trap/crash on each side).
+    """
+    if new is None:
+        return False
+    if old.kind != new.kind:
+        return False
+    if old.kind == "outcome":
+        return (old.expected[0], old.actual[0]) == (
+            new.expected[0],
+            new.actual[0],
+        )
+    return True
+
+
+def shrink_case(
+    case,
+    divergence,
+    config_names=None,
+    iterations=DEFAULT_ITERATIONS,
+    vm_seed=0x5EED,
+    budget=DEFAULT_BUDGET,
+):
+    """Minimize *case* while it still reproduces *divergence*.
+
+    Returns ``(smallest case, its divergence, oracle checks spent)``.
+    The original *divergence* must have come from running *case*
+    through :func:`~repro.fuzz.oracle.check_program` with the same
+    parameters.
+    """
+    names = [divergence.config] if config_names is None else config_names
+    current = case
+    current_div = divergence
+    checks = 0
+    improved = True
+    while improved and checks < budget:
+        improved = False
+        for candidate in current.shrink_candidates():
+            if checks >= budget:
+                break
+            try:
+                program, entry = candidate.build()
+            except Exception:
+                continue  # invalid mutation; skip
+            checks += 1
+            found = check_program(
+                program, entry, names, iterations, vm_seed
+            )
+            if _same_bug(current_div, found):
+                current = candidate
+                current_div = found
+                improved = True
+                break  # restart candidate enumeration from the new case
+    return current, current_div, checks

@@ -1,0 +1,147 @@
+"""Serialize reproducers as assembler text, and load them back.
+
+Corpus files in ``tests/corpus/`` are ordinary ``.asm`` programs in the
+:mod:`repro.bytecode.assembler` dialect, prefixed with a comment header
+carrying the entry point and any provenance notes::
+
+    # entry: Main.main
+    # found-by: fuzz seed=1234 config=jit-incremental
+    abstract class Main {
+      static method main() -> int {
+        ...
+      }
+    }
+
+Serialization + reassembly is also the last step of a shrink: checking
+the reduced case in via its *textual* form guarantees the corpus replay
+test exercises exactly what a developer will read.
+"""
+
+import os
+
+from repro.bytecode import assemble_program, verify_program
+from repro.bytecode.opcodes import BRANCH_OPS
+from repro.runtime.intrinsics import BUILTINS_CLASS, install_builtins
+
+#: Classes never serialized: re-created by the loader instead.
+_SYNTHETIC = (BUILTINS_CLASS, "Object")
+
+DEFAULT_ENTRY = ("Main", "main")
+
+
+def _method_header(method):
+    mods = ""
+    if method.is_static:
+        mods += "static "
+    if method.is_abstract:
+        mods += "abstract "
+    return "%smethod %s(%s) -> %s" % (
+        mods,
+        method.name,
+        ", ".join(method.param_types),
+        method.return_type,
+    )
+
+
+def _method_lines(method):
+    """Body lines with symbolic ``Lnn`` labels for branch targets."""
+    targets = sorted(
+        {
+            instr.target
+            for instr in method.code
+            if instr.op in BRANCH_OPS
+        }
+    )
+    labels = {target: "L%d" % index for index, target in enumerate(targets)}
+    lines = []
+    for index, instr in enumerate(method.code):
+        if index in labels:
+            lines.append("  %s:" % labels[index])
+        if instr.op in BRANCH_OPS:
+            lines.append("    %s %s" % (instr.op, labels[instr.target]))
+        elif instr.args:
+            lines.append(
+                "    %s %s" % (instr.op, " ".join(str(a) for a in instr.args))
+            )
+        else:
+            lines.append("    %s" % instr.op)
+    # A label may target the position one past the last instruction
+    # only if code falls through the end, which RET/RETV-terminated
+    # methods never do — but guard anyway.
+    end = len(method.code)
+    if end in labels:
+        lines.append("  %s:" % labels[end])
+    return lines
+
+
+def program_to_asm(program, entry=DEFAULT_ENTRY, notes=()):
+    """Render *program* as assembler text the loader round-trips."""
+    lines = ["# entry: %s.%s" % entry]
+    for note in notes:
+        lines.append("# %s" % note)
+    for name, klass in program.classes.items():
+        if name in _SYNTHETIC:
+            continue
+        head = "interface %s" % name if klass.is_interface else (
+            ("abstract class %s" if klass.is_abstract else "class %s") % name
+        )
+        if klass.superclass and klass.superclass != "Object":
+            head += " extends %s" % klass.superclass
+        if klass.interfaces:
+            head += " implements %s" % ", ".join(klass.interfaces)
+        lines.append(head + " {")
+        for field in klass.fields.values():
+            lines.append(
+                "  %sfield %s: %s"
+                % ("static " if field.is_static else "", field.name, field.type)
+            )
+        for method in klass.methods.values():
+            if method.is_native:
+                continue
+            if method.is_abstract:
+                lines.append("  %s" % _method_header(method))
+                continue
+            lines.append("  %s {" % _method_header(method))
+            lines.extend(_method_lines(method))
+            lines.append("  }")
+        lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_entry(text):
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line.startswith("#"):
+            break
+        body = line.lstrip("#").strip()
+        if body.startswith("entry:"):
+            spec = body[len("entry:") :].strip()
+            class_name, method_name = spec.rsplit(".", 1)
+            return class_name, method_name
+    return DEFAULT_ENTRY
+
+
+def load_corpus_text(text):
+    """Assemble corpus text; returns ``(program, entry)``, verified."""
+    entry = _parse_entry(text)
+    program = assemble_program(text)
+    install_builtins(program)
+    verify_program(program)
+    return program, entry
+
+
+def load_corpus_file(path):
+    """Load one ``.asm`` reproducer from disk."""
+    with open(path) as handle:
+        return load_corpus_text(handle.read())
+
+
+def corpus_files(directory):
+    """Sorted ``.asm`` paths under *directory* (empty if absent)."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".asm")
+    )

@@ -15,39 +15,17 @@ from repro.bytecode.opcodes import Op
 from repro.bytecode import types as bt
 from repro.runtime.values import ArrayRef, ObjRef, NULL
 from repro.runtime.intrinsics import intrinsic_function
+
+# Guest integer semantics live in repro.runtime.int64 so that the
+# interpreter, the register machine and the canonicalizer share one
+# implementation; the re-export keeps the historical import path alive.
+from repro.runtime.int64 import int_div, int_rem, wrap64
 from repro.errors import (
     BoundsTrap,
     CastTrap,
-    DivisionByZeroTrap,
     NullPointerTrap,
     VMError,
 )
-
-_WRAP = 1 << 64
-_SIGN = 1 << 63
-
-
-def wrap64(value):
-    """Wrap a Python int to 64-bit two's-complement (JVM-style)."""
-    value &= _WRAP - 1
-    if value & _SIGN:
-        value -= _WRAP
-    return value
-
-
-def int_div(a, b):
-    """Division truncating toward zero, as on the JVM."""
-    if b == 0:
-        raise DivisionByZeroTrap()
-    q = abs(a) // abs(b)
-    return -q if (a < 0) != (b < 0) else q
-
-
-def int_rem(a, b):
-    """Remainder with the sign of the dividend, as on the JVM."""
-    if b == 0:
-        raise DivisionByZeroTrap()
-    return a - int_div(a, b) * b
 
 
 class Interpreter:
@@ -150,7 +128,7 @@ class Interpreter:
                 stack.append(wrap64(int_div(stack.pop(), b)))
             elif op == Op.REM:
                 b = stack.pop()
-                stack.append(int_rem(stack.pop(), b))
+                stack.append(wrap64(int_rem(stack.pop(), b)))
             elif op == Op.NEG:
                 stack.append(wrap64(-stack.pop()))
             elif op == Op.AND:

@@ -19,7 +19,7 @@ expansion, not N_s.
 """
 
 from repro.bytecode.opcodes import Op
-from repro.interp.interpreter import int_div, int_rem, wrap64
+from repro.runtime.int64 import int_div, int_rem, is_wrapped, wrap64
 from repro.ir import nodes as n
 from repro.ir import stamps as st
 
@@ -147,7 +147,12 @@ class _Canonicalizer:
         self._enqueue(replacement)
 
     def _new_const(self, value, at_node):
-        const = self.graph.register(n.ConstIntNode(wrap64(value)))
+        # The single wrapping point for folded constants: _fold_binop
+        # and _visit_neg hand over mathematically exact results, and
+        # wrap64 here re-establishes the guest-integer invariant.
+        value = wrap64(value)
+        assert is_wrapped(value)
+        const = self.graph.register(n.ConstIntNode(value))
         block = at_node.block
         if at_node in block.instrs:
             block.insert(block.instrs.index(at_node), const)
@@ -223,11 +228,18 @@ class _Canonicalizer:
                 return b
             if cb == 0 or ca == 0:
                 return self._new_const(0, node)
-            if cb is not None and cb > 1 and (cb & (cb - 1)) == 0:
-                shift = self._new_const(cb.bit_length() - 1, node)
-                shl = self.graph.register(n.BinOpNode(Op.SHL, a, shift))
-                node.block.insert(node.block.instrs.index(node), shl)
-                return shl
+            if cb == -1:
+                return self._new_neg(a, node)
+            if ca == -1:
+                return self._new_neg(b, node)
+            # Power-of-two strength reduction, both operand orders and
+            # both signs (MUL is commutative and x * -2^k == -(x << k),
+            # exact even at the wrapping boundary).  INT64_MIN itself is
+            # -2^63 and reduces through the negative branch.
+            if cb is not None:
+                return self._reduce_pow2_mul(a, cb, node)
+            if ca is not None:
+                return self._reduce_pow2_mul(b, ca, node)
         elif op == Op.DIV:
             if cb == 1:
                 return a
@@ -261,6 +273,23 @@ class _Canonicalizer:
             if cb == 0:
                 return a
         return None
+
+    def _new_neg(self, value, at_node):
+        neg = self.graph.register(n.NegNode(value))
+        at_node.block.insert(at_node.block.instrs.index(at_node), neg)
+        return neg
+
+    def _reduce_pow2_mul(self, value, factor, node):
+        """Reduce ``value * factor`` for power-of-two |factor| > 1."""
+        magnitude = -factor if factor < 0 else factor
+        if magnitude <= 1 or magnitude & (magnitude - 1):
+            return None
+        shift = self._new_const(magnitude.bit_length() - 1, node)
+        shl = self.graph.register(n.BinOpNode(Op.SHL, value, shift))
+        node.block.insert(node.block.instrs.index(node), shl)
+        if factor < 0:
+            return self._new_neg(shl, node)
+        return shl
 
     def _visit_neg(self, node):
         value = node.inputs[0]
@@ -419,6 +448,12 @@ class _Canonicalizer:
 
 
 def _fold_binop(op, a, b):
+    # Contract: results are mathematically exact and may exceed the
+    # 64-bit guest range (ADD/SUB/MUL overflow, INT64_MIN / -1).  Every
+    # caller routes them through _Canonicalizer._new_const, whose
+    # wrap64 + assertion is the single point where folded constants
+    # re-enter guest-integer space — keeping the folder consistent with
+    # the interpreter and the machine, which wrap after every step.
     if op == Op.ADD:
         return a + b
     if op == Op.SUB:

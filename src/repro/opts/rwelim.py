@@ -18,10 +18,39 @@ memory contents symbolically:
   intervening read or kill is removed (dead store elimination);
 - calls kill everything; a store to field ``f`` kills other objects'
   ``f`` entries (no alias analysis beyond SSA identity).
+
+Dead-store elimination additionally respects **precise exceptions**: a
+node that can trap (DIV/REM with a possibly-zero divisor, array
+accesses, casts, field accesses through a possibly-null receiver) acts
+as a barrier — a store before the barrier is observable whenever the
+trap fires and the iteration's heap state escapes (e.g. via a static),
+so it must not be deleted by a store after the barrier.  Static stores
+are a second, subtler barrier: they are observable effects themselves,
+so a *possibly-trapping* store must not be deleted across one (the
+interpreter would trap before the static store, the compiled code
+after it).  Load forwarding needs no such barrier: a forwarded load is
+dominated by an access to the same object that already proved the
+receiver non-null (or trapped in every tier).
 """
 
 from repro.bytecode import types as bt
 from repro.ir import nodes as n
+
+
+def _may_trap(node):
+    """Can executing *node* raise a guest trap?"""
+    t = type(node)
+    if t is n.BinOpNode:
+        return not node.is_pure  # DIV/REM with a possibly-zero divisor
+    if t in (n.LoadFieldNode, n.StoreFieldNode):
+        return not node.inputs[0].stamp.non_null
+    return t in (
+        n.ArrayLoadNode,
+        n.ArrayStoreNode,
+        n.ArrayLengthNode,
+        n.NewArrayNode,
+        n.CheckCastNode,
+    )
 
 
 def read_write_elimination(graph, program):
@@ -56,6 +85,15 @@ def _process_block(graph, program, block):
     while index < len(block.instrs):
         node = block.instrs[index]
         t = type(node)
+        if (
+            _may_trap(node)
+            and t is not n.LoadFieldNode
+            and t is not n.StoreFieldNode
+        ):
+            # Trap barrier: earlier stores become observable if this
+            # node aborts the iteration.  Field ops handle their own
+            # barrier below (they may instead be eliminated/recorded).
+            last_store.clear()
         if t is n.NewNode:
             fresh.add(node)
         elif t is n.LoadFieldNode:
@@ -74,17 +112,26 @@ def _process_block(graph, program, block):
                 last_store.pop(key, None)
                 continue  # do not advance; same index now holds the next node
             known[key] = node
-            last_store.pop(key, None)
+            if _may_trap(node):
+                last_store.clear()  # a kept load may trap: barrier
+            else:
+                last_store.pop(key, None)  # the location was read
         elif t is n.StoreFieldNode:
             obj, value = node.inputs
             key = (obj, node.field_name)
             previous = last_store.get(key)
             if previous is not None and previous.block is block:
+                # Safe despite traps: any barrier between the two
+                # stores cleared last_store, and the pair shares one
+                # receiver, so this store traps exactly when the
+                # removed one would have.
                 previous.clear_inputs()
                 block.instrs.remove(previous)
                 previous.block = None
                 index -= 1
                 stores += 1
+            if _may_trap(node):
+                last_store.clear()  # barrier for stores to other keys
             # Kill possibly aliasing entries (same field, other object).
             for other_key in list(known):
                 if (
@@ -114,6 +161,13 @@ def _process_block(graph, program, block):
             known[key] = node.inputs[0]
             if node.inputs[0] in fresh:
                 fresh.discard(node.inputs[0])
+            # A static store is observable even when a later trap
+            # aborts the iteration: a field store that might itself
+            # trap must therefore keep its position relative to it.
+            for stale in [
+                k for k, store in last_store.items() if _may_trap(store)
+            ]:
+                del last_store[stale]
         elif t is n.ArrayLoadNode:
             key = ("array", node.inputs[0], node.inputs[1])
             value = known.get(key)

@@ -22,6 +22,7 @@ produce checkable output and deterministic pseudo-random inputs:
 from repro.bytecode.klass import ClassDef
 from repro.bytecode.method import Method
 from repro.errors import TrapError
+from repro.runtime.int64 import wrap64
 
 #: Name of the synthetic class that carries all intrinsics.
 BUILTINS_CLASS = "Builtins"
@@ -33,7 +34,9 @@ def _print(vm, value):
 
 
 def _abs(vm, value):
-    return -value if value < 0 else value
+    # wrap64 keeps abs(INT64_MIN) == INT64_MIN (JVM Math.abs overflow)
+    # instead of leaking an unrepresentable value into the guest.
+    return wrap64(-value) if value < 0 else value
 
 
 def _imin(vm, a, b):

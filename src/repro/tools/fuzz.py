@@ -1,0 +1,130 @@
+"""Differential fuzzing campaigns from the command line.
+
+Generates seeded random programs, runs each under the pure interpreter
+and a matrix of JIT configurations, and reports any divergence after
+bisecting the guilty pass and shrinking the program to a minimal
+reproducer (see :mod:`repro.fuzz`).
+
+Examples::
+
+    python -m repro.tools.fuzz --seed 0 --runs 500
+    python -m repro.tools.fuzz --seed 7 --runs 100 --time-budget 60
+    python -m repro.tools.fuzz --configs jit,jit-incremental,no-rwe
+    python -m repro.tools.fuzz --runs 200 --corpus-dir tests/corpus \\
+        --report campaign.jsonl
+
+Exit status is 0 for a clean campaign and 1 when any divergence was
+found — CI runs a fixed-seed campaign and fails on regressions.
+"""
+
+import argparse
+import sys
+
+from repro.fuzz import run_campaign
+from repro.fuzz.oracle import DEFAULT_ITERATIONS, oracle_config_names
+from repro.obs import Observability
+
+
+def _config_list(value):
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    known = set(oracle_config_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            "unknown config(s) %s; choose from %s"
+            % (", ".join(unknown), ", ".join(sorted(known)))
+        )
+    return names
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.fuzz", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed; per-case seeds derive from it (default 0)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=100,
+        help="number of programs to generate (default 100)",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop the campaign after this many seconds",
+    )
+    parser.add_argument(
+        "--configs", type=_config_list, default=None,
+        help="comma-separated oracle configurations (default: all: %s)"
+        % ", ".join(oracle_config_names()),
+    )
+    parser.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="write one .asm reproducer per divergence into DIR",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the campaign event stream to PATH as JSONL",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=DEFAULT_ITERATIONS,
+        help="iterations per executor per program (default %d)"
+        % DEFAULT_ITERATIONS,
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report raw divergences without minimizing them",
+    )
+    args = parser.parse_args(argv)
+
+    obs = Observability()
+    result = run_campaign(
+        master_seed=args.seed,
+        runs=args.runs,
+        time_budget=args.time_budget,
+        config_names=args.configs,
+        corpus_dir=args.corpus_dir,
+        obs=obs,
+        iterations=args.iterations,
+        shrink=not args.no_shrink,
+    )
+    if args.report:
+        obs.events.save(args.report)
+
+    print(
+        "fuzz: seed=%d runs=%d/%d generator-errors=%d divergences=%d "
+        "elapsed=%.1fs%s"
+        % (
+            result.master_seed,
+            result.runs_executed,
+            result.runs_requested,
+            result.generator_errors,
+            result.divergence_count,
+            result.elapsed,
+            " (stopped by time budget)" if result.stopped_by_budget else "",
+        )
+    )
+    for finding in result.findings:
+        print()
+        print(
+            "divergence: seed=%d kind=%s culprit=%s reverified=%s"
+            % (
+                finding.seed,
+                finding.case_kind,
+                finding.culprit,
+                finding.reverified,
+            )
+        )
+        print("  %s" % finding.divergence.describe())
+        if finding.corpus_path:
+            print("  reproducer: %s" % finding.corpus_path)
+        else:
+            print("  reproducer (pass --corpus-dir to save):")
+            for line in finding.asm.splitlines():
+                print("    %s" % line)
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+# entry: Main.main
+# found-by: hand-built probe while developing the fuzzer (PR: repro.fuzz)
+# pinned: RWE dead-store elimination across a trapping DIV — the
+# "dead" store is observable because the trap aborts the iteration and
+# the object escapes through a static; culprit was opts/rwelim.py.
+abstract class Main {
+  static field obj: A
+  static field d: int
+  static method main() -> int {
+    GETSTATIC Main obj
+    NULL
+    REF_EQ
+    IF init
+    GOTO body
+  init:
+    NEW A
+    PUTSTATIC Main obj
+  body:
+    GETSTATIC Main obj
+    GETFIELD A x
+    INVOKESTATIC Builtins print
+    GETSTATIC Main obj
+    GETSTATIC Main obj
+    GETFIELD A x
+    CONST 1
+    ADD
+    PUTFIELD A x
+    CONST 100
+    GETSTATIC Main d
+    DIV
+    POP
+    GETSTATIC Main obj
+    CONST 0
+    PUTFIELD A x
+    GETSTATIC Main obj
+    GETFIELD A x
+    RETV
+  }
+}
+class A {
+  field x: int
+}

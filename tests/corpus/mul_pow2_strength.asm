@@ -1,0 +1,24 @@
+# entry: Main.main
+# pinned: MUL strength reduction for commuted and negative power-of-two
+# constants (8 * x, x * -4, x * INT64_MIN), which the canonicalizer
+# rewrites to shifts/negations — results must match plain MUL in the
+# interpreter.
+abstract class Main {
+  static field s0: int
+  static method main() -> int {
+    CONST 7
+    PUTSTATIC Main s0
+    GETSTATIC Main s0
+    CONST 8
+    MUL
+    CONST -4
+    GETSTATIC Main s0
+    MUL
+    ADD
+    GETSTATIC Main s0
+    CONST -9223372036854775808
+    MUL
+    ADD
+    RETV
+  }
+}

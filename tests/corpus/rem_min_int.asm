@@ -1,0 +1,25 @@
+# entry: Main.main
+# pinned: REM at the wrap boundary — sign-of-dividend and MIN_INT64 / -1.
+# Regression for the interpreter/machine REM results bypassing wrap64
+# (fixed alongside the introduction of repro.runtime.int64).
+abstract class Main {
+  static field s0: int
+  static method main() -> int {
+    # Feed operands through a static so the canonicalizer cannot fold
+    # the interesting REM away before the machine executes it.
+    CONST -9223372036854775808
+    PUTSTATIC Main s0
+    GETSTATIC Main s0
+    CONST -1
+    REM
+    GETSTATIC Main s0
+    CONST 3
+    REM
+    ADD
+    CONST -7
+    CONST 3
+    REM
+    ADD
+    RETV
+  }
+}

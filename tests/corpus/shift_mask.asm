@@ -1,0 +1,24 @@
+# entry: Main.main
+# pinned: shift counts are masked to six bits in every executor,
+# including counts >= 64 and negative counts flowing from a static.
+abstract class Main {
+  static field s0: int
+  static method main() -> int {
+    CONST 64
+    PUTSTATIC Main s0
+    CONST 1
+    GETSTATIC Main s0
+    SHL
+    CONST 1
+    CONST 65
+    SHL
+    ADD
+    CONST -9223372036854775808
+    GETSTATIC Main s0
+    CONST 1
+    ADD
+    SHR
+    ADD
+    RETV
+  }
+}

@@ -1,0 +1,46 @@
+"""Replay every checked-in reproducer through the differential oracle.
+
+``tests/corpus/`` is the fuzzer's regression suite: each ``.asm`` file
+is a (usually shrunk) program that once exposed — or pins down — a
+semantics disagreement between the interpreter and some JIT
+configuration.  Ordinary files must replay **clean** (the bug they
+captured stays fixed); files named ``xfail_*.asm`` document known,
+still-open divergences and must keep diverging — when one stops, the
+bug got fixed and the file should lose its prefix.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.oracle import check_program
+from repro.fuzz.serialize import corpus_files, load_corpus_file
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+FILES = corpus_files(CORPUS_DIR)
+
+
+def _ids(paths):
+    return [os.path.basename(p) for p in paths]
+
+
+def test_corpus_is_seeded():
+    # The corpus ships with at least the REM wrap-boundary reproducer.
+    names = {os.path.basename(p) for p in FILES}
+    assert "rem_min_int.asm" in names
+
+
+@pytest.mark.parametrize("path", FILES, ids=_ids(FILES))
+def test_replay(path):
+    program, entry = load_corpus_file(path)
+    divergence = check_program(program, entry)
+    if os.path.basename(path).startswith("xfail_"):
+        assert divergence is not None, (
+            "%s replayed clean: the divergence it documents appears "
+            "fixed — rename it to drop the xfail_ prefix" % path
+        )
+    else:
+        assert divergence is None, (
+            "%s regressed: %s" % (path, divergence.describe())
+        )

@@ -277,3 +277,78 @@ class TestReadWriteElimination:
         box2 = vm2.allocate("BoxC")
         actual, _ = execute_graph(graph, program, [box2, 5], vm=vm2)
         assert expected == actual == 12
+
+    def _count_stores(self, graph):
+        return sum(
+            isinstance(x, n.StoreFieldNode)
+            for block in graph.blocks
+            for x in block.instrs
+        )
+
+    def test_store_not_removed_across_trapping_div(self):
+        # obj.v = p1; p1 / p2 (may trap); obj.v = 0 — if the DIV traps,
+        # the first store is the observable heap state, so dead-store
+        # elimination must keep it (precise exceptions).
+        program = self._field_program()
+        b = MethodBuilder("f", ["BoxC", "int", "int"], "int", is_static=True)
+        b.load(0).load(1).putfield("BoxC", "v")
+        b.load(1).load(2).div().pop()
+        b.load(0).const(0).putfield("BoxC", "v")
+        b.const(0).retv()
+        program.klass("H").add_method(b.build())
+        graph = _graph(program, "H", "f")
+        _, stores = read_write_elimination(graph, program)
+        assert stores == 0
+        assert self._count_stores(graph) == 2
+
+    def test_store_removed_across_pure_div(self):
+        # A constant non-zero divisor cannot trap: no barrier, DSE fires.
+        program = self._field_program()
+        b = MethodBuilder("f", ["BoxC", "int"], "int", is_static=True)
+        b.load(0).load(1).putfield("BoxC", "v")
+        b.load(1).const(3).div().pop()
+        b.load(0).const(0).putfield("BoxC", "v")
+        b.const(0).retv()
+        program.klass("H").add_method(b.build())
+        graph = _graph(program, "H", "f")
+        _, stores = read_write_elimination(graph, program)
+        assert stores == 1
+        assert self._count_stores(graph) == 1
+
+    def test_trappable_store_not_removed_across_static_store(self):
+        # The receiver is a parameter (possibly null): the first store
+        # may itself trap, and the PUTSTATIC between the stores is
+        # observable — their relative order must be preserved.
+        program = self._field_program()
+        program.klass("H").add_field(
+            FieldDef("s", "int", is_static=True)
+        )
+        b = MethodBuilder("f", ["BoxC", "int"], "int", is_static=True)
+        b.load(0).load(1).putfield("BoxC", "v")
+        b.const(5).putstatic("H", "s")
+        b.load(0).const(0).putfield("BoxC", "v")
+        b.const(0).retv()
+        program.klass("H").add_method(b.build())
+        graph = _graph(program, "H", "f")
+        _, stores = read_write_elimination(graph, program)
+        assert stores == 0
+        assert self._count_stores(graph) == 2
+
+    def test_nonnull_store_removed_across_static_store(self):
+        # A freshly allocated receiver cannot trap, so the static store
+        # between the two field stores is no barrier.
+        program = self._field_program()
+        program.klass("H").add_field(
+            FieldDef("s", "int", is_static=True)
+        )
+        b = MethodBuilder("f", ["int"], "int", is_static=True)
+        b.new("BoxC").store(1)
+        b.load(1).load(0).putfield("BoxC", "v")
+        b.const(5).putstatic("H", "s")
+        b.load(1).const(0).putfield("BoxC", "v")
+        b.const(0).retv()
+        program.klass("H").add_method(b.build())
+        graph = _graph(program, "H", "f")
+        _, stores = read_write_elimination(graph, program)
+        assert stores == 1
+        assert self._count_stores(graph) == 1

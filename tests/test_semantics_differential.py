@@ -1,0 +1,134 @@
+"""Pin the guest-integer edge cases across all three executors.
+
+Every case in :data:`EDGE_CASES` is executed three ways:
+
+- the profiling **interpreter** running a two-argument bytecode method;
+- the lowered register **machine** running the same method compiled
+  (no optimization — the op under test must actually execute);
+- the canonicalizer's **constant folder** (``_fold_binop``), wrapped
+  the same way ``_new_const`` wraps it.
+
+The table is the contract: if any executor drifts on MIN_INT64
+division, shift masking, REM sign, or NEG overflow, exactly one of
+these tests fails and names the disagreeing pair.
+"""
+
+import pytest
+
+from repro.bytecode.opcodes import Op
+from repro.interp import Interpreter
+from repro.ir import build_graph
+from repro.opts.canonicalize import _fold_binop
+from repro.runtime import VMState
+from repro.runtime.int64 import INT64_MAX, INT64_MIN, wrap64
+from tests.execution import execute_graph
+from tests.helpers import single_method_program
+
+# (op, a, b, expected) — expected values are the JVM's long semantics.
+EDGE_CASES = [
+    # MIN_INT64 / -1 overflows back to MIN_INT64 (the JVM idiv quirk).
+    (Op.DIV, INT64_MIN, -1, INT64_MIN),
+    (Op.DIV, INT64_MIN, 1, INT64_MIN),
+    (Op.DIV, INT64_MIN, 2, INT64_MIN // 2),
+    # Division truncates toward zero, not toward -inf.
+    (Op.DIV, -7, 2, -3),
+    (Op.DIV, 7, -2, -3),
+    (Op.DIV, -7, -2, 3),
+    # REM takes the sign of the dividend.
+    (Op.REM, -7, 3, -1),
+    (Op.REM, 7, -3, 1),
+    (Op.REM, -7, -3, -1),
+    (Op.REM, INT64_MIN, -1, 0),
+    (Op.REM, INT64_MIN, 3, -2),
+    # Shift counts are masked to six bits (x << 64 == x << 0).
+    (Op.SHL, 1, 64, 1),
+    (Op.SHL, 1, 65, 2),
+    (Op.SHL, 1, 63, INT64_MIN),
+    (Op.SHL, 3, 62, INT64_MIN + (1 << 62)),
+    (Op.SHL, 1, -1, INT64_MIN),  # -1 & 63 == 63
+    (Op.SHR, INT64_MIN, 1, INT64_MIN >> 1),
+    (Op.SHR, -1, 63, -1),  # arithmetic shift keeps the sign
+    (Op.SHR, 1, 64, 1),
+    (Op.SHR, INT64_MAX, 65, INT64_MAX >> 1),
+    # Wrapping arithmetic at the boundary.
+    (Op.ADD, INT64_MAX, 1, INT64_MIN),
+    (Op.ADD, INT64_MIN, -1, INT64_MAX),
+    (Op.SUB, INT64_MIN, 1, INT64_MAX),
+    (Op.MUL, INT64_MAX, 2, -2),
+    (Op.MUL, INT64_MIN, -1, INT64_MIN),
+    (Op.MUL, 1 << 32, 1 << 32, 0),
+    # Bitwise ops are closed over wrapped values.
+    (Op.AND, INT64_MIN, -1, INT64_MIN),
+    (Op.XOR, INT64_MIN, -1, INT64_MAX),
+]
+
+_IDS = ["%s_%d_%d" % (op, a, b) for op, a, b, _ in EDGE_CASES]
+
+
+def _binop_program(op):
+    return single_method_program(
+        lambda b: b.load(0).load(1).emit(op).retv(), params=("int", "int")
+    )
+
+
+@pytest.mark.parametrize("op,a,b,expected", EDGE_CASES, ids=_IDS)
+def test_interpreter(op, a, b, expected):
+    program = _binop_program(op)
+    method = program.lookup_method("T", "f")
+    result = Interpreter(VMState(program)).execute(method, [a, b])
+    assert result == expected
+
+
+@pytest.mark.parametrize("op,a,b,expected", EDGE_CASES, ids=_IDS)
+def test_machine(op, a, b, expected):
+    program = _binop_program(op)
+    method = program.lookup_method("T", "f")
+    graph = build_graph(method, program)  # unoptimized: the op executes
+    result, _ = execute_graph(graph, program, [a, b])
+    assert result == expected
+
+
+@pytest.mark.parametrize("op,a,b,expected", EDGE_CASES, ids=_IDS)
+def test_constant_folder(op, a, b, expected):
+    folded = _fold_binop(op, a, b)
+    assert folded is not None
+    # _new_const is the folder's single wrapping point; mirror it.
+    assert wrap64(folded) == expected
+
+
+class TestNegation:
+    def test_neg_min_int64_everywhere(self):
+        program = single_method_program(
+            lambda b: b.load(0).neg().retv(), params=("int",)
+        )
+        method = program.lookup_method("T", "f")
+        interp = Interpreter(VMState(program)).execute(method, [INT64_MIN])
+        graph = build_graph(method, program)
+        machine, _ = execute_graph(graph, program, [INT64_MIN])
+        assert interp == INT64_MIN  # -MIN overflows back to MIN
+        assert machine == INT64_MIN
+        assert wrap64(-INT64_MIN) == INT64_MIN
+
+    def test_abs_min_int64_is_min(self):
+        # Math.abs(Long.MIN_VALUE) == Long.MIN_VALUE on the JVM.
+        from repro.runtime.intrinsics import intrinsic_function
+
+        assert intrinsic_function("abs")(None, INT64_MIN) == INT64_MIN
+
+
+class TestDivisionByZeroAgreement:
+    def test_interpreter_and_machine_trap_alike(self):
+        from repro.errors import TrapError
+
+        program = _binop_program(Op.DIV)
+        method = program.lookup_method("T", "f")
+        with pytest.raises(TrapError) as interp_trap:
+            Interpreter(VMState(program)).execute(method, [1, 0])
+        graph = build_graph(method, program)
+        with pytest.raises(TrapError) as machine_trap:
+            execute_graph(graph, program, [1, 0])
+        assert interp_trap.value.kind == machine_trap.value.kind
+
+    def test_folder_refuses_zero_divisor(self):
+        assert _fold_binop(Op.DIV, 1, 0) is None
+        assert _fold_binop(Op.REM, 1, 0) is None
