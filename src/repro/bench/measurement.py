@@ -14,6 +14,7 @@ instance count is a parameter.
 """
 
 import math
+import time
 
 from repro.jit.config import JitConfig
 from repro.jit.engine import Engine
@@ -32,6 +33,7 @@ class Measurement:
         "warmup_curves",
         "compilations",
         "metrics",
+        "wall_seconds",
     )
 
     def __init__(self, benchmark, config_name):
@@ -44,6 +46,10 @@ class Measurement:
         self.warmup_curves = []
         self.compilations = 0
         self.metrics = []  # one metrics snapshot per instrumented instance
+        #: Host wall-clock seconds spent running iterations, summed
+        #: over all VM instances. Telemetry only — the deterministic
+        #: cycle fields never depend on it.
+        self.wall_seconds = 0.0
 
     def as_dict(self):
         """The measurement as a plain dict (the JSON metrics artifact)."""
@@ -57,6 +63,7 @@ class Measurement:
             "values": self.values,
             "warmup_curves": self.warmup_curves,
             "metrics": self.metrics,
+            "wall_seconds": self.wall_seconds,
         }
 
     def __repr__(self):
@@ -120,10 +127,12 @@ def measure_benchmark(
         )
         curve = []
         value = None
+        wall_start = time.perf_counter()
         for _ in range(iterations):
             iteration = engine.run_iteration(entry[0], entry[1])
             curve.append(iteration.total_cycles)
             value = iteration.value
+        result.wall_seconds += time.perf_counter() - wall_start
         steady = curve[-window:]
         steady_means.append(sum(steady) / len(steady))
         result.warmup_curves.append(curve)

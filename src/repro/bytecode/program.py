@@ -20,6 +20,11 @@ class Program:
         self.classes["Object"] = root
         self._subtype_cache = {}
         self._resolve_cache = {}
+        self._lookup_cache = {}
+        #: Bumped whenever the class set changes; consumers holding
+        #: pre-resolved methods (the pre-decoded interpreter tier) key
+        #: their caches on this to stay coherent with late class loads.
+        self.generation = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -31,6 +36,8 @@ class Program:
         self.classes[klass.name] = klass
         self._subtype_cache.clear()
         self._resolve_cache.clear()
+        self._lookup_cache.clear()
+        self.generation += 1
         return klass
 
     def define_class(self, name, **kwargs):
@@ -144,16 +151,33 @@ class Program:
         return found
 
     def lookup_method(self, class_name, method_name):
-        """Resolve a method for signature purposes (abstract is fine)."""
+        """Resolve a method for signature purposes (abstract is fine).
+
+        Cached like :meth:`resolve_method`: this is on the interpreter's
+        per-call hot path (every executed INVOKESTATIC/INVOKEVIRTUAL).
+        """
+        key = (class_name, method_name)
+        cached = self._lookup_cache.get(key)
+        if cached is not None:
+            return cached
+        found = None
         for klass in self.superclass_chain(class_name):
             method = klass.methods.get(method_name)
             if method is not None:
-                return method
-        for iname in sorted(self.all_interfaces(class_name)):
-            method = self.klass(iname).methods.get(method_name)
-            if method is not None:
-                return method
-        raise LinkError("method %s not found on %s" % (method_name, class_name))
+                found = method
+                break
+        if found is None:
+            for iname in sorted(self.all_interfaces(class_name)):
+                method = self.klass(iname).methods.get(method_name)
+                if method is not None:
+                    found = method
+                    break
+        if found is None:
+            raise LinkError(
+                "method %s not found on %s" % (method_name, class_name)
+            )
+        self._lookup_cache[key] = found
+        return found
 
     def lookup_field(self, class_name, field_name):
         """Find the declaring class and :class:`FieldDef` of a field."""

@@ -10,7 +10,7 @@ exactly the bookkeeping of Listing 3.
 """
 
 from repro.core.calltree import NodeKind
-from repro.core.priorities import local_benefit, priority
+from repro.core.priorities import local_benefit, make_priority_cache
 from repro.core.thresholds import should_expand
 from repro.core.trials import expand_node, normalize_node
 
@@ -40,11 +40,18 @@ class ExpansionPhase:
         self.fixed_te = fixed_te
         self.deep_trials = deep_trials
         self.tracer = tracer
+        # Subtree-aggregate memo; invalidated at every tree mutation
+        # (see PriorityCache) so cached priorities stay bit-identical
+        # to recomputed ones.
+        self._cache = make_priority_cache(params)
 
     # ------------------------------------------------------------------
 
     def run(self, root, context, report):
         """Expand the tree for one round; returns number of expansions."""
+        # Fresh per round: honors runtime CACHE_ENABLED toggling and
+        # drops references to the previous compilation's tree.
+        self._cache = make_priority_cache(self.params)
         self._reset_declines(root)
         self._rebuild_queues(root, context)
         expansions = 0
@@ -89,6 +96,9 @@ class ExpansionPhase:
         """Listing 3: keep c on its parent's queue only if c's queue is
         non-empty or c is a cutoff (and not declined this round)."""
         if child.check_deleted():
+            # A lazily observed deletion flips kinds in the subtree;
+            # cached priorities may now be stale.
+            self._cache.invalidate()
             return False
         if child.kind == NodeKind.CUTOFF:
             return not child.expand_declined
@@ -106,9 +116,7 @@ class ExpansionPhase:
         if node.kind == NodeKind.CUTOFF:
             return self._expand_cutoff(node, root, context, report)
         while node.queue:
-            best = max(
-                node.queue, key=lambda child: priority(child, self.params)
-            )
+            best = max(node.queue, key=self._cache.priority)
             outcome = self._descend(best, root, context, report)
             if not self._keep_on_queue(best):
                 node.queue.remove(best)
@@ -121,14 +129,16 @@ class ExpansionPhase:
         """Listing 4's ``expandCutoff``: the Eq. 8 decision plus the
         actual attachment of the callee IR."""
         if node.check_deleted():
+            self._cache.invalidate()
             return NO_PROGRESS
         method = node.method
         if method is None or not context.can_build(method):
             node.kind = NodeKind.GENERIC
+            self._cache.invalidate()
             return NO_PROGRESS
         benefit = local_benefit(node)
-        size = node.ir_size()
-        root_size = root.s_irn()
+        size = self._cache.ir_size(node)
+        root_size = self._cache.s_irn(root)
         if not self._expansion_allowed(node, root):
             node.expand_declined = True
             if self.tracer is not None:
@@ -141,16 +151,20 @@ class ExpansionPhase:
                 node, benefit, size, self._threshold_value(root_size)
             )
         expand_node(node, context, self.params, deep=self.deep_trials)
+        self._cache.invalidate()
         report.explored_nodes += node.graph.node_count()
         # New children may immediately be expandable.
         node.queue = [c for c in node.children if self._keep_on_queue(c)]
         return EXPANDED
 
     def _expansion_allowed(self, node, root):
-        root_size = root.s_irn()
+        root_size = self._cache.s_irn(root)
         if self.adaptive:
             return should_expand(
-                local_benefit(node), node.ir_size(), root_size, self.params
+                local_benefit(node),
+                self._cache.ir_size(node),
+                root_size,
+                self.params,
             )
         # Fixed-threshold baseline: compare the call tree size against
         # T_e (§V, "Adaptive inlining threshold" experiment).

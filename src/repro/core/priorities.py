@@ -19,7 +19,16 @@ priority, which leaves shallow recursion untouched and suppresses deep
 recursion exponentially.
 """
 
+import os
+
 from repro.core.calltree import NodeKind
+
+#: When "off", expansion uses the uncached module functions — the A/B
+#: baseline for the memoized :class:`PriorityCache` (results are
+#: bit-identical either way; only wall time differs).
+CACHE_ENABLED = (
+    os.environ.get("REPRO_PRIORITY_CACHE", "").strip().lower() != "off"
+)
 
 
 def local_benefit(node):
@@ -80,3 +89,151 @@ def recursion_penalty(node, params):
     if pressure == 0.0:
         return 0.0
     return max(1.0, node.frequency) * pressure
+
+
+class PriorityCache:
+    """Memoized subtree aggregates, valid between call-tree mutations.
+
+    ``priority`` walks the whole subtree per call (s_irn / s_b / n_c,
+    plus one ``Graph.node_count`` per expanded node), and the expansion
+    phase evaluates it once per queue entry per descent — quadratic in
+    tree size, and the dominant compile cost on expansion-heavy
+    workloads. Between mutations of the tree (expansions, kind flips,
+    observed deletions) every one of these values is constant, so the
+    expansion phase keeps one cache and calls :meth:`invalidate` at
+    each mutation point. All arithmetic matches the module functions
+    operation-for-operation (integer subtree sums are order-free), so
+    cached results are bit-identical to uncached ones.
+    """
+
+    __slots__ = ("params", "_aggregates", "_intrinsic", "_priority")
+
+    def __init__(self, params):
+        self.params = params
+        self._aggregates = {}  # node -> (ir_size, s_irn, s_b, n_c)
+        self._intrinsic = {}
+        self._priority = {}
+
+    def invalidate(self):
+        self._aggregates.clear()
+        self._intrinsic.clear()
+        self._priority.clear()
+
+    # -- subtree aggregates --------------------------------------------
+
+    def aggregates(self, node):
+        """``(ir_size, s_irn, s_b, n_c)`` for *node*, one post-order
+        pass per epoch."""
+        cache = self._aggregates
+        hit = cache.get(node)
+        if hit is not None:
+            return hit
+        stack = [(node, False)]
+        while stack:
+            current, ready = stack.pop()
+            if current in cache:
+                continue
+            if ready:
+                size = current.ir_size()
+                is_cutoff = current.kind == NodeKind.CUTOFF
+                s_irn = size
+                s_b = size if is_cutoff else 0
+                n_c = 1 if is_cutoff else 0
+                for child in current.children:
+                    _, child_irn, child_b, child_c = cache[child]
+                    s_irn += child_irn
+                    s_b += child_b
+                    n_c += child_c
+                cache[current] = (size, s_irn, s_b, n_c)
+            else:
+                stack.append((current, True))
+                for child in current.children:
+                    if child not in cache:
+                        stack.append((child, False))
+        return cache[node]
+
+    def ir_size(self, node):
+        return self.aggregates(node)[0]
+
+    def s_irn(self, node):
+        return self.aggregates(node)[1]
+
+    # -- priorities ----------------------------------------------------
+
+    def intrinsic_priority(self, node):
+        """P_I(n), memoized; mirrors :func:`intrinsic_priority`."""
+        memo = self._intrinsic
+        value = memo.get(node)
+        if value is not None:
+            return value
+        kind = node.kind
+        if kind == NodeKind.CUTOFF:
+            size = max(1, self.ir_size(node))
+            value = local_benefit(node) / size
+            value -= recursion_penalty(node, self.params)
+        elif kind in (NodeKind.EXPANDED, NodeKind.POLYMORPHIC):
+            best = float("-inf")
+            for child in node.children:
+                if (
+                    child.kind == NodeKind.DELETED
+                    or child.kind == NodeKind.GENERIC
+                ):
+                    continue
+                child_value = self.intrinsic_priority(child)
+                if child_value > best:
+                    best = child_value
+            value = best if best != float("-inf") else 0.0
+        else:
+            value = 0.0
+        memo[node] = value
+        return value
+
+    def priority(self, node):
+        """P(n), Eq. 6, memoized; mirrors :func:`priority`."""
+        memo = self._priority
+        value = memo.get(node)
+        if value is not None:
+            return value
+        params = self.params
+        _, s_irn, s_b, n_c = self.aggregates(node)
+        penalty = (
+            params.p1 * s_irn
+            + params.p2 * s_b
+            - params.b1 * max(0.0, params.b2 - float(n_c * n_c))
+        )
+        value = self.intrinsic_priority(node) - penalty
+        memo[node] = value
+        return value
+
+
+class NullPriorityCache:
+    """The uncached reference: every call recomputes via the module
+    functions (the pre-cache behavior, selectable with
+    ``REPRO_PRIORITY_CACHE=off``)."""
+
+    __slots__ = ("params",)
+
+    def __init__(self, params):
+        self.params = params
+
+    def invalidate(self):
+        pass
+
+    def ir_size(self, node):
+        return node.ir_size()
+
+    def s_irn(self, node):
+        return node.s_irn()
+
+    def intrinsic_priority(self, node):
+        return intrinsic_priority(node, self.params)
+
+    def priority(self, node):
+        return priority(node, self.params)
+
+
+def make_priority_cache(params):
+    """A fresh cache honoring the runtime ``CACHE_ENABLED`` toggle."""
+    if CACHE_ENABLED:
+        return PriorityCache(params)
+    return NullPriorityCache(params)

@@ -17,6 +17,84 @@ from repro.ir import stamps as st
 from repro.ir.frequency import annotate_frequencies
 
 
+class TrialMemo:
+    """Per-compilation memo for inlining-trial results.
+
+    Within one (synchronous) compilation the profiles are frozen, so
+    building + specializing + simplifying a callee graph is a pure
+    function of the method, the caller context (when profiles are
+    context-sensitive) and the argument-stamp signature at the
+    callsite. Repeated identical specializations — the common case when
+    a hot callee is reachable through many sites with the same argument
+    types — are answered with a :meth:`~repro.ir.graph.Graph.copy` of
+    the memoized result instead of a rebuild + re-trial.
+
+    Results are stored on the *second* occurrence of a key: a first
+    occurrence only leaves a marker, so the defensive graph copy that
+    a stored entry needs is never paid for the (majority of) keys that
+    never repeat — the memo is close to free when there is nothing to
+    share.
+
+    Retrial results (:func:`propagate_deep_trials`) are memoized along
+    a *lineage* chain: a node's graph state is identified by the memo
+    key that produced it, extended by each argument signature applied
+    since. Equal lineage ⇒ bit-identical graphs ⇒ the retrial outcome
+    transplants. Nodes whose graphs did not come through the memo have
+    no lineage and always retrial live.
+
+    The memo is reset per compilation (profiles mutate between
+    compilations — see :meth:`repro.jit.compiler.JitCompiler.compile`);
+    ``hits`` / ``misses`` accumulate across compilations for reporting.
+    Everything memoized is deterministic, so enabling the memo changes
+    host wall-clock only — never compiled code or cycle counts.
+    """
+
+    __slots__ = (
+        "context_sensitive",
+        "hits",
+        "misses",
+        "_expansions",
+        "_retrials",
+        "_lineage",
+    )
+
+    def __init__(self, context_sensitive=False):
+        self.context_sensitive = context_sensitive
+        self.hits = 0
+        self.misses = 0
+        self._expansions = {}
+        self._retrials = {}
+        self._lineage = {}
+
+    def reset(self):
+        """Drop the per-compilation tables (counters persist)."""
+        self._expansions.clear()
+        self._retrials.clear()
+        self._lineage.clear()
+
+    def expansion_key(self, node, program, trialed):
+        """The identity of an expansion result for *node*.
+
+        Untrialed expansions (the shallow-trials baseline) do not apply
+        argument stamps, so their key drops the signature and shares
+        across all callsites of the method.
+        """
+        caller = caller_method(node)
+        caller_key = (
+            caller.qualified_name
+            if (caller is not None and self.context_sensitive)
+            else None
+        )
+        stamps = (
+            tuple(argument_stamps(node, program)) if trialed else ()
+        )
+        return (node.method.qualified_name, caller_key, trialed, stamps)
+
+
+#: Marker for "key seen once, result not captured yet" memo entries.
+_SEEN_ONCE = object()
+
+
 def declared_param_stamps(method):
     """The stamps a callee assumes with no callsite information."""
     stamps = []
@@ -168,15 +246,47 @@ def expand_node(node, context, params, deep=True):
     "no deep trials" bars) argument stamps are only applied when the
     node is a direct child of the root — specialization does not travel
     down the tree.
+
+    When the compile context carries a :class:`TrialMemo`, a repeated
+    (method, caller context, argument signature) expansion is served as
+    a copy of the memoized specialized graph, skipping the rebuild and
+    the trial; the result is bit-identical by construction.
     """
+    is_root_child = node.parent is not None and node.parent.is_root
+    trialed = deep or is_root_child
+    memo = getattr(context, "trial_memo", None)
+    key = None
+    entry = None
+    if memo is not None:
+        key = memo.expansion_key(node, context.program, trialed)
+        entry = memo._expansions.get(key)
+        if entry is not None and entry is not _SEEN_ONCE:
+            memo.hits += 1
+            stored_graph, opt_delta = entry
+            node.graph = stored_graph.copy()[0]
+            node.kind = NodeKind.EXPANDED
+            node.trial_opt_count += opt_delta
+            memo._lineage[node] = key
+            discover_children(node, context, params)
+            return node
+        memo.misses += 1
     graph = context.build_callee_graph(node.method, caller=caller_method(node))
     node.graph = graph
     node.kind = NodeKind.EXPANDED
-    is_root_child = node.parent is not None and node.parent.is_root
-    if deep or is_root_child:
+    if trialed:
+        before = node.trial_opt_count
         run_trial(node, context, params)
+        opt_delta = node.trial_opt_count - before
     else:
         annotate_frequencies(node.graph)
+        opt_delta = 0
+    if memo is not None:
+        if entry is _SEEN_ONCE:
+            # Second occurrence: the key repeats, capture the result.
+            memo._expansions[key] = (node.graph.copy()[0], opt_delta)
+        else:
+            memo._expansions[key] = _SEEN_ONCE
+        memo._lineage[node] = key
     discover_children(node, context, params)
     return node
 
@@ -231,7 +341,13 @@ def propagate_deep_trials(node, context, params, budget=64):
     The fixpoint loop of §IV: optimizations in one callee can improve
     the type precision at sibling/descendant callsites, so trials are
     repeated until nothing improves (bounded by *budget* re-trials).
+
+    Childless nodes with a memo lineage answer repeated identical
+    retrials from the :class:`TrialMemo` (a node with children cannot
+    swap graphs — its children hold invoke references into the current
+    one — so it always retrials live).
     """
+    memo = getattr(context, "trial_memo", None)
     work = [c for c in node.children]
     retrials = 0
     while work and retrials < budget:
@@ -247,12 +363,50 @@ def propagate_deep_trials(node, context, params, budget=64):
         if child.kind not in (NodeKind.EXPANDED, NodeKind.INLINED):
             continue
         if child.kind == NodeKind.EXPANDED and child.graph is not None:
+            lineage = (
+                memo._lineage.get(child) if memo is not None else None
+            )
+            if lineage is not None and not child.children:
+                args_sig = tuple(argument_stamps(child, context.program))
+                key = (lineage, args_sig)
+                entry = memo._retrials.get(key)
+                if entry is not None and entry is not _SEEN_ONCE:
+                    memo.hits += 1
+                    stored_graph, opt_delta = entry
+                    if stored_graph is not None:
+                        child.graph = stored_graph.copy()[0]
+                        child.trial_opt_count += opt_delta
+                        retrials += 1
+                    memo._lineage[child] = key
+                    continue  # childless: nothing to push
+                memo.misses += 1
+                if apply_argument_stamps(child, context.program):
+                    stats = context.pipeline.simplify_only(child.graph)
+                    child.trial_opt_count += stats.simple()
+                    annotate_frequencies(child.graph)
+                    retrials += 1
+                    _refresh_child_invokes(child)
+                    memo._retrials[key] = (
+                        (child.graph.copy()[0], stats.simple())
+                        if entry is _SEEN_ONCE
+                        else _SEEN_ONCE
+                    )
+                else:
+                    # A no-improvement outcome carries no graph; it is
+                    # safe (and free) to capture on first sight.
+                    memo._retrials[key] = (None, 0)
+                memo._lineage[child] = key
+                continue
             if apply_argument_stamps(child, context.program):
                 stats = context.pipeline.simplify_only(child.graph)
                 child.trial_opt_count += stats.simple()
                 annotate_frequencies(child.graph)
                 retrials += 1
                 _refresh_child_invokes(child)
+                if memo is not None:
+                    # The graph mutated outside memo bookkeeping; its
+                    # lineage no longer identifies it.
+                    memo._lineage.pop(child, None)
         work.extend(child.children)
     return retrials
 

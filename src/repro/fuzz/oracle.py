@@ -87,6 +87,16 @@ ORACLE_CONFIGS = {
         _cfg(context_sensitive_profiles=True),
         tuned_inliner(0.1),
     ),
+    # The pre-decoded interpreter tier, alone and under the JIT: both
+    # must be bit-identical to the classic reference loop.
+    "interp-predecode": lambda: (
+        _cfg(compile_enabled=False, interp_predecode=True),
+        None,
+    ),
+    "jit-predecode": lambda: (
+        _cfg(interp_predecode=True),
+        tuned_inliner(0.1),
+    ),
 }
 
 
@@ -165,7 +175,9 @@ def run_interpreter(program, entry, iterations=DEFAULT_ITERATIONS, vm_seed=0x5EE
     """Reference execution: the pure interpreter, no compilation."""
     class_name, method_name = entry
     vm = VMState(program, seed=vm_seed)
-    interp = Interpreter(vm)
+    # Pin the classic loop: the reference must stay the reference even
+    # when REPRO_INTERP=predecode is set in the environment.
+    interp = Interpreter(vm, predecode=False)
     outcomes = [
         _observe(lambda: interp.call_static(class_name, method_name, ()))
         for _ in range(iterations)

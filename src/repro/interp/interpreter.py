@@ -9,10 +9,22 @@ cycles).
 Dispatch is pluggable: every guest call goes through ``self.dispatch``,
 which the tiered engine overrides to route hot methods to compiled
 code. By default calls recurse into the interpreter itself.
+
+Two executors are available, selected per interpreter:
+
+- the **classic** tier: the ``if/elif`` chain in :meth:`Interpreter._run`,
+  kept as the reference semantics;
+- the **pre-decoded** tier (``predecode=True`` or ``REPRO_INTERP=predecode``):
+  methods are compiled once into a dense table of pre-bound handler
+  closures (:mod:`repro.interp.predecode`) and driven by a three-line
+  dispatch loop. Bit-identical to classic by contract.
 """
+
+import os
 
 from repro.bytecode.opcodes import Op
 from repro.bytecode import types as bt
+from repro.interp.predecode import RET_VALUE, predecode as predecode_method
 from repro.runtime.values import ArrayRef, ObjRef, NULL
 from repro.runtime.intrinsics import intrinsic_function
 
@@ -40,19 +52,41 @@ class Interpreter:
             interpretation all the way down).
         obs: optional :class:`~repro.obs.Observability`; when enabled,
             interpreted calls are counted (``interp.calls``).
+        predecode: selects the executor. ``True`` uses the pre-decoded
+            handler-table tier, ``False`` the classic loop; ``None``
+            (default) consults the ``REPRO_INTERP`` environment
+            variable (``predecode`` enables the fast tier).
     """
 
-    def __init__(self, vm, profiles=None, dispatch=None, obs=None):
+    def __init__(self, vm, profiles=None, dispatch=None, obs=None,
+                 predecode=None):
         from repro.interp.profiles import ProfileStore
 
         self.vm = vm
         self.program = vm.program
         self.profiles = profiles if profiles is not None else ProfileStore()
         self.dispatch = dispatch if dispatch is not None else self.execute
+        if predecode is None:
+            predecode = (
+                os.environ.get("REPRO_INTERP", "").strip().lower()
+                == "predecode"
+            )
+        self.predecode = bool(predecode)
         self.ops_executed = 0
         self.max_depth = 0
         self._depth = 0
         self._current_method = None  # caller context for profiling
+        # Per-(method[, caller]) memo for profiles.of() plus, in the
+        # fast tier, the pre-decoded handler tables bound to those
+        # profile objects. Both are invalidated by generation bumps
+        # (ProfileStore.clear / Program.add_class).
+        self._context_sensitive = self.profiles.context_sensitive
+        self._profile_memo = {}
+        self._predecode_tables = {}
+        self._cache_generation = (
+            self.profiles.generation,
+            self.program.generation,
+        )
         # Pre-bound counter: one None check per interpreted call when
         # observability is off, no registry lookups when it is on.
         self._calls_counter = None
@@ -83,18 +117,50 @@ class Interpreter:
             raise VMError("abstract method called: %s" % method.qualified_name)
         if self._calls_counter is not None:
             self._calls_counter.inc()
-        profile = self.profiles.of(method, caller=self._current_method)
+        caller = self._current_method
+        generation = (self.profiles.generation, self.program.generation)
+        if generation != self._cache_generation:
+            self._profile_memo.clear()
+            self._predecode_tables.clear()
+            self._cache_generation = generation
+        key = (method, caller) if self._context_sensitive else method
+        profile = self._profile_memo.get(key)
+        if profile is None:
+            profile = self.profiles.of(method, caller=caller)
+            self._profile_memo[key] = profile
         profile.invocations += 1
         self._depth += 1
         if self._depth > self.max_depth:
             self.max_depth = self._depth
-        previous = self._current_method
         self._current_method = method
         try:
+            if self.predecode:
+                return self._run_predecoded(method, args, profile, key)
             return self._run(method, args, profile)
         finally:
             self._depth -= 1
-            self._current_method = previous
+            self._current_method = caller
+
+    def _run_predecoded(self, method, args, profile, key):
+        """Drive one frame through the pre-decoded handler table."""
+        table = self._predecode_tables.get(key)
+        if table is None:
+            table = predecode_method(method, profile, self)
+            self._predecode_tables[key] = table
+        locals_ = args + [NULL] * (method.max_locals - len(args))
+        stack = []
+        pc = 0
+        ops = 0
+        # Like the classic loop, the frame's op count reaches
+        # ``ops_executed`` only on a normal return — a propagating trap
+        # abandons it.
+        while pc >= 0:
+            pc = table[pc](stack, locals_)
+            ops += 1
+        self.ops_executed += ops
+        if pc == RET_VALUE:
+            return stack.pop()
+        return None
 
     def _run(self, method, args, profile):
         code = method.code

@@ -152,6 +152,10 @@ class ProfileStore:
         self._contexts = {}
         self.context_sensitive = context_sensitive
         self._obs = obs
+        #: Bumped on :meth:`clear` so interpreters holding memoized
+        #: profile objects (and pre-decoded handler tables bound to
+        #: them) know to re-fetch.
+        self.generation = 0
 
     def of(self, method, caller=None):
         key = method.qualified_name
@@ -190,6 +194,7 @@ class ProfileStore:
     def clear(self):
         self._methods.clear()
         self._contexts.clear()
+        self.generation += 1
 
     def hotness(self, method):
         """Scalar hotness: invocations plus a backedge contribution.

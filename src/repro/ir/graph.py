@@ -12,9 +12,19 @@ operations the inliner is built from:
   and returns to a merge.
 """
 
+import os
+
 from repro.ir import nodes as n
 from repro.ir import stamps as st
 from repro.errors import IRError
+
+#: Executor toggle for :meth:`Graph.copy`. The slot-based fast path is
+#: the default; setting ``REPRO_GRAPH_COPY=reference`` re-enables the
+#: constructor-based reference implementation (kept for differential
+#: testing — the two must produce structurally identical clones).
+FAST_COPY = (
+    os.environ.get("REPRO_GRAPH_COPY", "").strip().lower() != "reference"
+)
 
 
 class Block:
@@ -207,7 +217,145 @@ class Graph:
     # ------------------------------------------------------------------
 
     def copy(self):
-        """Deep-copy this graph. Returns ``(copy, node_map)``."""
+        """Deep-copy this graph. Returns ``(copy, node_map)``.
+
+        Two implementations exist: the constructor-based reference copy
+        and a slot-based fast path that skips node constructors (and
+        with them stamp recomputation and incremental use-list upkeep).
+        Both produce structurally identical clones — same node ids,
+        block ids, stamps, frequencies and invoke metadata — which
+        ``tests/test_ir_graph_copy.py`` checks differentially. The
+        ``REPRO_GRAPH_COPY=reference`` environment knob pins the
+        reference implementation.
+        """
+        if FAST_COPY:
+            return self._copy_fast()
+        return self._copy_reference()
+
+    def _copy_fast(self):
+        """Slot-based deep copy: no constructors, no re-verification.
+
+        Mirrors the reference copy's numbering exactly: params first,
+        then per block phis → instrs → terminator, with block ids
+        renumbered sequentially.
+        """
+        clone = Graph(self.method, self.name)
+        node_map = {}
+        block_map = {}
+        next_id = 0
+        for param in self.params:
+            new = n.ParamNode.__new__(n.ParamNode)
+            new.id = next_id
+            next_id += 1
+            new.block = None
+            new.inputs = []
+            new.stamp = param.stamp
+            new.uses = set()
+            new.index = param.index
+            clone.params.append(new)
+            node_map[param] = new
+        for index, block in enumerate(self.blocks):
+            new_block = Block(index)
+            new_block.frequency = block.frequency
+            clone.blocks.append(new_block)
+            block_map[block] = new_block
+        # First pass: create nodes. Inputs usually dominate their uses
+        # in block-list order, but inline_call appends imported callee
+        # blocks *after* the split continuation block, so a node may
+        # reference an input whose block comes later in the list; such
+        # nodes get their inputs wired in the second pass.
+        scalar_slots = _FAST_COPY_SLOTS
+        deferred = []
+        for block in self.blocks:
+            new_block = block_map[block]
+            for phi in block.phis:
+                new = n.PhiNode.__new__(n.PhiNode)
+                new.id = next_id
+                next_id += 1
+                new.block = new_block
+                new.inputs = []  # resolved in the second pass
+                new.stamp = phi.stamp
+                new.uses = set()
+                new_block.phis.append(new)
+                node_map[phi] = new
+            for node in block.instrs:
+                cls = type(node)
+                slots = scalar_slots.get(cls)
+                if slots is None:
+                    raise IRError("cannot copy node %r" % (node,))
+                new = cls.__new__(cls)
+                new.id = next_id
+                next_id += 1
+                new.block = new_block
+                new.stamp = node.stamp
+                new.uses = set()
+                for name in slots:
+                    setattr(new, name, getattr(node, name))
+                if cls is n.InvokeNode:
+                    new.receiver_types = list(node.receiver_types)
+                try:
+                    inputs = [node_map[x] for x in node.inputs]
+                except KeyError:
+                    new.inputs = []
+                    deferred.append((node, new))
+                else:
+                    new.inputs = inputs
+                    for x in inputs:
+                        x.uses.add(new)
+                new_block.instrs.append(new)
+                node_map[node] = new
+            term = block.terminator
+            if term is not None:
+                cls = type(term)
+                new = cls.__new__(cls)
+                new.id = next_id
+                next_id += 1
+                new.block = new_block
+                new.stamp = term.stamp
+                new.uses = set()
+                if cls is n.IfNode:
+                    new.true_block = block_map[term.true_block]
+                    new.false_block = block_map[term.false_block]
+                    new.probability = term.probability
+                elif cls is n.GotoNode:
+                    new.target = block_map[term.target]
+                elif cls is not n.ReturnNode:
+                    raise IRError("cannot copy terminator %r" % (term,))
+                try:
+                    inputs = [node_map[x] for x in term.inputs]
+                except KeyError:
+                    new.inputs = []
+                    deferred.append((term, new))
+                else:
+                    new.inputs = inputs
+                    for x in inputs:
+                        x.uses.add(new)
+                new_block.terminator = new
+                node_map[term] = new
+        # Second pass: phi inputs, forward-referencing inputs, preds.
+        for node, new in deferred:
+            inputs = [node_map[x] for x in node.inputs]
+            new.inputs = inputs
+            for x in inputs:
+                x.uses.add(new)
+        for block in self.blocks:
+            new_block = block_map[block]
+            for phi, new_phi in zip(block.phis, new_block.phis):
+                inputs = [
+                    node_map[x] if x is not None else None
+                    for x in phi.inputs
+                ]
+                new_phi.inputs = inputs
+                for x in inputs:
+                    if x is not None:
+                        x.uses.add(new_phi)
+            new_block.preds = [block_map[p] for p in block.preds]
+        clone._next_node_id = next_id
+        clone._next_block_id = len(self.blocks)
+        return clone, node_map
+
+    def _copy_reference(self):
+        """The constructor-based reference copy implementation."""
         clone = Graph(self.method, self.name)
         node_map = {}
         block_map = {}
@@ -366,6 +514,38 @@ class Graph:
             len(self.blocks),
             self.node_count(),
         )
+
+
+#: Per-class scalar slots the fast copy transfers verbatim (inputs,
+#: stamp, uses and InvokeNode.receiver_types are handled separately).
+_FAST_COPY_SLOTS = {
+    n.ConstIntNode: ("value",),
+    n.ConstNullNode: (),
+    n.BinOpNode: ("op",),
+    n.NegNode: (),
+    n.CompareNode: ("op",),
+    n.NewNode: ("class_name",),
+    n.NewArrayNode: ("elem_type",),
+    n.ArrayLoadNode: (),
+    n.ArrayStoreNode: (),
+    n.ArrayLengthNode: (),
+    n.LoadFieldNode: ("class_name", "field_name"),
+    n.StoreFieldNode: ("class_name", "field_name"),
+    n.LoadStaticNode: ("class_name", "field_name"),
+    n.StoreStaticNode: ("class_name", "field_name"),
+    n.InstanceOfNode: ("type_name", "exact"),
+    n.CheckCastNode: ("type_name",),
+    n.PiNode: (),
+    n.InvokeNode: (
+        "kind",
+        "declared_class",
+        "method_name",
+        "target",
+        "megamorphic",
+        "bci",
+        "frequency",
+    ),
+}
 
 
 def _copy_node(node, node_map, clone):

@@ -33,6 +33,10 @@ class CompileContext:
         self.profiles = profiles
         self.pipeline = pipeline
         self.cost_model = cost_model
+        #: Optional :class:`~repro.core.trials.TrialMemo`; attached by
+        #: the JIT driver when ``JitConfig.enable_trial_memo`` is set
+        #: and reset at the start of every compilation.
+        self.trial_memo = None
 
     def build_callee_graph(self, method, caller=None):
         """A fresh profiled graph for *method* (one per call-tree node,
@@ -93,6 +97,14 @@ class JitCompiler:
         self.context = CompileContext(
             program, profiles, self.pipeline, config.cost_model
         )
+        if config.enable_trial_memo:
+            from repro.core.trials import TrialMemo
+
+            self.context.trial_memo = TrialMemo(
+                context_sensitive=getattr(
+                    profiles, "context_sensitive", False
+                )
+            )
         self.records = []
         if self.obs.enabled and inliner is not None:
             # Bridge inlining decisions into the event stream: give a
@@ -111,24 +123,33 @@ class JitCompiler:
             raise CompileError("cannot compile %s" % method.qualified_name)
         obs = self.obs
         events = obs.events
+        memo = self.context.trial_memo
+        if memo is not None:
+            # Profiles mutate between compilations; memoized trial
+            # results are only sound within one.
+            memo.reset()
         hotness = None
         if obs.enabled and hasattr(self.profiles, "hotness"):
             hotness = self.profiles.hotness(method)
+        timers = obs.timers
         with events.span(
             "compile", method=method.qualified_name, hotness=hotness
-        ) as compile_span:
-            with events.span("build"):
+        ) as compile_span, timers.span("compile"):
+            with events.span("build"), timers.span("compile.build"):
                 graph = build_graph(method, self.program, self.profiles)
                 annotate_frequencies(graph)
-            with events.span("optimize", stage="pre-inline"):
+            with events.span("optimize", stage="pre-inline"), \
+                    timers.span("compile.optimize"):
                 self.pipeline.run(graph, peel=False, rwe=False)
             inline_report = None
             if self.inliner is not None:
-                inline_report = self._run_inliner(graph, obs)
-            with events.span("optimize", stage="post-inline"):
+                with timers.span("compile.inline"):
+                    inline_report = self._run_inliner(graph, obs)
+            with events.span("optimize", stage="post-inline"), \
+                    timers.span("compile.optimize"):
                 self.pipeline.run(graph)
             work_units = graph.node_count()
-            with events.span("lower"):
+            with events.span("lower"), timers.span("compile.lower"):
                 code = lower_graph(graph, self.config.cost_model)
             compile_cycles = self.config.cost_model.compile_cost(
                 work_units, passes=self.config.optimizer.max_iterations
@@ -142,6 +163,9 @@ class JitCompiler:
                 code_size=code.size,
                 compile_cycles=compile_cycles,
             )
+            if obs.enabled and memo is not None:
+                obs.metrics.gauge("inline.trial_memo.hits").set(memo.hits)
+                obs.metrics.gauge("inline.trial_memo.misses").set(memo.misses)
         record = CompilationRecord(
             method, code, work_units, inline_report, compile_cycles
         )

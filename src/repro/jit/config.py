@@ -21,6 +21,18 @@ class JitConfig:
             and branch profiles alongside the aggregates (the §VI
             extension); the inliner then specializes call-tree nodes
             with caller-specific profiles.
+        interp_predecode: selects the interpreter executor. ``True``
+            uses the pre-decoded handler-table tier
+            (:mod:`repro.interp.predecode`), ``False`` the classic
+            reference loop, ``None`` defers to the ``REPRO_INTERP``
+            environment knob. Semantics are bit-identical either way;
+            only host wall-clock changes.
+        enable_trial_memo: memoize inlining-trial results per
+            compilation, keyed by (method, caller context, argument
+            stamp signature), so repeated identical specializations of
+            the same callee are cloned instead of re-built and
+            re-simplified. Deterministically result-identical; exposed
+            as a flag so differential configs can pin it off.
     """
 
     def __init__(
@@ -32,6 +44,8 @@ class JitConfig:
         optimizer=None,
         max_compiled_methods=2000,
         context_sensitive_profiles=False,
+        interp_predecode=None,
+        enable_trial_memo=True,
     ):
         self.hot_threshold = hot_threshold
         self.compile_enabled = compile_enabled
@@ -40,3 +54,5 @@ class JitConfig:
         self.optimizer = optimizer or OptimizerConfig()
         self.max_compiled_methods = max_compiled_methods
         self.context_sensitive_profiles = context_sensitive_profiles
+        self.interp_predecode = interp_predecode
+        self.enable_trial_memo = enable_trial_memo

@@ -92,7 +92,7 @@ class Engine:
         )
         self.interpreter = Interpreter(
             self.vm, profiles=self.profiles, dispatch=self._dispatch,
-            obs=self.obs,
+            obs=self.obs, predecode=self.config.interp_predecode,
         )
         self.code_cache = CodeCache(obs=self.obs)
         from repro.jit.compiler import JitCompiler
@@ -210,7 +210,8 @@ class Engine:
         compilations_before = self.compilation_count
         installed_before = self.code_cache.total_size
 
-        value = self.call(class_name, method_name, args)
+        with self.obs.timers.span("engine.iteration"):
+            value = self.call(class_name, method_name, args)
 
         interp_ops = self.interpreter.ops_executed - interp_before
         interpreted = interp_ops * self.config.cost_model.INTERPRETED_OP

@@ -49,31 +49,35 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
 )
 from repro.obs.report import build_report, render_report
+from repro.obs.timers import NULL_TIMERS, NullPhaseTimers, PhaseTimers
 from repro.obs.tracebridge import SpanInlineTracer
 
 
 class Observability:
-    """One metrics registry plus one event log, threaded through a VM."""
+    """One metrics registry, one event log, one set of phase timers."""
 
-    __slots__ = ("metrics", "events")
+    __slots__ = ("metrics", "events", "timers")
 
     enabled = True
 
-    def __init__(self, metrics=None, events=None, events_sink=None):
+    def __init__(self, metrics=None, events=None, events_sink=None,
+                 timers=None):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = (
             events if events is not None else EventLog(sink=events_sink)
         )
+        self.timers = timers if timers is not None else PhaseTimers()
 
 
 class _NullObservability:
-    """The inert default: both halves are no-ops."""
+    """The inert default: all halves are no-ops."""
 
     __slots__ = ()
 
     enabled = False
     metrics = NULL_METRICS
     events = NULL_EVENTS
+    timers = NULL_TIMERS
 
 
 NULL_OBS = _NullObservability()
@@ -91,6 +95,9 @@ __all__ = [
     "EventLog",
     "NullEventLog",
     "NULL_EVENTS",
+    "PhaseTimers",
+    "NullPhaseTimers",
+    "NULL_TIMERS",
     "SpanInlineTracer",
     "build_report",
     "render_report",

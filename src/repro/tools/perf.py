@@ -1,0 +1,353 @@
+"""Wall-clock performance harness for the fast execution paths.
+
+The cycle model (:mod:`repro.bench`) answers the paper's questions —
+it is deterministic and host-independent. This tool answers the other
+question a JIT writer has: how much *host* time the VM itself burns,
+and how much the fast paths recover. It runs a pinned workload matrix:
+
+- **interpreter-bound**: pure interpretation (compilation disabled),
+  classic dispatch loop vs the pre-decoded threaded-code tier
+  (``Interpreter(..., predecode=True)``).
+- **compile-bound**: a low threshold and the tuned incremental inliner
+  so compilation dominates, reference ``Graph.copy`` + no trial memo
+  vs the slot-based fast copy + trial memo. Times the ``compile``
+  phase timer, not the whole process.
+- **mixed**: the default tiered configuration, everything-classic vs
+  everything-fast, timing whole iterations.
+
+Every variant pair is checked for semantic equivalence (iteration
+values, per-iteration cycle sequences, and interpreted op counts must
+be bit-identical); the exit status reflects *only* that check, never
+timing, so CI can run this as a smoke test without flaking on noisy
+hosts. Timings use interleaved repeats and report the median.
+
+Examples::
+
+    python -m repro.tools.perf                  # full matrix
+    python -m repro.tools.perf --quick          # CI smoke (~seconds)
+    python -m repro.tools.perf -o BENCH_wall.json
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+import repro.core.priorities as priorities_mod
+import repro.ir.graph as graph_mod
+from repro.baselines import tuned_inliner
+from repro.bench.suite import get_benchmark
+from repro.jit.config import JitConfig
+from repro.jit.engine import Engine
+from repro.obs import Observability
+
+ENTRY = ("Main", "run")
+SEED = 0x5EED
+
+
+# ----------------------------------------------------------------------
+# Measurement primitives
+# ----------------------------------------------------------------------
+
+
+class _RunResult:
+    __slots__ = ("wall", "compile_seconds", "values", "cycles", "ops")
+
+    def __init__(self, wall, compile_seconds, values, cycles, ops):
+        self.wall = wall
+        self.compile_seconds = compile_seconds
+        self.values = values
+        self.cycles = cycles
+        self.ops = ops
+
+    def semantics(self):
+        """The parts that must match between variants."""
+        return (self.values, self.cycles, self.ops)
+
+
+def _run_once(program, config_factory, inliner_factory, iterations,
+              fast_copy, time_compile, priority_cache=True):
+    """One fresh VM instance; returns a :class:`_RunResult`."""
+    saved = graph_mod.FAST_COPY
+    saved_cache = priorities_mod.CACHE_ENABLED
+    graph_mod.FAST_COPY = fast_copy
+    priorities_mod.CACHE_ENABLED = priority_cache
+    try:
+        obs = Observability() if time_compile else None
+        engine = Engine(
+            program,
+            config_factory(),
+            inliner=inliner_factory() if inliner_factory is not None else None,
+            seed=SEED,
+            obs=obs,
+        )
+        values = []
+        cycles = []
+        start = time.perf_counter()
+        for _ in range(iterations):
+            result = engine.run_iteration(*ENTRY)
+            values.append(result.value)
+            cycles.append(result.total_cycles)
+        wall = time.perf_counter() - start
+        compile_seconds = (
+            obs.timers.seconds("compile") if obs is not None else 0.0
+        )
+        return _RunResult(
+            wall, compile_seconds, values, cycles,
+            engine.interpreter.ops_executed,
+        )
+    finally:
+        graph_mod.FAST_COPY = saved
+        priorities_mod.CACHE_ENABLED = saved_cache
+
+
+def _measure_pair(program, iterations, repeats, base, fast, progress):
+    """Interleave *repeats* runs of each variant; returns a result dict.
+
+    ``base`` and ``fast`` are dicts with keys ``name``, ``config``,
+    ``inliner``, ``fast_copy`` (plus optional ``priority_cache``);
+    ``time_compile`` selects which clock the comparison uses.
+    """
+    time_compile = base.get("time_compile", False)
+    base_runs, fast_runs = [], []
+    semantics_identical = True
+    for repeat in range(repeats):
+        b = _run_once(program, base["config"], base["inliner"], iterations,
+                      base["fast_copy"], time_compile,
+                      base.get("priority_cache", True))
+        f = _run_once(program, fast["config"], fast["inliner"], iterations,
+                      fast["fast_copy"], time_compile,
+                      fast.get("priority_cache", True))
+        base_runs.append(b)
+        fast_runs.append(f)
+        if b.semantics() != f.semantics():
+            semantics_identical = False
+        if progress:
+            sys.stderr.write(".")
+            sys.stderr.flush()
+    clock = (
+        (lambda r: r.compile_seconds) if time_compile else (lambda r: r.wall)
+    )
+    base_t = statistics.median(clock(r) for r in base_runs)
+    fast_t = statistics.median(clock(r) for r in fast_runs)
+    return {
+        "baseline": {"name": base["name"], "seconds": round(base_t, 6)},
+        "fast": {"name": fast["name"], "seconds": round(fast_t, 6)},
+        "clock": "compile_phase" if time_compile else "wall",
+        "speedup": round(base_t / fast_t, 3) if fast_t > 0 else None,
+        "reduction_percent": (
+            round(100.0 * (1.0 - fast_t / base_t), 1) if base_t > 0 else None
+        ),
+        "semantics_identical": semantics_identical,
+        "repeats": repeats,
+        "iterations": iterations,
+    }
+
+
+# ----------------------------------------------------------------------
+# The pinned workload matrix
+# ----------------------------------------------------------------------
+
+
+def _interp_workload(benchmark, iterations, repeats, progress):
+    """Pure interpretation: classic loop vs pre-decoded tier."""
+    program = get_benchmark(benchmark).load()
+    pair = _measure_pair(
+        program, iterations, repeats,
+        base={
+            "name": "interp-classic",
+            "config": lambda: JitConfig(
+                compile_enabled=False, interp_predecode=False
+            ),
+            "inliner": None,
+            "fast_copy": True,
+        },
+        fast={
+            "name": "interp-predecode",
+            "config": lambda: JitConfig(
+                compile_enabled=False, interp_predecode=True
+            ),
+            "inliner": None,
+            "fast_copy": True,
+        },
+        progress=progress,
+    )
+    pair.update(workload="interpreter-bound", benchmark=benchmark)
+    return pair
+
+
+def _compile_workload(benchmark, iterations, repeats, progress):
+    """Compilation-dominated: all classic compile paths (reference
+    graph copy, no trial memo, uncached priorities) vs all fast paths
+    (slot copy, trial memo, priority cache).
+
+    The clock is the ``compile`` phase timer, so interpreter and
+    executor time are excluded from the comparison.
+    """
+    program = get_benchmark(benchmark).load()
+
+    def config(memo):
+        return lambda: JitConfig(
+            hot_threshold=2,
+            interp_predecode=False,
+            enable_trial_memo=memo,
+        )
+
+    pair = _measure_pair(
+        program, iterations, repeats,
+        base={
+            "name": "compile-classic",
+            "config": config(False),
+            "inliner": lambda: tuned_inliner(0.1),
+            "fast_copy": False,
+            "priority_cache": False,
+            "time_compile": True,
+        },
+        fast={
+            "name": "compile-fast",
+            "config": config(True),
+            "inliner": lambda: tuned_inliner(0.1),
+            "fast_copy": True,
+            "priority_cache": True,
+            "time_compile": True,
+        },
+        progress=progress,
+    )
+    pair.update(workload="compile-bound", benchmark=benchmark)
+    return pair
+
+
+def _mixed_workload(benchmark, iterations, repeats, progress):
+    """The default tiered stack: everything classic vs everything fast."""
+    program = get_benchmark(benchmark).load()
+    pair = _measure_pair(
+        program, iterations, repeats,
+        base={
+            "name": "all-classic",
+            "config": lambda: JitConfig(
+                interp_predecode=False, enable_trial_memo=False
+            ),
+            "inliner": lambda: tuned_inliner(0.1),
+            "fast_copy": False,
+            "priority_cache": False,
+        },
+        fast={
+            "name": "all-fast",
+            "config": lambda: JitConfig(
+                interp_predecode=True, enable_trial_memo=True
+            ),
+            "inliner": lambda: tuned_inliner(0.1),
+            "fast_copy": True,
+        },
+        progress=progress,
+    )
+    pair.update(workload="mixed", benchmark=benchmark)
+    return pair
+
+
+# Pinned matrix: (builder, benchmark, full-(iterations, repeats),
+# quick-(iterations, repeats) or None to skip in quick mode).
+# Benchmarks chosen so each workload is actually bound by the phase it
+# claims to measure; scaladoc's expansion-heavy compiles are the
+# priority-cache showcase but too slow for the CI smoke.
+MATRIX = [
+    (_interp_workload, "gauss-mix", (2, 5), (1, 1)),
+    (_interp_workload, "stmbench7", (2, 5), (1, 1)),
+    (_compile_workload, "kiama", (6, 7), (6, 1)),
+    (_compile_workload, "scaladoc", (6, 3), None),
+    (_mixed_workload, "jython", (4, 5), (2, 1)),
+]
+
+
+def run_matrix(quick=False, progress=False):
+    """Run the pinned workload matrix; returns a list of result dicts."""
+    results = []
+    for builder, benchmark, full, quick_params in MATRIX:
+        if quick and quick_params is None:
+            continue
+        iterations, repeats = quick_params if quick else full
+        if progress:
+            sys.stderr.write(
+                "%s/%s " % (builder.__name__.strip("_"), benchmark)
+            )
+        results.append(builder(benchmark, iterations, repeats, progress))
+        if progress:
+            sys.stderr.write("\n")
+    return results
+
+
+def render_results(results):
+    lines = [
+        "%-18s %-12s %-22s %10s %10s %8s %6s"
+        % ("workload", "benchmark", "variants", "base(s)", "fast(s)",
+           "speedup", "same"),
+    ]
+    for r in results:
+        lines.append(
+            "%-18s %-12s %-22s %10.4f %10.4f %7.2fx %6s"
+            % (
+                r["workload"],
+                r["benchmark"],
+                "%s->%s" % (r["baseline"]["name"], r["fast"]["name"]),
+                r["baseline"]["seconds"],
+                r["fast"]["seconds"],
+                r["speedup"] or 0.0,
+                "yes" if r["semantics_identical"] else "NO",
+            )
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.perf", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small iteration/repeat counts (CI smoke; noisier timings, "
+             "same semantic checks)",
+    )
+    parser.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="write the result matrix as JSON (e.g. BENCH_wall.json)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print a progress dot per repeat to stderr",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_matrix(quick=args.quick, progress=args.progress)
+    print(render_results(results))
+
+    divergent = [r for r in results if not r["semantics_identical"]]
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(
+                {
+                    "tool": "repro.tools.perf",
+                    "quick": args.quick,
+                    "workloads": results,
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+        print("wrote %s" % args.output)
+
+    if divergent:
+        print(
+            "SEMANTIC DIVERGENCE in: %s"
+            % ", ".join(
+                "%s/%s" % (r["workload"], r["benchmark"]) for r in divergent
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

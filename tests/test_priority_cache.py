@@ -1,0 +1,102 @@
+"""The expansion-phase priority cache must be invisible in results.
+
+``PriorityCache`` memoizes subtree aggregates (s_irn, s_b, n_c,
+ir_size) and priorities between call-tree mutations. Its contract is
+bit-identical inlining decisions versus the uncached module functions
+(``REPRO_PRIORITY_CACHE=off``), checked here end-to-end through the
+engine's cycle model and directly against the module functions on a
+live call tree.
+"""
+
+import repro.core.priorities as priorities_mod
+from repro.baselines import tuned_inliner
+from repro.core.priorities import (
+    NullPriorityCache,
+    PriorityCache,
+    make_priority_cache,
+)
+from repro.jit.config import JitConfig
+from repro.jit.engine import Engine
+from tests.helpers import shapes_program
+
+
+def _run(program, cache_enabled, iterations=8):
+    saved = priorities_mod.CACHE_ENABLED
+    priorities_mod.CACHE_ENABLED = cache_enabled
+    try:
+        engine = Engine(
+            program,
+            JitConfig(hot_threshold=5),
+            inliner=tuned_inliner(0.1),
+            seed=0x5EED,
+        )
+        curve = []
+        value = None
+        for _ in range(iterations):
+            result = engine.run_iteration("Main", "run")
+            curve.append(result.total_cycles)
+            value = result.value
+        return value, curve, engine
+    finally:
+        priorities_mod.CACHE_ENABLED = saved
+
+
+def test_cycle_model_identical_cache_on_off():
+    program = shapes_program()
+    value_off, curve_off, engine_off = _run(program, cache_enabled=False)
+    value_on, curve_on, engine_on = _run(program, cache_enabled=True)
+    assert value_on == value_off
+    assert curve_on == curve_off
+    assert engine_on.compilation_count == engine_off.compilation_count
+    assert (
+        engine_on.code_cache.total_size == engine_off.code_cache.total_size
+    )
+
+
+def test_factory_honors_toggle():
+    from repro.core.params import InlinerParams
+
+    params = InlinerParams()
+    saved = priorities_mod.CACHE_ENABLED
+    try:
+        priorities_mod.CACHE_ENABLED = True
+        assert isinstance(make_priority_cache(params), PriorityCache)
+        priorities_mod.CACHE_ENABLED = False
+        assert isinstance(make_priority_cache(params), NullPriorityCache)
+    finally:
+        priorities_mod.CACHE_ENABLED = saved
+
+
+def test_cached_values_match_module_functions():
+    # Build a real call tree (warm profiles, one expansion round so it
+    # has expanded, cutoff, and generic nodes), then compare every
+    # cached value against the uncached module functions.
+    from repro.core.calltree import make_root
+    from repro.core.expansion import ExpansionPhase
+    from repro.core.inliner import InlineReport
+    from repro.core.params import InlinerParams
+    from repro.core.trials import discover_children
+
+    program = shapes_program()
+    _, _, engine = _run(program, cache_enabled=True)
+    context = engine.compiler.context
+    method = program.lookup_method("Main", "run")
+    graph = context.build_callee_graph(method)
+    root = make_root(graph)
+    params = InlinerParams()
+    discover_children(root, context, params)
+    ExpansionPhase(params).run(root, context, InlineReport())
+
+    cache = PriorityCache(params)
+    nodes = list(root.subtree())
+    assert len(nodes) > 1
+    for node in nodes:
+        assert cache.ir_size(node) == node.ir_size()
+        assert cache.s_irn(node) == node.s_irn()
+        assert cache.priority(node) == priorities_mod.priority(node, params)
+        assert cache.intrinsic_priority(node) == (
+            priorities_mod.intrinsic_priority(node, params)
+        )
+    # A second read hits the memo and returns the same values.
+    for node in nodes:
+        assert cache.priority(node) == priorities_mod.priority(node, params)

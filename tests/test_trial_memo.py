@@ -1,0 +1,104 @@
+"""The inlining-trial memo: result-identical, wall-clock only.
+
+``JitConfig.enable_trial_memo`` caches expansion/retrial results within
+one compilation, keyed by (method, caller context, argument-stamp
+signature). Profiles are frozen for the duration of a synchronous
+compilation, so equal keys must produce bit-identical graphs — which
+makes the memo's one observable guarantee testable: the engine's cycle
+model, values and compilation outcomes never change when it is on.
+"""
+
+from repro.baselines import tuned_inliner
+from repro.core.trials import TrialMemo
+from repro.jit.config import JitConfig
+from repro.jit.engine import Engine
+from tests.helpers import shapes_program
+
+
+def _run(program, memo_on, iterations=8, hot_threshold=5):
+    engine = Engine(
+        program,
+        JitConfig(hot_threshold=hot_threshold, enable_trial_memo=memo_on),
+        inliner=tuned_inliner(0.1),
+        seed=0x5EED,
+    )
+    curve = []
+    value = None
+    for _ in range(iterations):
+        result = engine.run_iteration("Main", "run")
+        curve.append(result.total_cycles)
+        value = result.value
+    return value, curve, engine
+
+
+def test_cycle_model_identical_memo_on_off():
+    program = shapes_program()
+    value_off, curve_off, engine_off = _run(program, memo_on=False)
+    value_on, curve_on, engine_on = _run(program, memo_on=True)
+    assert value_on == value_off
+    assert curve_on == curve_off
+    assert engine_on.compilation_count == engine_off.compilation_count
+    assert (
+        engine_on.code_cache.total_size == engine_off.code_cache.total_size
+    )
+
+
+def test_memo_attached_only_when_enabled():
+    program = shapes_program()
+    _, _, engine_on = _run(program, memo_on=True, iterations=1)
+    assert isinstance(engine_on.compiler.context.trial_memo, TrialMemo)
+    _, _, engine_off = _run(program, memo_on=False, iterations=1)
+    assert engine_off.compiler.context.trial_memo is None
+
+
+def test_memo_hits_on_repetitive_workload():
+    # jython's call tree revisits the same (callee, stamp-signature)
+    # specializations; the memo must convert those into hits while the
+    # cycle model stays identical.
+    from repro.bench.suite import get_benchmark
+
+    program = get_benchmark("jython").load()
+    value_off, curve_off, _ = _run(
+        program, memo_on=False, iterations=4, hot_threshold=2
+    )
+    value_on, curve_on, engine = _run(
+        program, memo_on=True, iterations=4, hot_threshold=2
+    )
+    memo = engine.compiler.context.trial_memo
+    assert memo.hits > 0
+    assert value_on == value_off
+    assert curve_on == curve_off
+
+
+def test_reset_clears_tables_keeps_counters():
+    memo = TrialMemo(context_sensitive=False)
+    memo._expansions["k"] = object()
+    memo._retrials["k"] = object()
+    memo.hits = 3
+    memo.misses = 5
+    memo.reset()
+    assert not memo._expansions
+    assert not memo._retrials
+    assert not memo._lineage
+    assert memo.hits == 3
+    assert memo.misses == 5
+
+
+def test_memo_metrics_exported():
+    from repro.obs import Observability
+
+    program = shapes_program()
+    obs = Observability()
+    engine = Engine(
+        program,
+        JitConfig(hot_threshold=5, enable_trial_memo=True),
+        inliner=tuned_inliner(0.1),
+        seed=0x5EED,
+        obs=obs,
+    )
+    for _ in range(8):
+        engine.run_iteration("Main", "run")
+    memo = engine.compiler.context.trial_memo
+    snapshot = obs.metrics.snapshot()
+    assert snapshot["inline.trial_memo.hits"]["value"] == memo.hits
+    assert snapshot["inline.trial_memo.misses"]["value"] == memo.misses
