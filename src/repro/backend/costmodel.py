@@ -40,6 +40,12 @@ class CostModel:
     # Callee prologue charged at every compiled method entry.
     METHOD_ENTRY = 4
 
+    # Speculation: a guard is a predicted-not-taken test; the deopt
+    # transfer itself is priced at the interpreter's expense once the
+    # frames resume, so the terminator is free on the compiled side.
+    GUARD = 1
+    DEOPT = 0
+
     # Interpreter tier: cycles per executed bytecode.
     INTERPRETED_OP = 22
 
@@ -76,6 +82,10 @@ class CostModel:
             return self.CAST
         if t is n.InvokeNode:
             return self.call_cost(node.kind)
+        if t is n.GuardNode:
+            return self.GUARD
+        if t is n.DeoptNode:
+            return self.DEOPT
         if t is n.IfNode:
             return self.BRANCH
         if t is n.GotoNode:

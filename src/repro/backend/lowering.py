@@ -60,6 +60,7 @@ class _Lowering:
         self.fixups = []  # (instr index, operand slot, target block)
         self.stubs = []  # (stub label id, moves, target block)
         self.stub_offsets = {}
+        self.deopt_table = []  # FrameTemplate tuples, one per deopt point
 
     # -- registers ---------------------------------------------------------
 
@@ -84,7 +85,11 @@ class _Lowering:
         self._emit_stubs()
         self._patch_fixups()
         return m.MachineCode(
-            graph.method, self.instrs, self.next_reg + 1, self.cost.METHOD_ENTRY
+            graph.method,
+            self.instrs,
+            self.next_reg + 1,
+            self.cost.METHOD_ENTRY,
+            deopt_table=self.deopt_table,
         )
 
     def _emit(self, *instr):
@@ -126,6 +131,9 @@ class _Lowering:
                 self.fixups.append((index, 2, term.true_block))
             self._emit_moves(false_moves)
             self._emit_jump_to(term.false_block)
+        elif isinstance(term, n.DeoptNode):
+            index = self._deopt_entry(term.frames, term.state_values)
+            self._emit(m.M_DEOPT, index, term.reason)
         elif term is None:
             raise CompileError("block B%d has no terminator" % block.id)
         else:
@@ -218,12 +226,58 @@ class _Lowering:
             self._emit(m.M_MOV, self._reg(node), self._reg(node.inputs[0]))
         elif t is n.InvokeNode:
             self._emit_invoke(node)
+        elif t is n.GuardNode:
+            index = self._deopt_entry(node.frames, node.state_values)
+            self._emit(m.M_GUARD, self._reg(node.inputs[0]), index, node.reason)
         else:
             raise CompileError("cannot lower node %r" % (node,))
 
+    def _deopt_entry(self, frames, state_values):
+        """Build a deopt-table entry mapping frame state to registers.
+
+        The state values are grouped per frame, innermost first; each
+        frame consumes its defined locals then its operand stack (see
+        :class:`~repro.deopt.FrameDescriptor`).
+        """
+        from repro.deopt import FrameTemplate
+
+        def state_reg(value):
+            # A null state value is a local undefined along the
+            # executed path; register -1 materializes it as NULL.
+            return -1 if value is None else self._reg(value)
+
+        templates = []
+        cursor = 0
+        for frame in frames:
+            local_regs = []
+            for slot in frame.local_slots:
+                local_regs.append((slot, state_reg(state_values[cursor])))
+                cursor += 1
+            stack_regs = []
+            for _ in range(frame.n_stack):
+                stack_regs.append(state_reg(state_values[cursor]))
+                cursor += 1
+            templates.append(
+                FrameTemplate(
+                    frame.method,
+                    frame.bci,
+                    local_regs,
+                    stack_regs,
+                    frame.argc,
+                    frame.pushes_result,
+                )
+            )
+        if cursor != len(state_values):
+            raise CompileError(
+                "frame state mismatch: %d values for %d slots"
+                % (len(state_values), cursor)
+            )
+        self.deopt_table.append(tuple(templates))
+        return len(self.deopt_table) - 1
+
     def _emit_invoke(self, node):
         result = self._reg(node) if node.stamp.kind != st.Stamp.VOID else -1
-        arg_regs = tuple(self._reg(a) for a in node.inputs)
+        arg_regs = tuple(self._reg(a) for a in node.inputs[: node.n_args])
         if node.kind in ("static", "special", "direct"):
             if node.target is None:
                 raise CompileError("direct call without target: %r" % (node,))

@@ -8,6 +8,7 @@ price, so executing a block costs one extra Python dispatch, not one
 per instruction.
 """
 
+from repro.deopt import DeoptSignal, materialize_frames
 from repro.errors import (
     BoundsTrap,
     CastTrap,
@@ -60,6 +61,8 @@ M_ISEXACT = 37
 M_CAST = 38
 M_CALL = 39
 M_VCALL = 40
+M_GUARD = 41
+M_DEOPT = 42
 
 _NAMES = {
     value: name[2:]
@@ -78,16 +81,28 @@ class MachineCode:
         entry_cost: prologue cycles charged on entry.
         size: installed-code size (number of machine instructions) —
             the unit reported in the paper's Figure 10 / Table I.
+        deopt_table: per-deopt-point frame layouts — a tuple of
+            :class:`~repro.deopt.FrameTemplate` tuples, indexed by the
+            operand of ``GUARD``/``DEOPT`` instructions. Empty for
+            non-speculative code.
     """
 
-    __slots__ = ("method", "instrs", "num_regs", "entry_cost", "size")
+    __slots__ = (
+        "method",
+        "instrs",
+        "num_regs",
+        "entry_cost",
+        "size",
+        "deopt_table",
+    )
 
-    def __init__(self, method, instrs, num_regs, entry_cost):
+    def __init__(self, method, instrs, num_regs, entry_cost, deopt_table=()):
         self.method = method
         self.instrs = instrs
         self.num_regs = num_regs
         self.entry_cost = entry_cost
         self.size = len(instrs)
+        self.deopt_table = tuple(deopt_table)
 
     def listing(self):
         """Human-readable disassembly (for tests and debugging)."""
@@ -291,6 +306,29 @@ class MachineExecutor:
                 value = dispatch(target, call_args)
                 if instr[1] >= 0:
                     regs[instr[1]] = value
+            elif op == M_GUARD:
+                # instr: (op, condition_reg, deopt_table_index, reason)
+                if regs[instr[1]] == 0:
+                    self.cycle_sink.add_compiled_cycles(cycles)
+                    frames = materialize_frames(
+                        code.deopt_table[instr[2]], regs
+                    )
+                    raise DeoptSignal(
+                        code.method,
+                        instr[3],
+                        (frames[0].method.qualified_name, frames[0].bci),
+                        frames,
+                    )
+            elif op == M_DEOPT:
+                # instr: (op, deopt_table_index, reason)
+                self.cycle_sink.add_compiled_cycles(cycles)
+                frames = materialize_frames(code.deopt_table[instr[1]], regs)
+                raise DeoptSignal(
+                    code.method,
+                    instr[2],
+                    (frames[0].method.qualified_name, frames[0].bci),
+                    frames,
+                )
             else:
                 raise VMError("bad machine opcode %d" % op)
             pc += 1

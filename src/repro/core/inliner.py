@@ -39,6 +39,7 @@ class InlineReport:
         self.expansions = 0
         self.inline_count = 0
         self.typeswitch_count = 0
+        self.speculation_count = 0
         self.explored_nodes = 0
         self.inlined_methods = []
         self.final_root_size = 0

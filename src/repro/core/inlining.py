@@ -162,11 +162,15 @@ class InliningPhase:
         if not targets:
             node.kind = NodeKind.GENERIC
             return
+        speculate = self._should_speculate(node.invoke, targets, root, context)
         arms = emit_typeswitch(
-            root.graph, node.invoke, targets, context.program
+            root.graph, node.invoke, targets, context.program,
+            speculate=speculate,
         )
         node.kind = NodeKind.INLINED
         report.typeswitch_count += 1
+        if speculate:
+            report.speculation_count += 1
         if self.tracer is not None:
             self.tracer.typeswitch(node, [t[0] for t in targets])
         for child in node.children:
@@ -176,6 +180,37 @@ class InliningPhase:
                 continue
             child.invoke = arm
             self._inline_child(child, root, context, report, boundary)
+
+    def _should_speculate(self, invoke, targets, root, context):
+        """Decide whether this typeswitch may drop its virtual fallback.
+
+        Requires an explicitly speculative compilation (frame state was
+        captured at build time), a mono/bimorphic profile whose
+        coverage clears the confidence threshold, and a speculation log
+        with no record against this site — a previously refuted guess,
+        or a root method that blew its deopt budget, compiles with the
+        conservative fallback instead.
+        """
+        policy = getattr(context, "speculation", None)
+        if policy is None or not policy.enabled:
+            return False
+        if not invoke.frames or invoke.megamorphic:
+            return False
+        if len(targets) > policy.max_targets:
+            return False
+        coverage = sum(probability for _, probability, _ in targets)
+        if coverage < policy.min_coverage:
+            return False
+        log = policy.log
+        if log is not None:
+            if log.refuted(invoke.frames[0].site):
+                return False
+            root_method = root.graph.method
+            if root_method is not None and log.is_disabled(
+                root_method.qualified_name
+            ):
+                return False
+        return True
 
     def _inline_child(self, child, root, context, report, boundary):
         if child.check_deleted():

@@ -4,9 +4,22 @@ Following Hölzle and Ungar, a dispatched callsite with a usable
 receiver profile is replaced by an if-cascade of exact-type checks —
 one per speculated target, most probable first — each guarding a direct
 call to the resolved method (which the inlining phase may then replace
-with the method's body). The cascade ends in the original virtual call
-as a fallback, covering profile pollution and unseen types without
-deoptimization machinery.
+with the method's body). By default the cascade ends in the original
+virtual call as a fallback, covering profile pollution and unseen types
+without deoptimization machinery.
+
+In *speculative* mode (``speculate=True``, only legal when the invoke
+carries frame state from a speculative graph build) the fallback is
+replaced by deoptimization machinery instead:
+
+- a monomorphic profile emits no cascade at all — an exact-type
+  :class:`~repro.ir.nodes.GuardNode` followed by the direct call,
+  straight-line in the host block (the Figure 1 ideal: no virtual
+  fallback arm, no merge, no phi);
+- a polymorphic profile keeps the cascade but terminates the final
+  else-block with a :class:`~repro.ir.nodes.DeoptNode`, so the
+  megamorphic path contributes nothing to the merge and vanishes from
+  the compiled code.
 
 Branch probabilities on the cascade are derived from the profile
 (conditional on the earlier tests having failed), so downstream
@@ -17,8 +30,66 @@ from repro.ir import nodes as n
 from repro.ir import stamps as st
 from repro.errors import IRError
 
+#: Speculation reasons recorded in deopt signals and the speculation log.
+REASON_MONOMORPHIC = "monomorphic-receiver"
+REASON_POLYMORPHIC = "polymorphic-receiver"
 
-def emit_typeswitch(graph, invoke, targets, program):
+
+def _refined_receiver(graph, receiver, type_name, program):
+    """A Pi refining *receiver* to exactly *type_name*."""
+    pi = graph.register(
+        n.PiNode(
+            receiver,
+            receiver.stamp.join(
+                st.ref_stamp(type_name, exact=True, non_null=True), program
+            ),
+        )
+    )
+    if pi.stamp.kind == st.Stamp.BOTTOM:
+        pi.stamp = st.ref_stamp(type_name, exact=True, non_null=True)
+    return pi
+
+
+def _emit_guarded_monomorphic(graph, invoke, target, program):
+    """Speculative monomorphic form: guard + direct call, no cascade."""
+    block = invoke.block
+    position = block.instrs.index(invoke)
+    receiver = invoke.inputs[0]
+    returns_value = invoke.stamp.kind != st.Stamp.VOID
+    type_name, probability, method = target
+    state = list(invoke.state_values)
+
+    check = graph.register(n.InstanceOfNode(receiver, type_name, exact=True))
+    guard = graph.register(
+        n.GuardNode(check, REASON_MONOMORPHIC, frames=invoke.frames, state=state)
+    )
+    pi = _refined_receiver(graph, receiver, type_name, program)
+    direct = graph.register(
+        n.InvokeNode(
+            "direct",
+            invoke.declared_class,
+            invoke.method_name,
+            [pi] + list(invoke.inputs[1 : invoke.n_args]),
+            invoke.stamp,
+            target=method,
+            bci=invoke.bci,
+        )
+    )
+    direct.frequency = invoke.frequency
+    direct.append_frame_state(state, invoke.frames)
+    for offset, node in enumerate((check, guard, pi, direct)):
+        block.insert(position + offset, node)
+    block.instrs.remove(invoke)
+    if returns_value:
+        graph.replace_uses(invoke, direct)
+    elif invoke.uses:
+        raise IRError("void invoke has uses")
+    invoke.clear_inputs()
+    invoke.block = None
+    return {type_name: direct}
+
+
+def emit_typeswitch(graph, invoke, targets, program, speculate=False):
     """Replace *invoke* with a typeswitch over *targets*.
 
     Args:
@@ -26,6 +97,8 @@ def emit_typeswitch(graph, invoke, targets, program):
         invoke: the dispatched :class:`~repro.ir.nodes.InvokeNode`.
         targets: list of ``(type_name, probability, method)``.
         program: for stamp refinement.
+        speculate: replace the virtual fallback with guard/deopt; the
+            invoke must carry frame state (see the module docstring).
 
     Returns:
         ``{type_name: direct InvokeNode}`` for the cascade's arms.
@@ -33,9 +106,14 @@ def emit_typeswitch(graph, invoke, targets, program):
     block = invoke.block
     if block is None or block not in graph.blocks:
         raise IRError("invoke is not in this graph")
+    if speculate and not invoke.frames:
+        raise IRError("cannot speculate without frame state on %r" % (invoke,))
+    if speculate and len(targets) == 1:
+        return _emit_guarded_monomorphic(graph, invoke, targets[0], program)
     position = block.instrs.index(invoke)
     receiver = invoke.inputs[0]
     returns_value = invoke.stamp.kind != st.Stamp.VOID
+    state = list(invoke.state_values)
 
     # Split the host block after the invoke.
     merge = graph.new_block()
@@ -62,8 +140,13 @@ def emit_typeswitch(graph, invoke, targets, program):
         arm.frequency = block.frequency * probability
         check = graph.register(n.InstanceOfNode(receiver, type_name, exact=True))
         current.append(check)
-        conditional = min(0.999, probability / remaining) if remaining > 0 else 0.5
-        remaining = max(1e-6, remaining - probability)
+        # Conditional on the earlier tests having failed. When rounding
+        # pushes the covered mass to (or above) 1.0 the residual is
+        # clamped to 0 and the test is treated as near-certain.
+        conditional = (
+            min(0.999, probability / remaining) if remaining > 1e-9 else 0.999
+        )
+        remaining = max(0.0, remaining - probability)
         next_block = graph.new_block()
         next_block.frequency = block.frequency * remaining
         terminator = graph.register(
@@ -73,18 +156,9 @@ def emit_typeswitch(graph, invoke, targets, program):
         arm.preds = [current]
         next_block.preds = [current]
         # Arm body: refine the receiver, call directly.
-        pi = graph.register(
-            n.PiNode(
-                receiver,
-                receiver.stamp.join(
-                    st.ref_stamp(type_name, exact=True, non_null=True), program
-                ),
-            )
-        )
-        if pi.stamp.kind == st.Stamp.BOTTOM:
-            pi.stamp = st.ref_stamp(type_name, exact=True, non_null=True)
+        pi = _refined_receiver(graph, receiver, type_name, program)
         arm.append(pi)
-        args = [pi] + list(invoke.inputs[1:])
+        args = [pi] + list(invoke.inputs[1 : invoke.n_args])
         direct = graph.register(
             n.InvokeNode(
                 "direct",
@@ -97,6 +171,8 @@ def emit_typeswitch(graph, invoke, targets, program):
             )
         )
         direct.frequency = invoke.frequency * probability
+        if invoke.frames:
+            direct.append_frame_state(state, invoke.frames)
         arm.append(direct)
         goto = graph.register(n.GotoNode(merge))
         arm.set_terminator(goto)
@@ -106,34 +182,60 @@ def emit_typeswitch(graph, invoke, targets, program):
         arm_invokes[type_name] = direct
         current = next_block
 
-    # Fallback: the original dispatched call.
-    fallback = graph.register(
-        n.InvokeNode(
-            invoke.kind,
-            invoke.declared_class,
-            invoke.method_name,
-            list(invoke.inputs),
-            invoke.stamp,
-            receiver_types=invoke.receiver_types,
-            megamorphic=invoke.megamorphic,
-            bci=invoke.bci,
+    if speculate:
+        # No fallback arm: every speculated check failed means the
+        # receiver profile was refuted — abandon compiled execution.
+        deopt = graph.register(
+            n.DeoptNode(REASON_POLYMORPHIC, frames=invoke.frames, state=state)
         )
-    )
-    fallback.frequency = invoke.frequency * remaining
-    current.append(fallback)
-    goto = graph.register(n.GotoNode(merge))
-    current.set_terminator(goto)
-    merge_preds.append(current)
-    if returns_value:
-        result_inputs.append(fallback)
+        current.set_terminator(deopt)
+    else:
+        # Fallback: the original dispatched call. Its profile metadata
+        # is normalized to the *uncovered* remainder — the cascade has
+        # already peeled the speculated types off, so inheriting the
+        # full snapshot (or a stale megamorphic bit when coverage is
+        # ~100%) would skew downstream size/benefit estimates.
+        covered = {type_name for type_name, _, _ in targets}
+        fallback_types = [
+            (type_name, probability)
+            for type_name, probability in invoke.receiver_types
+            if type_name not in covered
+        ]
+        fallback_megamorphic = invoke.megamorphic
+        if remaining <= 1e-9 and not fallback_types:
+            fallback_megamorphic = False
+        fallback = graph.register(
+            n.InvokeNode(
+                invoke.kind,
+                invoke.declared_class,
+                invoke.method_name,
+                list(invoke.args),
+                invoke.stamp,
+                receiver_types=fallback_types,
+                megamorphic=fallback_megamorphic,
+                bci=invoke.bci,
+            )
+        )
+        fallback.frequency = invoke.frequency * remaining
+        if invoke.frames:
+            fallback.append_frame_state(state, invoke.frames)
+        current.append(fallback)
+        goto = graph.register(n.GotoNode(merge))
+        current.set_terminator(goto)
+        merge_preds.append(current)
+        if returns_value:
+            result_inputs.append(fallback)
 
     merge.preds = merge_preds
     result = None
     if returns_value:
-        phi = graph.register(n.PhiNode(result_inputs, invoke.stamp))
-        merge.add_phi(phi)
-        phi.recompute_stamp(program)
-        result = phi
+        if len(result_inputs) == 1:
+            result = result_inputs[0]
+        else:
+            phi = graph.register(n.PhiNode(result_inputs, invoke.stamp))
+            merge.add_phi(phi)
+            phi.recompute_stamp(program)
+            result = phi
         graph.replace_uses(invoke, result)
     elif invoke.uses:
         raise IRError("void invoke has uses")

@@ -110,7 +110,7 @@ def argument_stamps(node, program):
     """Current argument stamps at the node's callsite, including the
     exact-receiver refinement for speculated polymorphic targets."""
     invoke = node.invoke
-    stamps = [arg.stamp for arg in invoke.inputs]
+    stamps = [arg.stamp for arg in invoke.args]
     if node.receiver_type is not None and stamps:
         refined = stamps[0].join(
             st.ref_stamp(node.receiver_type, exact=True, non_null=True), program

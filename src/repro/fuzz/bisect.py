@@ -5,8 +5,11 @@ Two sweeps, both cheap (each stage is one engine run):
 1. **Additive**: run the program under configurations of growing
    aggressiveness — machine lowering only, then the base canonicalize/
    GVN/DCE pipeline, then devirtualization, RWE and peeling one at a
-   time, then the failing configuration's inliner.  The first stage
-   that disagrees with the interpreter names the culprit.
+   time, then the failing configuration's inliner (speculation pinned
+   off), and finally the verbatim failing configuration — speculation
+   included.  The first stage that disagrees with the interpreter
+   names the culprit, so "speculation" is blamed only when the
+   guard/deopt machinery itself makes the difference.
 2. **Subtractive** (only if the additive sweep pins the inliner):
    with the inliner *on*, toggle each optimization pass off; if
    disabling one pass restores agreement, the bug is in that pass's
@@ -38,22 +41,27 @@ def _stage_config(devirt=False, rwe=False, peel=False, max_iterations=3):
     )
 
 
-#: The additive ladder: (label, config factory, uses failing inliner?).
+#: The additive ladder: (label, config factory, mode).  ``mode`` is
+#: ``None`` for a fixed no-inliner stage, ``"inliner"`` for the failing
+#: configuration with speculation pinned off, and ``"speculation"`` for
+#: the verbatim failing configuration — so "speculation" can only be
+#: named when speculative guard/deopt code is actually the difference.
 _STAGES = [
     (
         "lowering/machine",
         lambda: _stage_config(max_iterations=0),
-        False,
+        None,
     ),
-    ("canonicalize/gvn/dce", lambda: _stage_config(), False),
-    ("devirtualization", lambda: _stage_config(devirt=True), False),
-    ("rwe", lambda: _stage_config(devirt=True, rwe=True), False),
+    ("canonicalize/gvn/dce", lambda: _stage_config(), None),
+    ("devirtualization", lambda: _stage_config(devirt=True), None),
+    ("rwe", lambda: _stage_config(devirt=True, rwe=True), None),
     (
         "peeling",
         lambda: _stage_config(devirt=True, rwe=True, peel=True),
-        False,
+        None,
     ),
-    ("inliner", None, True),  # the failing config, inliner included
+    ("inliner", None, "inliner"),
+    ("speculation", None, "speculation"),
 ]
 
 #: Subtractive refinement: pass name -> kwargs that disable it.
@@ -124,11 +132,20 @@ def bisect_passes(
     stages = []
     culprit = None
     first_divergence = None
-    for label, factory, with_inliner in _STAGES:
-        if with_inliner:
-            config, inliner = ORACLE_CONFIGS[config_name]()
-        else:
+    for label, factory, mode in _STAGES:
+        if mode is None:
             config, inliner = factory(), None
+        else:
+            config, inliner = ORACLE_CONFIGS[config_name]()
+            if mode == "inliner":
+                # Hard-pin speculation off so this stage blames the
+                # inliner itself, never the guard/deopt machinery.
+                config.speculate = False
+            elif not config.speculation_enabled():
+                # Non-speculative config: this stage would duplicate
+                # the previous one; skip the redundant engine run.
+                stages.append((label, False))
+                continue
         record = _run_engine(
             program, entry, config, inliner, iterations, vm_seed
         )

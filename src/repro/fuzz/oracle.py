@@ -97,6 +97,15 @@ ORACLE_CONFIGS = {
         _cfg(interp_predecode=True),
         tuned_inliner(0.1),
     ),
+    # Speculative devirtualization with deoptimization: guard/deopt
+    # replaces well-predicted virtual fallbacks, and a failed guard
+    # must resume in the interpreter with identical observable
+    # behavior (values, output, traps).  REPRO_SPECULATE=off still
+    # pins this configuration non-speculative by design.
+    "jit-speculate": lambda: (
+        _cfg(speculate=True),
+        tuned_inliner(0.1),
+    ),
 }
 
 

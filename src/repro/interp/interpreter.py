@@ -83,7 +83,12 @@ class Interpreter:
         self._context_sensitive = self.profiles.context_sensitive
         self._profile_memo = {}
         self._predecode_tables = {}
+        # The store itself is part of the key: *replacing* the
+        # ProfileStore on a live interpreter (not just mutating it) must
+        # also invalidate, even when the new store's generation counter
+        # happens to match the old one.
         self._cache_generation = (
+            self.profiles,
             self.profiles.generation,
             self.program.generation,
         )
@@ -118,10 +123,15 @@ class Interpreter:
         if self._calls_counter is not None:
             self._calls_counter.inc()
         caller = self._current_method
-        generation = (self.profiles.generation, self.program.generation)
+        generation = (
+            self.profiles,
+            self.profiles.generation,
+            self.program.generation,
+        )
         if generation != self._cache_generation:
             self._profile_memo.clear()
             self._predecode_tables.clear()
+            self._context_sensitive = self.profiles.context_sensitive
             self._cache_generation = generation
         key = (method, caller) if self._context_sensitive else method
         profile = self._profile_memo.get(key)
@@ -141,15 +151,63 @@ class Interpreter:
             self._depth -= 1
             self._current_method = caller
 
-    def _run_predecoded(self, method, args, profile, key):
+    def resume(self, method, locals_, stack, pc):
+        """Resume a deoptimized frame of *method* at *pc*.
+
+        Called by :func:`repro.deopt.resume_frames` with locals and an
+        operand stack materialized from compiled registers. The frame
+        runs under full profiling — it counts as an invocation and
+        records branches/receivers, which is exactly the re-profiling
+        that lets the engine recompile without the refuted speculation.
+        """
+        if method.is_native or method.is_abstract:
+            raise VMError("cannot resume %s" % method.qualified_name)
+        if self._calls_counter is not None:
+            self._calls_counter.inc()
+        caller = self._current_method
+        generation = (
+            self.profiles,
+            self.profiles.generation,
+            self.program.generation,
+        )
+        if generation != self._cache_generation:
+            self._profile_memo.clear()
+            self._predecode_tables.clear()
+            self._context_sensitive = self.profiles.context_sensitive
+            self._cache_generation = generation
+        key = (method, caller) if self._context_sensitive else method
+        profile = self._profile_memo.get(key)
+        if profile is None:
+            profile = self.profiles.of(method, caller=caller)
+            self._profile_memo[key] = profile
+        profile.invocations += 1
+        self._depth += 1
+        if self._depth > self.max_depth:
+            self.max_depth = self._depth
+        self._current_method = method
+        try:
+            if self.predecode:
+                return self._run_predecoded(
+                    method, None, profile, key,
+                    locals_=locals_, stack=stack, pc=pc,
+                )
+            return self._run(
+                method, None, profile, locals_=locals_, stack=stack, pc=pc
+            )
+        finally:
+            self._depth -= 1
+            self._current_method = caller
+
+    def _run_predecoded(self, method, args, profile, key,
+                        locals_=None, stack=None, pc=0):
         """Drive one frame through the pre-decoded handler table."""
         table = self._predecode_tables.get(key)
         if table is None:
             table = predecode_method(method, profile, self)
             self._predecode_tables[key] = table
-        locals_ = args + [NULL] * (method.max_locals - len(args))
-        stack = []
-        pc = 0
+        if locals_ is None:
+            locals_ = args + [NULL] * (method.max_locals - len(args))
+            stack = []
         ops = 0
         # Like the classic loop, the frame's op count reaches
         # ``ops_executed`` only on a normal return — a propagating trap
@@ -162,13 +220,13 @@ class Interpreter:
             return stack.pop()
         return None
 
-    def _run(self, method, args, profile):
+    def _run(self, method, args, profile, locals_=None, stack=None, pc=0):
         code = method.code
-        locals_ = args + [NULL] * (method.max_locals - len(args))
-        stack = []
+        if locals_ is None:
+            locals_ = args + [NULL] * (method.max_locals - len(args))
+            stack = []
         program = self.program
         vm = self.vm
-        pc = 0
         ops = 0
         while True:
             instr = code[pc]

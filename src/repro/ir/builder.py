@@ -20,13 +20,14 @@ from repro.bytecode.opcodes import (
     COMPARE_REF_OPS,
     Op,
 )
+from repro.deopt import FrameDescriptor
 from repro.errors import IRError
 from repro.ir import nodes as n
 from repro.ir import stamps as st
 from repro.ir.graph import Graph
 
 
-def build_graph(method, program, profiles=None):
+def build_graph(method, program, profiles=None, speculate=False):
     """Build the SSA graph of *method*.
 
     Args:
@@ -35,10 +36,14 @@ def build_graph(method, program, profiles=None):
         profiles: optional :class:`~repro.interp.profiles.ProfileStore`;
             when given, branch probabilities and receiver profiles are
             attached to the graph.
+        speculate: capture interpreter frame state (locals, operand
+            stack, bci) on every invoke so a later speculative
+            typeswitch can deoptimize. Off by default — frame state
+            pins values live, so non-speculative compiles skip it.
     """
     if method.is_abstract or method.is_native:
         raise IRError("cannot build IR for %s" % method.qualified_name)
-    return _Builder(method, program, profiles).build()
+    return _Builder(method, program, profiles, speculate).build()
 
 
 class _BlockInfo:
@@ -56,10 +61,11 @@ class _BlockInfo:
 
 
 class _Builder:
-    def __init__(self, method, program, profiles):
+    def __init__(self, method, program, profiles, speculate=False):
         self.method = method
         self.program = program
         self.profile = profiles.maybe_of(method) if profiles else None
+        self.speculate = speculate
         self.graph = Graph(method)
         self.infos = {}
         self.order = []
@@ -331,7 +337,9 @@ class _Builder:
                 Op.INVOKEINTERFACE,
                 Op.INVOKESPECIAL,
             ):
-                stack_result = self._translate_invoke(instr, pc, stack, emit)
+                stack_result = self._translate_invoke(
+                    instr, pc, stack, locals_, emit
+                )
                 if stack_result is not None:
                     stack.append(stack_result)
             elif op == Op.IF:
@@ -370,12 +378,30 @@ class _Builder:
         for succ_pc in info.succ_pcs:
             edge_states[(info.start, succ_pc)] = (list(locals_), list(stack))
 
-    def _translate_invoke(self, instr, pc, stack, emit):
+    def _translate_invoke(self, instr, pc, stack, locals_, emit):
         program = self.program
         op = instr.op
         cname, mname = instr.args
         callee = program.lookup_method(cname, mname)
         argc = len(callee.param_types) + (0 if op == Op.INVOKESTATIC else 1)
+        frame_state = None
+        if self.speculate:
+            # Snapshot the frame *before* the arguments are popped: a
+            # deopt re-executes this invoke in the interpreter, which
+            # expects them back on the operand stack. Undefined locals
+            # (None) are omitted via local_slots rather than becoming
+            # null IR inputs.
+            local_slots = [i for i, v in enumerate(locals_) if v is not None]
+            values = [locals_[i] for i in local_slots] + list(stack)
+            descriptor = FrameDescriptor(
+                self.method,
+                pc,
+                local_slots,
+                len(stack),
+                argc,
+                callee.returns_value(),
+            )
+            frame_state = (values, [descriptor])
         args = stack[len(stack) - argc :] if argc else []
         del stack[len(stack) - argc :]
         return_stamp = st.stamp_for_declared_type(callee.return_type)
@@ -404,6 +430,8 @@ class _Builder:
             megamorphic=megamorphic,
             bci=pc,
         )
+        if frame_state is not None:
+            invoke.append_frame_state(*frame_state)
         emit(invoke)
         return invoke if callee.returns_value() else None
 

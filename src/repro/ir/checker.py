@@ -17,6 +17,15 @@ from repro.ir import nodes as n
 from repro.ir.dominators import compute_dominators, dominates
 
 
+def _frame_state_start(node):
+    """First input index holding frame state, or None for stateless nodes."""
+    if isinstance(node, n.InvokeNode):
+        return node.n_args
+    if isinstance(node, n.GuardNode):
+        return 1
+    return None
+
+
 def check_graph(graph, program=None):
     """Validate *graph*; raises :class:`~repro.errors.IRError` on failure."""
     reachable = set(graph.reverse_postorder())
@@ -128,9 +137,15 @@ def _check_dominance(graph, reachable):
                         % (input_node, pred.id, block.id)
                     )
         for node in block.instrs:
-            for input_node in node.inputs:
+            for index, input_node in enumerate(node.inputs):
                 if input_node is None:
-                    raise IRError("%r has a null input" % (node,))
+                    # Frame-state inputs may be null: a local undefined
+                    # along the executed path materializes as NULL at
+                    # deopt. Everywhere else a null input is a bug.
+                    start = _frame_state_start(node)
+                    if start is None or index < start:
+                        raise IRError("%r has a null input" % (node,))
+                    continue
                 if not defined_ok(input_node, node, block, False, None):
                     raise IRError(
                         "def %r does not dominate use %r" % (input_node, node)
@@ -138,6 +153,10 @@ def _check_dominance(graph, reachable):
         term = block.terminator
         if term is not None:
             for input_node in term.inputs:
+                if input_node is None:
+                    if not isinstance(term, n.DeoptNode):
+                        raise IRError("%r has a null input" % (term,))
+                    continue
                 if not defined_ok(input_node, term, block, False, None):
                     raise IRError(
                         "def %r does not dominate terminator use %r"

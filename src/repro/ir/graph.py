@@ -293,15 +293,22 @@ class Graph:
                     setattr(new, name, getattr(node, name))
                 if cls is n.InvokeNode:
                     new.receiver_types = list(node.receiver_types)
+                    new.frames = list(node.frames)
+                elif cls is n.GuardNode:
+                    new.frames = list(node.frames)
                 try:
-                    inputs = [node_map[x] for x in node.inputs]
+                    inputs = [
+                        node_map[x] if x is not None else None
+                        for x in node.inputs
+                    ]
                 except KeyError:
                     new.inputs = []
                     deferred.append((node, new))
                 else:
                     new.inputs = inputs
                     for x in inputs:
-                        x.uses.add(new)
+                        if x is not None:
+                            x.uses.add(new)
                 new_block.instrs.append(new)
                 node_map[node] = new
             term = block.terminator
@@ -319,25 +326,35 @@ class Graph:
                     new.probability = term.probability
                 elif cls is n.GotoNode:
                     new.target = block_map[term.target]
+                elif cls is n.DeoptNode:
+                    new.reason = term.reason
+                    new.frames = list(term.frames)
                 elif cls is not n.ReturnNode:
                     raise IRError("cannot copy terminator %r" % (term,))
                 try:
-                    inputs = [node_map[x] for x in term.inputs]
+                    inputs = [
+                        node_map[x] if x is not None else None
+                        for x in term.inputs
+                    ]
                 except KeyError:
                     new.inputs = []
                     deferred.append((term, new))
                 else:
                     new.inputs = inputs
                     for x in inputs:
-                        x.uses.add(new)
+                        if x is not None:
+                            x.uses.add(new)
                 new_block.terminator = new
                 node_map[term] = new
         # Second pass: phi inputs, forward-referencing inputs, preds.
         for node, new in deferred:
-            inputs = [node_map[x] for x in node.inputs]
+            inputs = [
+                node_map[x] if x is not None else None for x in node.inputs
+            ]
             new.inputs = inputs
             for x in inputs:
-                x.uses.add(new)
+                if x is not None:
+                    x.uses.add(new)
         for block in self.blocks:
             new_block = block_map[block]
             for phi, new_phi in zip(block.phis, new_block.phis):
@@ -452,7 +469,24 @@ class Graph:
 
         callee_entry = entry_map[callee_graph.entry]
 
-        # Wire arguments into parameters.
+        # Thread the caller's frame state through the spliced body: any
+        # state-carrying node from the callee (guards, deopts, invokes
+        # captured for later speculation) gains the caller invoke's
+        # frames as *outer* frames, so a deopt inside inlined code can
+        # rebuild the whole virtual call stack. The caller state values
+        # dominate `block` and therefore every imported block.
+        outer_frames = list(invoke.frames)
+        if outer_frames:
+            outer_state = list(invoke.state_values)
+            for callee_block in callee_graph.blocks:
+                for node in entry_map[callee_block].all_nodes():
+                    if isinstance(node, (n.GuardNode, n.DeoptNode)) or (
+                        isinstance(node, n.InvokeNode) and node.frames
+                    ):
+                        node.append_frame_state(outer_state, outer_frames)
+
+        # Wire arguments into parameters (frame-state inputs, if any,
+        # sit after the arguments; zip truncates at the param count).
         for param, arg in zip(callee_graph.params, invoke.inputs):
             self.replace_uses(param, arg)
 
@@ -544,7 +578,9 @@ _FAST_COPY_SLOTS = {
         "megamorphic",
         "bci",
         "frequency",
+        "n_args",
     ),
+    n.GuardNode: ("reason",),
 }
 
 
@@ -595,7 +631,10 @@ def _copy_node(node, node_map, clone):
             node.kind,
             node.declared_class,
             node.method_name,
-            [node_map[arg] for arg in node.inputs],
+            [
+                node_map[arg] if arg is not None else None
+                for arg in node.inputs
+            ],
             node.stamp,
             target=node.target,
             receiver_types=node.receiver_types,
@@ -603,6 +642,18 @@ def _copy_node(node, node_map, clone):
             bci=node.bci,
         )
         copied.frequency = node.frequency
+        copied.n_args = node.n_args
+        copied.frames = list(node.frames)
+    elif t is n.GuardNode:
+        copied = n.GuardNode(
+            get(0),
+            node.reason,
+            frames=node.frames,
+            state=[
+                node_map[x] if x is not None else None
+                for x in node.inputs[1:]
+            ],
+        )
     else:
         raise IRError("cannot copy node %r" % (node,))
     copied.stamp = node.stamp
@@ -623,6 +674,15 @@ def _copy_terminator(node, node_map, block_map, clone):
     elif t is n.ReturnNode:
         value = node.value()
         copied = n.ReturnNode(node_map[value] if value is not None else None)
+    elif t is n.DeoptNode:
+        copied = n.DeoptNode(
+            node.reason,
+            frames=node.frames,
+            state=[
+                node_map[x] if x is not None else None
+                for x in node.inputs
+            ],
+        )
     else:
         raise IRError("cannot copy terminator %r" % (node,))
     return clone.register(copied)

@@ -442,6 +442,12 @@ class InvokeNode(Node):
             stable identity used by the call tree.
         frequency: relative execution frequency of the callsite within
             its method (filled by frequency annotation).
+        n_args: number of leading inputs that are call arguments; any
+            further inputs are captured frame state (speculative
+            compilation only — see ``append_frame_state``).
+        frames: :class:`~repro.deopt.FrameDescriptor` list describing
+            the state inputs, innermost frame first.  Empty unless the
+            graph was built for speculation.
     """
 
     __slots__ = (
@@ -453,6 +459,8 @@ class InvokeNode(Node):
         "megamorphic",
         "bci",
         "frequency",
+        "n_args",
+        "frames",
     )
 
     KINDS = ("static", "special", "virtual", "interface", "direct")
@@ -479,6 +487,32 @@ class InvokeNode(Node):
         self.megamorphic = megamorphic
         self.bci = bci
         self.frequency = 1.0
+        self.n_args = len(self.inputs)
+        self.frames = []
+
+    @property
+    def args(self):
+        """The call arguments (inputs minus any frame state)."""
+        return self.inputs[: self.n_args]
+
+    @property
+    def state_values(self):
+        """Captured frame-state inputs (empty without speculation)."""
+        return self.inputs[self.n_args :]
+
+    def append_frame_state(self, values, frames):
+        """Attach frame state as real SSA inputs after the arguments.
+
+        Keeping state values in ``inputs`` means ``replace_uses``,
+        graph copying and DCE liveness all see them for free; consumers
+        of the *arguments* must slice with ``n_args`` (or use
+        ``args``).
+        """
+        for value in values:
+            self.inputs.append(value)
+            if value is not None:  # undefined local on this path
+                value.uses.add(self)
+        self.frames = self.frames + list(frames)
 
     @property
     def is_dispatched(self):
@@ -499,6 +533,50 @@ class InvokeNode(Node):
     def brief(self):
         name = "%s.%s" % (self.declared_class, self.method_name)
         return "Invoke<%s>(%s)" % (self.kind, name)
+
+
+class GuardNode(Node):
+    """A speculation check: deoptimize unless the condition is true.
+
+    Input 0 is the condition; the remaining inputs are frame state
+    described by ``frames`` (same layout as on :class:`InvokeNode`).
+    Not pure — DCE must keep it — and a barrier for effect reordering:
+    moving a store across a guard would leak speculative state into the
+    interpreter frame rebuilt on failure.
+
+    Canonicalization deletes guards whose condition folds to a non-zero
+    constant; that is what lets a speculated typeswitch lose its
+    fallback arm entirely.
+    """
+
+    __slots__ = ("reason", "frames")
+
+    def __init__(self, condition, reason, frames=(), state=()):
+        super().__init__([condition] + list(state), st.void_stamp())
+        self.reason = reason
+        self.frames = list(frames)
+
+    def condition(self):
+        return self.inputs[0]
+
+    @property
+    def state_values(self):
+        return self.inputs[1:]
+
+    def append_frame_state(self, values, frames):
+        for value in values:
+            self.inputs.append(value)
+            if value is not None:  # undefined local on this path
+                value.uses.add(self)
+        self.frames = self.frames + list(frames)
+
+    @property
+    def site(self):
+        """(qualified name, bci) of the speculation being protected."""
+        return self.frames[0].site if self.frames else None
+
+    def brief(self):
+        return "Guard(%s)" % self.reason
 
 
 # ---------------------------------------------------------------------------
@@ -570,3 +648,40 @@ class ReturnNode(TerminatorNode):
 
     def brief(self):
         return "Return"
+
+
+class DeoptNode(TerminatorNode):
+    """Unconditional transfer to the interpreter; ends its block.
+
+    Emitted where a speculated typeswitch would otherwise fall back to
+    a virtual dispatch: reaching this point means every speculated
+    receiver check failed, so compiled execution abandons the frame.
+    All inputs are frame state described by ``frames`` (innermost
+    first); having no successors, a deopt block never feeds the merge,
+    which is how the megamorphic path disappears from the graph.
+    """
+
+    __slots__ = ("reason", "frames")
+
+    def __init__(self, reason, frames=(), state=()):
+        super().__init__(list(state), st.void_stamp())
+        self.reason = reason
+        self.frames = list(frames)
+
+    @property
+    def state_values(self):
+        return list(self.inputs)
+
+    def append_frame_state(self, values, frames):
+        for value in values:
+            self.inputs.append(value)
+            if value is not None:  # undefined local on this path
+                value.uses.add(self)
+        self.frames = self.frames + list(frames)
+
+    @property
+    def site(self):
+        return self.frames[0].site if self.frames else None
+
+    def brief(self):
+        return "Deopt(%s)" % self.reason

@@ -18,7 +18,13 @@ class CodeCache:
     def __init__(self, obs=None):
         self._code = {}
         self.total_size = 0
+        #: Total successful ``install`` calls (first installs *plus*
+        #: replacements — the historical meaning, kept for dashboards).
         self.install_count = 0
+        #: The subset of ``install_count`` that replaced existing code
+        #: (recompilations); ``install_count - reinstalls`` is the
+        #: number of distinct first installs.
+        self.reinstalls = 0
         obs = obs if obs is not None else NULL_OBS
         self._obs = obs
         if obs.enabled:
@@ -26,12 +32,14 @@ class CodeCache:
             self._hits = metrics.counter("codecache.hits")
             self._misses = metrics.counter("codecache.misses")
             self._installs = metrics.counter("codecache.installs")
+            self._reinstalls = metrics.counter("codecache.reinstalls")
             self._evictions = metrics.counter("codecache.evictions")
             self._bytes = metrics.gauge("codecache.installed_bytes")
         else:
             self._hits = None
             self._misses = None
             self._installs = None
+            self._reinstalls = None
             self._evictions = None
             self._bytes = None
 
@@ -45,9 +53,16 @@ class CodeCache:
         return method in self._code
 
     def install(self, method, code):
+        # On reinstall the previous code's size leaves the total before
+        # the new size enters, so ``total_size`` always equals the sum
+        # of currently installed code — the *delta* across a reinstall
+        # is legitimately negative when the recompile shrank the code.
         previous = self._code.get(method)
         if previous is not None:
             self.total_size -= previous.size
+            self.reinstalls += 1
+            if self._reinstalls is not None:
+                self._reinstalls.inc()
         self._code[method] = code
         self.total_size += code.size
         self.install_count += 1

@@ -37,6 +37,14 @@ class CompileContext:
         #: the JIT driver when ``JitConfig.enable_trial_memo`` is set
         #: and reset at the start of every compilation.
         self.trial_memo = None
+        #: Optional :class:`~repro.deopt.SpeculationPolicy`; when set
+        #: and enabled, graphs are built with frame-state capture and
+        #: the inliner may emit guard/deopt typeswitches.
+        self.speculation = None
+
+    @property
+    def speculate(self):
+        return self.speculation is not None and self.speculation.enabled
 
     def build_callee_graph(self, method, caller=None):
         """A fresh profiled graph for *method* (one per call-tree node,
@@ -55,7 +63,9 @@ class CompileContext:
             and getattr(profiles, "context_sensitive", False)
         ):
             profiles = profiles.view_for_caller(caller)
-        graph = build_graph(method, self.program, profiles)
+        graph = build_graph(
+            method, self.program, profiles, speculate=self.speculate
+        )
         annotate_frequencies(graph)
         return graph
 
@@ -85,7 +95,10 @@ class CompilationRecord:
 class JitCompiler:
     """Compiles single methods with a configurable inlining policy."""
 
-    def __init__(self, program, profiles, config, inliner=None, obs=None):
+    def __init__(
+        self, program, profiles, config, inliner=None, obs=None,
+        speculation_log=None,
+    ):
         self.program = program
         self.profiles = profiles
         self.config = config
@@ -96,6 +109,16 @@ class JitCompiler:
         )
         self.context = CompileContext(
             program, profiles, self.pipeline, config.cost_model
+        )
+        from repro.deopt import SpeculationLog, SpeculationPolicy
+
+        self.context.speculation = SpeculationPolicy(
+            enabled=config.speculation_enabled(),
+            min_coverage=config.speculation_min_coverage,
+            max_targets=config.speculation_max_targets,
+            log=speculation_log
+            if speculation_log is not None
+            else SpeculationLog(),
         )
         if config.enable_trial_memo:
             from repro.core.trials import TrialMemo
@@ -136,7 +159,12 @@ class JitCompiler:
             "compile", method=method.qualified_name, hotness=hotness
         ) as compile_span, timers.span("compile"):
             with events.span("build"), timers.span("compile.build"):
-                graph = build_graph(method, self.program, self.profiles)
+                graph = build_graph(
+                    method,
+                    self.program,
+                    self.profiles,
+                    speculate=self.context.speculate,
+                )
                 annotate_frequencies(graph)
             with events.span("optimize", stage="pre-inline"), \
                     timers.span("compile.optimize"):
@@ -195,6 +223,9 @@ class JitCompiler:
                     expansions=inline_report.expansions,
                     inlined=inline_report.inline_count,
                     typeswitches=inline_report.typeswitch_count,
+                    speculations=getattr(
+                        inline_report, "speculation_count", 0
+                    ),
                     explored_nodes=inline_report.explored_nodes,
                 )
                 metrics = obs.metrics
@@ -206,6 +237,9 @@ class JitCompiler:
                 )
                 metrics.counter("inline.typeswitches").inc(
                     inline_report.typeswitch_count
+                )
+                metrics.counter("inline.speculations").inc(
+                    getattr(inline_report, "speculation_count", 0)
                 )
                 metrics.counter("inline.explored_nodes").inc(
                     inline_report.explored_nodes

@@ -1,5 +1,7 @@
 """VM-level configuration."""
 
+import os
+
 from repro.backend.costmodel import CostModel
 from repro.backend.icache import ICacheModel
 from repro.opts.pipeline import OptimizerConfig
@@ -33,6 +35,21 @@ class JitConfig:
             the same callee are cloned instead of re-built and
             re-simplified. Deterministically result-identical; exposed
             as a flag so differential configs can pin it off.
+        speculate: speculative devirtualization with deoptimization.
+            ``True`` lets the inliner replace well-predicted virtual
+            fallbacks with guard/deopt (:mod:`repro.deopt`); ``False``
+            keeps the conservative typeswitch; ``None`` (default)
+            defers to the ``REPRO_SPECULATE`` environment knob.
+            ``REPRO_SPECULATE=off`` is a hard pin that overrides even
+            an explicit ``True``, so differential harnesses can force
+            the non-speculative configuration from the outside.
+        speculation_min_coverage: minimum receiver-profile coverage
+            (summed target probabilities) to drop the fallback.
+        speculation_max_targets: speculate only through mono/bimorphic
+            sites by default.
+        speculation_deopt_limit: deopts tolerated per compiled root
+            before the engine stops speculating in that method
+            entirely (bounds deopt/recompile churn).
     """
 
     def __init__(
@@ -46,6 +63,10 @@ class JitConfig:
         context_sensitive_profiles=False,
         interp_predecode=None,
         enable_trial_memo=True,
+        speculate=None,
+        speculation_min_coverage=0.95,
+        speculation_max_targets=2,
+        speculation_deopt_limit=3,
     ):
         self.hot_threshold = hot_threshold
         self.compile_enabled = compile_enabled
@@ -56,3 +77,21 @@ class JitConfig:
         self.context_sensitive_profiles = context_sensitive_profiles
         self.interp_predecode = interp_predecode
         self.enable_trial_memo = enable_trial_memo
+        self.speculate = speculate
+        self.speculation_min_coverage = speculation_min_coverage
+        self.speculation_max_targets = speculation_max_targets
+        self.speculation_deopt_limit = speculation_deopt_limit
+
+    def speculation_enabled(self):
+        """Resolve the speculate knob against ``REPRO_SPECULATE``.
+
+        ``off`` pins speculation off regardless of the config; ``on``
+        (or ``1``/``true``) turns it on when the config leaves the
+        choice open (``speculate=None``).
+        """
+        env = os.environ.get("REPRO_SPECULATE", "").strip().lower()
+        if env == "off":
+            return False
+        if self.speculate is None:
+            return env in ("on", "1", "true")
+        return bool(self.speculate)

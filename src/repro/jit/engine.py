@@ -23,6 +23,7 @@ and leaves the cycle model bit-identical to an un-instrumented run.
 """
 
 from repro.backend.machine import MachineExecutor
+from repro.deopt import DeoptSignal, SpeculationLog, resume_frames
 from repro.errors import CompileError
 from repro.interp.interpreter import Interpreter
 from repro.interp.profiles import ProfileStore
@@ -95,16 +96,21 @@ class Engine:
             obs=self.obs, predecode=self.config.interp_predecode,
         )
         self.code_cache = CodeCache(obs=self.obs)
+        self.speculation_log = SpeculationLog()
         from repro.jit.compiler import JitCompiler
 
         self.compiler = JitCompiler(
-            program, self.profiles, self.config, inliner, obs=self.obs
+            program, self.profiles, self.config, inliner, obs=self.obs,
+            speculation_log=self.speculation_log,
         )
         self.executor = MachineExecutor(self.vm, self._dispatch, self)
         self.compiled_cycles = 0
         self.compile_cycles = 0
         self.icache_cycles = 0
         self.compilation_count = 0
+        self.deopt_count = 0
+        self.invalidation_count = 0
+        self._deopt_counts = {}  # method -> deopts taken in its code
         self._compile_failed = set()
         self._dispatch_depth = 0
         # Pre-bound instrument for the hot dispatch path; None when
@@ -136,8 +142,55 @@ class Engine:
                 self.icache_cycles += penalty
                 if self._icache_counter is not None:
                     self._icache_counter.inc(penalty)
-            return self.executor.execute(code, args)
+            try:
+                return self.executor.execute(code, args)
+            except DeoptSignal as signal:
+                # Caught at the deopting method's *own* dispatch
+                # boundary, so compiled callers further up the stack
+                # see an ordinary return value.
+                return self._handle_deopt(method, signal)
         return self.interpreter.execute(method, args)
+
+    def _handle_deopt(self, method, signal):
+        """A speculation guard failed inside *method*'s compiled code.
+
+        Record the refuted speculation, invalidate the code (the next
+        hot dispatch recompiles without it), and resume execution in
+        the profiling interpreter from the materialized frame state.
+        """
+        self.deopt_count += 1
+        count = self._deopt_counts.get(method, 0) + 1
+        self._deopt_counts[method] = count
+        self.speculation_log.record(signal.site, signal.reason)
+        if count >= self.config.speculation_deopt_limit:
+            # Too much deopt/recompile churn in this root: stop
+            # speculating in it entirely.
+            self.speculation_log.disable(method.qualified_name)
+        invalidated = self.code_cache.evict(method)
+        if invalidated:
+            self.invalidation_count += 1
+        obs = self.obs
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("deopt.taken").inc()
+            metrics.counter("deopt.reasons.%s" % signal.reason).inc()
+            if invalidated:
+                metrics.counter("jit.invalidations").inc()
+            obs.events.emit(
+                "deopt",
+                method=method.qualified_name,
+                reason=signal.reason,
+                site="%s@%d" % signal.site,
+            )
+            if invalidated:
+                obs.events.emit(
+                    "jit.invalidate",
+                    method=method.qualified_name,
+                    reason=signal.reason,
+                )
+        # Evicted *before* resuming: nested dispatches during the
+        # interpreted continuation must not re-enter the refuted code.
+        return resume_frames(self.interpreter, signal.frames)
 
     def _should_compile(self, method):
         config = self.config

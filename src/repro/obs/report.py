@@ -35,6 +35,8 @@ def build_report(records):
     inlined_methods = {}
     iterations = []
     failures = []
+    deopts = []  # {"method", "reason", "site"}
+    invalidations = []
 
     def enclosing_compile(sid):
         while sid is not None:
@@ -103,6 +105,16 @@ def build_report(records):
                     pending_hotness[attrs["method"]] = attrs.get("hotness")
             elif name == "jit.compile_failed":
                 failures.append(attrs.get("method"))
+            elif name == "deopt":
+                deopts.append(
+                    {
+                        "method": attrs.get("method"),
+                        "reason": attrs.get("reason"),
+                        "site": attrs.get("site"),
+                    }
+                )
+            elif name == "jit.invalidate":
+                invalidations.append(attrs.get("method"))
             elif name == "iteration":
                 iterations.append(attrs)
         elif rtype == "end":
@@ -133,6 +145,8 @@ def build_report(records):
         "top_inlined": top_inlined,
         "iterations": iterations,
         "failures": failures,
+        "deopts": deopts,
+        "invalidations": invalidations,
     }
 
 
@@ -265,6 +279,43 @@ def render_report(report, top=10, hottest=None, metrics_snapshot=None):
             (name, "%d" % hotness) for name, hotness in hot_rows[:top]
         ]
         lines.extend(_table(rows, ("method", "hotness"), align_left=(0,)))
+
+    deopts = report.get("deopts") or []
+    if deopts:
+        lines.append("")
+        lines.append("== deoptimizations (%d) ==" % len(deopts))
+        by_reason = {}
+        by_site = {}
+        for deopt in deopts:
+            reason = deopt.get("reason") or "?"
+            by_reason[reason] = by_reason.get(reason, 0) + 1
+            site = "%s [%s]" % (deopt.get("site") or "?",
+                                deopt.get("method") or "?")
+            by_site[site] = by_site.get(site, 0) + 1
+        lines.append(
+            "  by reason: "
+            + ", ".join(
+                "%s ×%d" % (reason, count)
+                for reason, count in sorted(by_reason.items())
+            )
+        )
+        rows = sorted(by_site.items(), key=lambda item: (-item[1], item[0]))
+        lines.extend(
+            _table(
+                [(site, count) for site, count in rows[:top]],
+                ("site [compiled root]", "deopts"),
+                align_left=(0,),
+            )
+        )
+        invalidations = report.get("invalidations") or []
+        if invalidations:
+            lines.append(
+                "  invalidations: %d (%s)"
+                % (
+                    len(invalidations),
+                    ", ".join(sorted(set(filter(None, invalidations)))),
+                )
+            )
 
     iterations = report["iterations"]
     if iterations:

@@ -191,8 +191,26 @@ class _Canonicalizer:
             self._visit_pi(node)
         elif t is n.InvokeNode:
             self._visit_invoke(node)
+        elif t is n.GuardNode:
+            self._visit_guard(node)
 
     # -- arithmetic ---------------------------------------------------------
+
+    def _visit_guard(self, node):
+        """Delete guards whose condition is provably true.
+
+        This is what finishes speculative devirtualization: once the
+        receiver's exact-type check folds to a constant 1 (e.g. the
+        receiver is a Pi already refined to the speculated type), the
+        guard — and with it the last trace of the virtual fallback —
+        disappears from the graph.
+        """
+        condition = node.inputs[0]
+        if condition.stamp.const is not None and condition.stamp.const != 0:
+            self.stats.branch_prunings += 1
+            node.clear_inputs()
+            node.block.instrs.remove(node)
+            node.block = None
 
     def _visit_binop(self, node):
         a, b = node.inputs
@@ -434,6 +452,13 @@ class _Canonicalizer:
         if bound.endswith("[]"):
             return None
         concrete = program.concrete_subclasses(bound)
+        if bound != node.declared_class:
+            # The stamp bound may be *wider* than the declared type
+            # (e.g. a phi of two implementors joins to Object); only
+            # classes that also satisfy the declared receiver type are
+            # possible at runtime — others need not resolve the method.
+            legal = set(program.concrete_subclasses(node.declared_class))
+            concrete = [c for c in concrete if c in legal]
         if not concrete:
             return None
         targets = {program.resolve_method(c, node.method_name) for c in concrete}

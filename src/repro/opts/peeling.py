@@ -240,6 +240,12 @@ def _copy_peel_terminator(graph, term, node_map, block_map, header):
         copied = n.ReturnNode(
             node_map.get(value, value) if value is not None else None
         )
+    elif isinstance(term, n.DeoptNode):
+        copied = n.DeoptNode(
+            term.reason,
+            frames=term.frames,
+            state=[node_map.get(x, x) for x in term.inputs],
+        )
     else:
         raise TypeError("unexpected terminator %r" % (term,))
     return graph.register(copied)

@@ -50,6 +50,10 @@ def _may_trap(node):
         n.ArrayLengthNode,
         n.NewArrayNode,
         n.CheckCastNode,
+        # A guard transfers to the interpreter on failure; eliminating a
+        # store across it would resume the rebuilt frame with stale heap
+        # state, so it is a barrier exactly like a trapping node.
+        n.GuardNode,
     )
 
 

@@ -1,0 +1,105 @@
+"""Composability of the environment pins.
+
+``REPRO_SPECULATE=off``, ``REPRO_PRIORITY_CACHE=off`` and
+``REPRO_GRAPH_COPY=reference`` each pin one engineering fast path back
+to its reference behaviour; all eight combinations must be
+bit-identical on a pinned workload (same values, same program output).
+The priority-cache and graph-copy pins are read at module import time,
+so every combination runs in a fresh subprocess.
+"""
+
+import itertools
+import json
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: (env var, pinned value) — bit i of a combination sets PINS[i].
+PINS = [
+    ("REPRO_SPECULATE", "off"),
+    ("REPRO_PRIORITY_CACHE", "off"),
+    ("REPRO_GRAPH_COPY", "reference"),
+]
+
+# The pinned workload: the receiver-flip driver from the deopt tests.
+# Ten monomorphic warmup iterations compile (and, unless pinned off,
+# speculate in) the driver, then alternating receivers refute the
+# guard — so the speculation pin changes real compiled-code paths, not
+# just flags.
+CHILD = r"""
+import json
+
+from repro.baselines import tuned_inliner
+from repro.jit.config import JitConfig
+from repro.jit.engine import Engine
+from tests.test_deopt import flip_program
+
+program = flip_program()
+engine = Engine(
+    program,
+    JitConfig(hot_threshold=4, speculate=True),
+    tuned_inliner(1.0),
+)
+values, cycles = [], []
+for i in range(16):
+    kind = i % 2 if i >= 10 else 0
+    result = engine.run_iteration("Main", "drive", [kind])
+    values.append(result.value)
+    cycles.append(result.total_cycles)
+print(json.dumps({
+    "values": values,
+    "cycles": cycles,
+    "output": list(engine.vm.output),
+    "deopts": engine.deopt_count,
+}))
+"""
+
+
+def _run_combo(bits):
+    env = dict(os.environ)
+    for (name, value), bit in zip(PINS, bits):
+        env.pop(name, None)
+        if bit:
+            env[name] = value
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD],
+        env=env,
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, "combo %r failed:\n%s" % (bits, proc.stderr)
+    return json.loads(proc.stdout)
+
+
+def test_env_pin_matrix_bit_identical():
+    results = {
+        bits: _run_combo(bits)
+        for bits in itertools.product((False, True), repeat=3)
+    }
+    baseline = results[(False, False, False)]
+
+    # Observables are bit-identical across all eight combinations.
+    for bits, result in results.items():
+        assert result["values"] == baseline["values"], bits
+        assert result["output"] == baseline["output"], bits
+
+    # The cycle model may legitimately differ between speculative and
+    # pinned-off runs (different compiled code), but the cache and
+    # copy pins are pure engineering knobs: within each speculation
+    # setting all four combinations agree exactly.
+    for spec_off in (False, True):
+        quartet = [
+            result["cycles"]
+            for bits, result in results.items()
+            if bits[0] == spec_off
+        ]
+        assert all(cycles == quartet[0] for cycles in quartet), spec_off
+
+    # Sanity: the speculation bit changed real behaviour — unpinned
+    # runs took a deopt on the receiver flip, pinned runs never did.
+    assert baseline["deopts"] == 1
+    assert results[(True, False, False)]["deopts"] == 0

@@ -327,8 +327,41 @@ def test_caches_invalidate_on_program_growth():
     interp.execute(method, [])
     # The table cache was rebuilt after the generation bump.
     assert interp._cache_generation == (
-        interp.profiles.generation, program.generation
+        interp.profiles, interp.profiles.generation, program.generation
     )
+
+
+def test_caches_invalidate_on_profile_store_swap():
+    # Replacing the ProfileStore object entirely (not just clearing it)
+    # is the regression case: the new store starts at the same
+    # generation number as the old one, so a generation-only check
+    # would keep stale predecode tables and memoized profile handles
+    # pointing at the orphaned store.  The cache key must include the
+    # store's identity.
+    program = shapes_program()
+    interp = Interpreter(VMState(program), predecode=True)
+    method = program.lookup_method("Main", "run")
+    interp.execute(method, [])
+    old_tables = dict(interp._predecode_tables)
+    assert old_tables
+
+    fresh = ProfileStore()
+    assert fresh.generation == interp.profiles.generation
+    interp.profiles = fresh
+    interp.execute(method, [])
+
+    # Tables were re-decoded (new objects, not the stale ones) and the
+    # cache key now names the new store.
+    assert interp._predecode_tables
+    for key, table in interp._predecode_tables.items():
+        assert old_tables.get(key) is not table
+    assert interp._cache_generation == (
+        fresh, fresh.generation, program.generation
+    )
+    # The run recorded into the *new* store, identically to a fresh run.
+    classic = Interpreter(VMState(program), predecode=False)
+    classic.execute(method, [])
+    assert _profile_dump(fresh) == _profile_dump(classic.profiles)
 
 
 def test_caches_invalidate_on_profile_clear():
