@@ -10,8 +10,13 @@ exactly the bookkeeping of Listing 3.
 """
 
 from repro.core.calltree import NodeKind
-from repro.core.priorities import local_benefit, make_priority_cache
+from repro.core.priorities import (
+    local_benefit,
+    make_priority_cache,
+    recursion_penalty,
+)
 from repro.core.thresholds import should_expand
+from repro.core.tracing import REASON_BUDGET, REASON_RECURSION, REASON_THRESHOLD
 from repro.core.trials import expand_node, normalize_node
 
 #: descend() outcomes.
@@ -143,12 +148,23 @@ class ExpansionPhase:
             node.expand_declined = True
             if self.tracer is not None:
                 self.tracer.declined(
-                    node, benefit, size, self._threshold_value(root_size)
+                    node,
+                    benefit,
+                    size,
+                    self._threshold_value(root_size),
+                    reason=self._decline_reason(node),
+                    priority=self._cache.priority(node),
+                    root_size=root_size,
                 )
             return DECLINED
         if self.tracer is not None:
             self.tracer.expanded(
-                node, benefit, size, self._threshold_value(root_size)
+                node,
+                benefit,
+                size,
+                self._threshold_value(root_size),
+                priority=self._cache.priority(node),
+                root_size=root_size,
             )
         expand_node(node, context, self.params, deep=self.deep_trials)
         self._cache.invalidate()
@@ -156,6 +172,15 @@ class ExpansionPhase:
         # New children may immediately be expandable.
         node.queue = [c for c in node.children if self._keep_on_queue(c)]
         return EXPANDED
+
+    def _decline_reason(self, node):
+        """Why the Eq. 8 gate (or the fixed budget) said no — recorded
+        verbatim in the decision provenance."""
+        if not self.adaptive:
+            return REASON_BUDGET
+        if recursion_penalty(node, self.params) > 0.0:
+            return REASON_RECURSION
+        return REASON_THRESHOLD
 
     def _expansion_allowed(self, node, root):
         root_size = self._cache.s_irn(root)

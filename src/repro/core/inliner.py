@@ -112,6 +112,12 @@ class IncrementalInliner:
         """Inline into *graph* (the compilation root); returns a report."""
         report = InlineReport()
         root = make_root(graph)
+        if self.tracer is not None:
+            self.tracer.begin_compilation(
+                graph.method.qualified_name
+                if graph.method is not None
+                else "<root>"
+            )
         from repro.core.trials import discover_children
 
         discover_children(root, context, self.params)

@@ -14,6 +14,7 @@ from repro.core.analysis import tuple_ratio
 from repro.core.calltree import NodeKind
 from repro.core.polymorphic import emit_typeswitch
 from repro.core.thresholds import should_inline
+from repro.core.tracing import REASON_BUDGET, REASON_THRESHOLD
 from repro.core.trials import (
     apply_argument_stamps,
     discover_children,
@@ -56,6 +57,13 @@ class InliningPhase:
             if best.check_deleted():
                 continue
             if root.graph.node_count() >= self.params.max_root_size:
+                if self.tracer is not None:
+                    self.tracer.rejected(
+                        best,
+                        tuple_ratio(best),
+                        float(self.params.max_root_size),
+                        reason=REASON_BUDGET,
+                    )
                 break
             if not self._can_inline(best, root):
                 if self.tracer is not None:
@@ -63,6 +71,9 @@ class InliningPhase:
                         best,
                         tuple_ratio(best),
                         self._threshold_value(best, root),
+                        reason=(
+                            REASON_THRESHOLD if self.adaptive else REASON_BUDGET
+                        ),
                     )
                 continue
             if self.tracer is not None:
@@ -162,7 +173,24 @@ class InliningPhase:
         if not targets:
             node.kind = NodeKind.GENERIC
             return
-        speculate = self._should_speculate(node.invoke, targets, root, context)
+        speculate, why = self._speculation_verdict(
+            node.invoke, targets, root, context
+        )
+        if self.tracer is not None:
+            invoke = node.invoke
+            site = (
+                "%s@%d" % invoke.frames[0].site
+                if getattr(invoke, "frames", None)
+                else None
+            )
+            self.tracer.speculation(
+                node,
+                speculate,
+                why,
+                sum(probability for _, probability, _ in targets),
+                [t[0] for t in targets],
+                site=site,
+            )
         arms = emit_typeswitch(
             root.graph, node.invoke, targets, context.program,
             speculate=speculate,
@@ -182,6 +210,10 @@ class InliningPhase:
             self._inline_child(child, root, context, report, boundary)
 
     def _should_speculate(self, invoke, targets, root, context):
+        """Boolean form of :meth:`_speculation_verdict`."""
+        return self._speculation_verdict(invoke, targets, root, context)[0]
+
+    def _speculation_verdict(self, invoke, targets, root, context):
         """Decide whether this typeswitch may drop its virtual fallback.
 
         Requires an explicitly speculative compilation (frame state was
@@ -190,27 +222,32 @@ class InliningPhase:
         with no record against this site — a previously refuted guess,
         or a root method that blew its deopt budget, compiles with the
         conservative fallback instead.
+
+        Returns ``(speculate, reason)``; the reason names the gate a
+        negative verdict failed (recorded in the decision provenance).
         """
         policy = getattr(context, "speculation", None)
         if policy is None or not policy.enabled:
-            return False
-        if not invoke.frames or invoke.megamorphic:
-            return False
+            return False, "speculation-disabled"
+        if not invoke.frames:
+            return False, "no-frame-state"
+        if invoke.megamorphic:
+            return False, "megamorphic"
         if len(targets) > policy.max_targets:
-            return False
+            return False, "too-many-targets"
         coverage = sum(probability for _, probability, _ in targets)
         if coverage < policy.min_coverage:
-            return False
+            return False, "low-coverage"
         log = policy.log
         if log is not None:
             if log.refuted(invoke.frames[0].site):
-                return False
+                return False, "refuted-site"
             root_method = root.graph.method
             if root_method is not None and log.is_disabled(
                 root_method.qualified_name
             ):
-                return False
-        return True
+                return False, "deopt-budget"
+        return True, "speculated"
 
     def _inline_child(self, child, root, context, report, boundary):
         if child.check_deleted():

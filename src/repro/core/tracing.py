@@ -4,10 +4,18 @@ Graal ships ``-Dgraal.TraceInlining`` precisely because inliners are
 impossible to debug blind; this is our equivalent. An
 :class:`InlineTracer` passed to
 :class:`~repro.core.inliner.IncrementalInliner` records every decision
-the algorithm makes — expansions with their Eq. 8 numbers, declines,
-cluster formation, Eq. 12 verdicts, typeswitch emissions, round
+the algorithm makes — expansions with their Eq. 8 numbers, declines
+with a structured *reason* (threshold, recursion depth, budget
+exhausted), cluster formation, Eq. 12 verdicts, typeswitch emissions,
+speculation verdicts with coverage and refutation history, round
 boundaries and the termination reason — as structured events that can
 be inspected programmatically or rendered as an indented log.
+
+Every per-callsite event also carries its *provenance*: the callsite's
+bytecode index, its caller path from the compilation root, and (when
+known) the root method itself, so a recorded stream can answer "why
+wasn't ``B.foo`` inlined into ``A.run``?" long after the compilation —
+the substrate of the flight recorder and ``repro.tools.explain``.
 """
 
 
@@ -25,41 +33,65 @@ class TraceEvent:
         return "<%s r%d %s>" % (self.kind, self.round_index, self.detail)
 
 
+#: Structured decline/reject reasons recorded with negative verdicts.
+REASON_THRESHOLD = "threshold"
+REASON_RECURSION = "recursion-depth"
+REASON_BUDGET = "budget-exhausted"
+REASON_REFUTED = "refuted-site"
+REASON_FALLBACK = "polymorphic-fallback"
+
+
 class InlineTracer:
     """Collects :class:`TraceEvent` objects during one inliner run."""
 
     def __init__(self):
         self.events = []
         self.round_index = 0
+        self.root = None
 
     # -- hooks called by the inliner -------------------------------------
+
+    def begin_compilation(self, root_name):
+        """A new compilation root; subsequent events carry it as
+        provenance."""
+        self.root = root_name
+        self._emit("begin", {"root": root_name})
 
     def begin_round(self, root_size):
         self.round_index += 1
         self._emit("round", {"root_size": root_size})
 
-    def expanded(self, node, benefit, size, threshold):
-        self._emit(
-            "expand",
-            {
-                "method": _name(node),
-                "benefit": benefit,
-                "size": size,
-                "threshold": threshold,
-                "frequency": node.frequency,
-            },
-        )
+    def expanded(self, node, benefit, size, threshold, priority=None,
+                 root_size=None):
+        detail = {
+            "method": _name(node),
+            "benefit": benefit,
+            "size": size,
+            "threshold": threshold,
+            "frequency": node.frequency,
+        }
+        if priority is not None:
+            detail["priority"] = priority
+        if root_size is not None:
+            detail["root_size"] = root_size
+        detail.update(_site(node))
+        self._emit("expand", detail)
 
-    def declined(self, node, benefit, size, threshold):
-        self._emit(
-            "decline",
-            {
-                "method": _name(node),
-                "benefit": benefit,
-                "size": size,
-                "threshold": threshold,
-            },
-        )
+    def declined(self, node, benefit, size, threshold, reason=REASON_THRESHOLD,
+                 priority=None, root_size=None):
+        detail = {
+            "method": _name(node),
+            "benefit": benefit,
+            "size": size,
+            "threshold": threshold,
+            "reason": reason,
+        }
+        if priority is not None:
+            detail["priority"] = priority
+        if root_size is not None:
+            detail["root_size"] = root_size
+        detail.update(_site(node))
+        self._emit("decline", detail)
 
     def cluster(self, node, members, ratio):
         self._emit(
@@ -68,19 +100,47 @@ class InlineTracer:
         )
 
     def inlined(self, node, ratio, threshold):
-        self._emit(
-            "inline",
-            {"method": _name(node), "ratio": ratio, "threshold": threshold},
-        )
+        detail = {"method": _name(node), "ratio": ratio, "threshold": threshold}
+        detail.update(_site(node))
+        self._emit("inline", detail)
 
-    def rejected(self, node, ratio, threshold):
-        self._emit(
-            "reject",
-            {"method": _name(node), "ratio": ratio, "threshold": threshold},
-        )
+    def rejected(self, node, ratio, threshold, reason=REASON_THRESHOLD):
+        detail = {
+            "method": _name(node),
+            "ratio": ratio,
+            "threshold": threshold,
+            "reason": reason,
+        }
+        detail.update(_site(node))
+        self._emit("reject", detail)
 
     def typeswitch(self, node, targets):
-        self._emit("typeswitch", {"callsite": _name(node), "targets": targets})
+        detail = {"callsite": _name(node), "targets": targets}
+        detail.update(_site(node))
+        self._emit("typeswitch", detail)
+
+    def speculation(self, node, speculate, reason, coverage, targets,
+                    site=None):
+        """The guard/fallback verdict at one polymorphic callsite.
+
+        ``speculate`` is the decision (guard emitted vs conservative
+        fallback kept); ``reason`` explains a False (low coverage,
+        refuted site, megamorphic, deopt-budget, ...); ``coverage`` is
+        the summed profile probability of the speculated targets;
+        ``site`` the ``Method.qualified_name@bci`` guard key that a
+        later ``deopt`` record links back to.
+        """
+        detail = {
+            "callsite": _name(node),
+            "speculate": bool(speculate),
+            "reason": reason,
+            "coverage": coverage,
+            "targets": targets,
+        }
+        if site is not None:
+            detail["site"] = site
+        detail.update(_site(node))
+        self._emit("speculation", detail)
 
     def terminated(self, reason, root_size):
         self._emit("terminate", {"reason": reason, "root_size": root_size})
@@ -108,8 +168,14 @@ class InlineTracer:
             elif event.kind == "decline":
                 d = event.detail
                 lines.append(
-                    "  decline %-30s B_L=%-8.2f |ir|=%-5d thr=%.3f"
-                    % (d["method"], d["benefit"], d["size"], d["threshold"])
+                    "  decline %-30s B_L=%-8.2f |ir|=%-5d thr=%.3f (%s)"
+                    % (
+                        d["method"],
+                        d["benefit"],
+                        d["size"],
+                        d["threshold"],
+                        d.get("reason", REASON_THRESHOLD),
+                    )
                 )
             elif event.kind == "cluster":
                 d = event.detail
@@ -126,14 +192,30 @@ class InlineTracer:
             elif event.kind == "reject":
                 d = event.detail
                 lines.append(
-                    "  keep    %-30s ratio=%-8.3f thr=%.3f"
-                    % (d["method"], d["ratio"], d["threshold"])
+                    "  keep    %-30s ratio=%-8.3f thr=%.3f (%s)"
+                    % (
+                        d["method"],
+                        d["ratio"],
+                        d["threshold"],
+                        d.get("reason", REASON_THRESHOLD),
+                    )
                 )
             elif event.kind == "typeswitch":
                 d = event.detail
                 lines.append(
                     "  typeswitch at %s over {%s}"
                     % (d["callsite"], ", ".join(d["targets"]))
+                )
+            elif event.kind == "speculation":
+                d = event.detail
+                lines.append(
+                    "  speculate at %s: %s (%s, coverage=%.2f)"
+                    % (
+                        d["callsite"],
+                        "guard" if d["speculate"] else "fallback",
+                        d["reason"],
+                        d["coverage"],
+                    )
                 )
             elif event.kind == "terminate":
                 d = event.detail
@@ -144,7 +226,11 @@ class InlineTracer:
         return "\n".join(lines)
 
     def _emit(self, kind, detail):
-        self.events.append(TraceEvent(kind, detail, self.round_index))
+        if self.root is not None:
+            detail.setdefault("root", self.root)
+        event = TraceEvent(kind, detail, self.round_index)
+        self.events.append(event)
+        return event
 
 
 def _name(node):
@@ -154,3 +240,17 @@ def _name(node):
     if invoke is not None:
         return "%s.%s" % (invoke.declared_class, invoke.method_name)
     return "<root>"
+
+
+def _site(node):
+    """Provenance of *node*'s callsite: bci plus the caller path from
+    the compilation root (root first, immediate caller last)."""
+    detail = {}
+    invoke = node.invoke
+    if invoke is not None and invoke.bci >= 0:
+        detail["bci"] = invoke.bci
+    ancestors = list(node.ancestors())
+    if ancestors:
+        detail["path"] = [_name(a) for a in reversed(ancestors)]
+        detail["depth"] = len(ancestors)
+    return detail

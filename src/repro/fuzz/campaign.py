@@ -124,6 +124,14 @@ def _slug(finding):
     )
 
 
+def _emit(obs, name, **attrs):
+    """Mirror one campaign event into the event log *and* the flight
+    ring, so a fuzz run leaves a bounded JSONL-dumpable recording."""
+    obs.events.emit(name, **attrs)
+    if obs.flight.enabled:
+        obs.flight.record(name, **attrs)
+
+
 def run_campaign(
     master_seed=0,
     runs=100,
@@ -154,15 +162,15 @@ def run_campaign(
             program, entry = case.build()
         except Exception as error:
             result.generator_errors += 1
-            obs.events.emit(
-                "fuzz.generator_error", seed=seed, error=repr(error)
+            _emit(
+                obs, "fuzz.generator_error", seed=seed, error=repr(error)
             )
             continue
         result.runs_executed += 1
         divergence = check_program(program, entry, names, iterations, vm_seed)
         if divergence is None:
-            obs.events.emit(
-                "fuzz.case", seed=seed, kind=case.kind, status="agree"
+            _emit(
+                obs, "fuzz.case", seed=seed, kind=case.kind, status="agree"
             )
             continue
         finding = _process_divergence(
@@ -171,15 +179,16 @@ def run_campaign(
         result.findings.append(finding)
         if corpus_dir is not None:
             finding.corpus_path = _write_corpus(corpus_dir, finding)
-        obs.events.emit("fuzz.divergence", **finding.as_dict())
+        _emit(obs, "fuzz.divergence", **finding.as_dict())
 
     result.elapsed = time.monotonic() - started
-    obs.events.emit("fuzz.campaign", **result.as_dict())
+    _emit(obs, "fuzz.campaign", **result.as_dict())
     return result
 
 
 def _process_divergence(case, divergence, names, iterations, vm_seed, shrink, obs):
-    obs.events.emit(
+    _emit(
+        obs,
         "fuzz.case",
         seed=case.seed,
         kind=case.kind,

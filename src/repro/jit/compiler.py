@@ -20,8 +20,8 @@ from repro.backend.lowering import lower_graph
 from repro.errors import CompileError
 from repro.ir.builder import build_graph
 from repro.ir.frequency import annotate_frequencies
-from repro.obs import NULL_OBS, SpanInlineTracer
-from repro.obs.tracebridge import emit_trace_event
+from repro.obs import NULL_OBS, ProvenanceTracer
+from repro.obs.provenance import emit_trace_event, record_trace_event
 from repro.opts.pipeline import OptimizationPipeline
 
 
@@ -138,7 +138,9 @@ class JitCompiler:
                 getattr(inliner, "tracer", None) is None
                 and hasattr(inliner, "attach_tracer")
             ):
-                inliner.attach_tracer(SpanInlineTracer(self.obs.events))
+                inliner.attach_tracer(
+                    ProvenanceTracer(self.obs.events, self.obs.flight)
+                )
 
     def compile(self, method):
         """Compile *method*; returns a :class:`CompilationRecord`."""
@@ -208,15 +210,18 @@ class JitCompiler:
         if (
             obs.enabled
             and tracer is not None
-            and not isinstance(tracer, SpanInlineTracer)
+            and not isinstance(tracer, ProvenanceTracer)
         ):
             drain_from = len(tracer.events)
         with obs.events.span("inline") as inline_span:
             inline_report = self.inliner.run(graph, self.context)
             annotate_frequencies(graph)
             if drain_from is not None:
+                flight = obs.flight
                 for event in tracer.events[drain_from:]:
                     emit_trace_event(obs.events, event)
+                    if flight.enabled:
+                        record_trace_event(flight, event)
             if obs.enabled and inline_report is not None:
                 inline_span.set(
                     rounds=inline_report.rounds,

@@ -50,6 +50,11 @@ class JitConfig:
         speculation_deopt_limit: deopts tolerated per compiled root
             before the engine stops speculating in that method
             entirely (bounds deopt/recompile churn).
+        flight_dump: path the engine dumps the flight-recorder ring to
+            (as JSONL) when a compilation fails or a trap escapes the
+            dispatch — the dump-on-crash hook. ``None`` defers to the
+            ``REPRO_FLIGHT_DUMP`` environment knob; no-op when the
+            engine's observability has no live flight recorder.
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class JitConfig:
         speculation_min_coverage=0.95,
         speculation_max_targets=2,
         speculation_deopt_limit=3,
+        flight_dump=None,
     ):
         self.hot_threshold = hot_threshold
         self.compile_enabled = compile_enabled
@@ -81,6 +87,13 @@ class JitConfig:
         self.speculation_min_coverage = speculation_min_coverage
         self.speculation_max_targets = speculation_max_targets
         self.speculation_deopt_limit = speculation_deopt_limit
+        self.flight_dump = flight_dump
+
+    def flight_dump_path(self):
+        """Resolve the dump-on-crash path against ``REPRO_FLIGHT_DUMP``."""
+        if self.flight_dump is not None:
+            return self.flight_dump
+        return os.environ.get("REPRO_FLIGHT_DUMP", "").strip() or None
 
     def speculation_enabled(self):
         """Resolve the speculate knob against ``REPRO_SPECULATE``.

@@ -24,7 +24,7 @@ and leaves the cycle model bit-identical to an un-instrumented run.
 
 from repro.backend.machine import MachineExecutor
 from repro.deopt import DeoptSignal, SpeculationLog, resume_frames
-from repro.errors import CompileError
+from repro.errors import CompileError, VMError
 from repro.interp.interpreter import Interpreter
 from repro.interp.profiles import ProfileStore
 from repro.jit.codecache import CodeCache
@@ -113,6 +113,9 @@ class Engine:
         self._deopt_counts = {}  # method -> deopts taken in its code
         self._compile_failed = set()
         self._dispatch_depth = 0
+        # Flight recorder: bounded provenance ring (inert on NULL_OBS).
+        self._flight = self.obs.flight
+        self._flight_dump_path = self.config.flight_dump_path()
         # Pre-bound instrument for the hot dispatch path; None when
         # observability is off so the fast path pays one None check.
         self._icache_counter = (
@@ -162,6 +165,18 @@ class Engine:
         count = self._deopt_counts.get(method, 0) + 1
         self._deopt_counts[method] = count
         self.speculation_log.record(signal.site, signal.reason)
+        if self._flight.enabled:
+            # Timeline entry linking back to the guard that fired: the
+            # ``site`` key matches the compile-time ``inline.speculation``
+            # record for the refuted guess.
+            self._flight.record(
+                "deopt",
+                method=method.qualified_name,
+                reason=signal.reason,
+                site="%s@%d" % signal.site,
+                count=count,
+                frames=len(signal.frames),
+            )
         if count >= self.config.speculation_deopt_limit:
             # Too much deopt/recompile churn in this root: stop
             # speculating in it entirely.
@@ -169,6 +184,12 @@ class Engine:
         invalidated = self.code_cache.evict(method)
         if invalidated:
             self.invalidation_count += 1
+            if self._flight.enabled:
+                self._flight.record(
+                    "jit.invalidate",
+                    method=method.qualified_name,
+                    reason=signal.reason,
+                )
         obs = self.obs
         if obs.enabled:
             metrics = obs.metrics
@@ -212,19 +233,41 @@ class Engine:
                 method=method.qualified_name,
                 hotness=self.profiles.hotness(method),
             )
+            if self._flight.enabled:
+                self._flight.record(
+                    "jit.trigger",
+                    method=method.qualified_name,
+                    hotness=self.profiles.hotness(method),
+                )
         try:
             record = self.compiler.compile(method)
-        except CompileError:
+        except CompileError as error:
             self._compile_failed.add(method)
             if obs.enabled:
                 obs.metrics.counter("jit.compile.failures").inc()
                 obs.events.emit(
                     "jit.compile_failed", method=method.qualified_name
                 )
+            if self._flight.enabled:
+                self._flight.record(
+                    "jit.compile_failed",
+                    method=method.qualified_name,
+                    error=repr(error),
+                )
+                self._dump_flight_on_crash("compile-error")
             return None
         self.code_cache.install(method, record.code)
         self.compile_cycles += record.compile_cycles
         self.compilation_count += 1
+        if self._flight.enabled:
+            self._flight.record(
+                "jit.install",
+                method=method.qualified_name,
+                code_size=record.code.size,
+                total_size=self.code_cache.total_size,
+                compile_cycles=record.compile_cycles,
+                nodes=record.graph_nodes,
+            )
         if obs.enabled:
             metrics = obs.metrics
             metrics.counter("jit.compile.count").inc()
@@ -241,11 +284,51 @@ class Engine:
         return record.code
 
     # ------------------------------------------------------------------
+    # Flight recorder
+    # ------------------------------------------------------------------
+
+    def dump_flight(self, path):
+        """Dump the flight-recorder ring to *path* as JSONL, on demand.
+
+        Raises :class:`ValueError` when the engine runs without a live
+        flight recorder (the ``NULL_OBS`` default).
+        """
+        self._flight.save(path)
+
+    def _dump_flight_on_crash(self, trigger):
+        """Dump the ring to the configured crash path, if any.
+
+        Best-effort: a failing dump never masks the original error.
+        """
+        path = self._flight_dump_path
+        if path is None or not self._flight.enabled:
+            return
+        self._flight.record("flight.dump", trigger=trigger, path=path)
+        try:
+            self._flight.save(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
 
     def call(self, class_name, method_name, args=()):
         method = self.program.lookup_method(class_name, method_name)
+        if self._flight.enabled:
+            try:
+                return self._dispatch(method, list(args))
+            except VMError as error:
+                # Dump-on-crash: a trap escaping the dispatch is the
+                # moment the recent compilation history matters most.
+                self._flight.record(
+                    "trap",
+                    method=method.qualified_name,
+                    error=type(error).__name__,
+                    detail=str(error),
+                )
+                self._dump_flight_on_crash("trap")
+                raise
         return self._dispatch(method, list(args))
 
     def run_iteration(self, class_name, method_name="run", args=()):

@@ -14,9 +14,15 @@ VM:
   nestable spans (``compile`` → ``build``/``inline``/``optimize``/
   ``lower``) and point events (per-pass node deltas, inlining
   decisions, tier transitions), streamable as JSONL.
-- :class:`SpanInlineTracer` (:mod:`repro.obs.tracebridge`): bridges the
+- :class:`FlightRecorder` (:mod:`repro.obs.flight`): a bounded
+  ring-buffer *flight recorder* holding the most recent provenance
+  records (inlining verdicts, speculation decisions, deopt timeline),
+  dumpable on crash or on demand as PR 1-schema JSONL.
+- :class:`ProvenanceTracer` (:mod:`repro.obs.provenance`): bridges the
   existing :class:`~repro.core.tracing.InlineTracer` into the event
-  stream so inlining decisions appear inline in the compilation spans.
+  stream *and* the flight recorder, so inlining decisions appear inline
+  in the compilation spans and survive in the bounded ring
+  (``SpanInlineTracer`` remains as a compatibility alias).
 - :func:`build_report` / :func:`render_report`
   (:mod:`repro.obs.report`): fold an event stream into the
   ``PrintCompilation``-style report printed by
@@ -40,6 +46,12 @@ Usage::
 """
 
 from repro.obs.events import NULL_EVENTS, EventLog, NullEventLog
+from repro.obs.flight import (
+    NULL_FLIGHT,
+    FlightRecorder,
+    NullFlightRecorder,
+    read_flight_jsonl,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -48,25 +60,31 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.provenance import ProvenanceTracer, SpanInlineTracer
 from repro.obs.report import build_report, render_report
 from repro.obs.timers import NULL_TIMERS, NullPhaseTimers, PhaseTimers
-from repro.obs.tracebridge import SpanInlineTracer
 
 
 class Observability:
-    """One metrics registry, one event log, one set of phase timers."""
+    """One metrics registry, one event log, one set of phase timers,
+    one flight recorder."""
 
-    __slots__ = ("metrics", "events", "timers")
+    __slots__ = ("metrics", "events", "timers", "flight")
 
     enabled = True
 
     def __init__(self, metrics=None, events=None, events_sink=None,
-                 timers=None):
+                 timers=None, flight=None, flight_capacity=4096):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = (
             events if events is not None else EventLog(sink=events_sink)
         )
         self.timers = timers if timers is not None else PhaseTimers()
+        self.flight = (
+            flight
+            if flight is not None
+            else FlightRecorder(capacity=flight_capacity, metrics=self.metrics)
+        )
 
 
 class _NullObservability:
@@ -78,6 +96,7 @@ class _NullObservability:
     metrics = NULL_METRICS
     events = NULL_EVENTS
     timers = NULL_TIMERS
+    flight = NULL_FLIGHT
 
 
 NULL_OBS = _NullObservability()
@@ -98,6 +117,11 @@ __all__ = [
     "PhaseTimers",
     "NullPhaseTimers",
     "NULL_TIMERS",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "read_flight_jsonl",
+    "ProvenanceTracer",
     "SpanInlineTracer",
     "build_report",
     "render_report",

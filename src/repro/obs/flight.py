@@ -1,0 +1,203 @@
+"""The compilation flight recorder: a bounded, always-cheap ring buffer.
+
+JFR and ``-XX:+PrintInlining`` exist because a JIT's decisions are only
+explainable *after the fact*: by the time a question is asked ("why
+wasn't ``B.foo`` inlined into ``A.run``?", "which guard fired before
+this deopt?") the compilation that answers it is long gone.  The
+:class:`FlightRecorder` keeps the last ``capacity`` provenance records
+— inlining verdicts with their Eq. 8 / Eq. 12 numbers, speculation
+decisions with coverage and refutation history, deopt timeline entries
+linking back to the guard that fired, tier transitions — in a fixed-size
+ring, so the recent history is always available at a bounded memory
+cost, no matter how long the VM has been running.
+
+Records are plain dicts ``{"seq", "kind", "ts", "attrs"}``; the ring
+evicts oldest-first.  :meth:`FlightRecorder.save` dumps the buffer as
+JSONL **compatible with the PR 1 event schema** (``type``/``name``/
+``span``/``ts``/``attrs``/``seq`` — the format ``EventLog.save``
+writes), so one loader (:func:`read_flight_jsonl`) replays either a
+flight dump or a full ``repro.tools.stats --events`` recording, and
+``repro.tools.explain`` answers provenance questions from both.
+
+Like every PR 1 hook the recorder is inert by default: the
+:data:`NULL_FLIGHT` singleton on :data:`~repro.obs.NULL_OBS` drops
+everything, and the deterministic cycle model is bit-identical with the
+recorder on or off (differential-tested).
+"""
+
+import json
+import time
+from collections import deque
+
+
+class FlightRecorder:
+    """A bounded ring buffer of provenance records.
+
+    Args:
+        capacity: maximum records retained; the oldest are evicted
+            first once the ring is full.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, ``flight.records`` / ``flight.evicted`` /
+            ``flight.dumps`` counters track the recorder's activity.
+    """
+
+    enabled = True
+
+    __slots__ = (
+        "capacity",
+        "_buffer",
+        "_seq",
+        "_t0",
+        "recorded",
+        "evicted",
+        "_rec_counter",
+        "_evict_counter",
+        "_dump_counter",
+    )
+
+    def __init__(self, capacity=4096, metrics=None):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._buffer = deque(maxlen=capacity)
+        self._seq = 0
+        self._t0 = time.perf_counter()
+        self.recorded = 0
+        self.evicted = 0
+        if metrics is not None and metrics.enabled:
+            self._rec_counter = metrics.counter("flight.records")
+            self._evict_counter = metrics.counter("flight.evicted")
+            self._dump_counter = metrics.counter("flight.dumps")
+        else:
+            self._rec_counter = None
+            self._evict_counter = None
+            self._dump_counter = None
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, kind, /, **attrs):
+        """Append one record; evicts the oldest when the ring is full.
+
+        ``kind`` is positional-only so records may carry a ``kind``
+        attribute of their own.
+        """
+        if len(self._buffer) == self.capacity:
+            self.evicted += 1
+            if self._evict_counter is not None:
+                self._evict_counter.inc()
+        self._buffer.append(
+            {
+                "seq": self._seq,
+                "kind": kind,
+                "ts": time.perf_counter() - self._t0,
+                "attrs": attrs,
+            }
+        )
+        self._seq += 1
+        self.recorded += 1
+        if self._rec_counter is not None:
+            self._rec_counter.inc()
+
+    # -- queries -----------------------------------------------------------
+
+    def records(self):
+        """The retained records, oldest first (a fresh list)."""
+        return list(self._buffer)
+
+    def of_kind(self, kind):
+        return [r for r in self._buffer if r["kind"] == kind]
+
+    def __len__(self):
+        return len(self._buffer)
+
+    def clear(self):
+        self._buffer.clear()
+
+    # -- persistence -------------------------------------------------------
+
+    def dump(self, handle):
+        """Write the buffer to *handle* as PR 1-schema JSONL events."""
+        for record in self._buffer:
+            handle.write(json.dumps(_as_event(record), default=str))
+            handle.write("\n")
+        if self._dump_counter is not None:
+            self._dump_counter.inc()
+
+    def save(self, path):
+        """Dump the buffer to *path* as JSONL (see :meth:`dump`)."""
+        with open(path, "w") as handle:
+            self.dump(handle)
+
+
+def _as_event(record):
+    """One ring record as a PR 1 event-schema dict."""
+    return {
+        "type": "event",
+        "name": record["kind"],
+        "span": None,
+        "ts": record["ts"],
+        "attrs": record["attrs"],
+        "seq": record["seq"],
+    }
+
+
+def read_flight_jsonl(path):
+    """Read a recording back as flight records, oldest first.
+
+    Accepts either a flight dump (:meth:`FlightRecorder.save`) or a
+    full event-log JSONL (``EventLog.save`` / ``stats --events``): span
+    begin/end records are skipped, point events become
+    ``{"seq", "kind", "ts", "attrs"}`` records.
+    """
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            if raw.get("type") not in (None, "event"):
+                continue  # span begin/end from a full event log
+            records.append(
+                {
+                    "seq": raw.get("seq", len(records)),
+                    "kind": raw.get("name", raw.get("kind")),
+                    "ts": raw.get("ts", 0.0),
+                    "attrs": raw.get("attrs") or {},
+                }
+            )
+    return records
+
+
+class NullFlightRecorder:
+    """The default, inert recorder: drops everything."""
+
+    __slots__ = ()
+    enabled = False
+    capacity = 0
+    recorded = 0
+    evicted = 0
+
+    def record(self, kind, /, **attrs):
+        pass
+
+    def records(self):
+        return []
+
+    def of_kind(self, kind):
+        return []
+
+    def __len__(self):
+        return 0
+
+    def clear(self):
+        pass
+
+    def dump(self, handle):
+        raise ValueError("cannot dump the null flight recorder")
+
+    def save(self, path):
+        raise ValueError("cannot save the null flight recorder")
+
+
+NULL_FLIGHT = NullFlightRecorder()

@@ -1,0 +1,71 @@
+"""Inlining-decision provenance: one tracer, one coherent stream.
+
+This module folds the old ``repro.obs.tracebridge`` shim into the
+flight-recorder path.  :class:`ProvenanceTracer` is a drop-in
+:class:`~repro.core.tracing.InlineTracer` that mirrors every decision
+the inliner makes, the moment it happens, into *both* halves of the
+observability layer:
+
+- the :class:`~repro.obs.events.EventLog`, as ``inline.<kind>`` point
+  events nested inside the enclosing ``compile``/``inline`` span
+  (exactly what the old ``SpanInlineTracer`` did), and
+- the :class:`~repro.obs.flight.FlightRecorder`, as bounded ring
+  records that survive after the event log would have grown unwieldy —
+  the store behind ``repro.tools.explain``.
+
+So ``repro.core.tracing`` and ``repro.obs`` emit **one** stream: the
+tracer's structured :class:`~repro.core.tracing.TraceEvent` details
+(method, callsite path and bci, Eq. 8 / Eq. 12 numbers, decline and
+speculation reasons, budget state) are the single source of truth, and
+every consumer — the stats CLI, the explain CLI, a saved JSONL
+recording — sees the same records.
+
+The compiler installs one automatically (via
+``IncrementalInliner.attach_tracer``) when observability is enabled and
+the policy has no tracer of its own; a user-supplied plain
+:class:`InlineTracer` keeps working and is drained into the stream
+after each inliner run instead (see :meth:`JitCompiler.compile`).
+"""
+
+from repro.core.tracing import InlineTracer
+from repro.obs.flight import NULL_FLIGHT
+
+
+def emit_trace_event(events, trace_event):
+    """Forward one :class:`TraceEvent` into *events* as ``inline.<kind>``."""
+    events.emit(
+        "inline." + trace_event.kind,
+        round=trace_event.round_index,
+        **trace_event.detail
+    )
+
+
+def record_trace_event(flight, trace_event):
+    """Forward one :class:`TraceEvent` into the flight ring."""
+    flight.record(
+        "inline." + trace_event.kind,
+        round=trace_event.round_index,
+        **trace_event.detail
+    )
+
+
+class ProvenanceTracer(InlineTracer):
+    """An :class:`InlineTracer` that mirrors every decision into the
+    event log and the flight recorder as it is made."""
+
+    def __init__(self, events, flight=NULL_FLIGHT):
+        InlineTracer.__init__(self)
+        self.event_log = events
+        self.flight = flight
+
+    def _emit(self, kind, detail):
+        event = InlineTracer._emit(self, kind, detail)
+        emit_trace_event(self.event_log, event)
+        if self.flight.enabled:
+            record_trace_event(self.flight, event)
+        return event
+
+
+#: Backwards-compatible name for the event-log-only PR 1 bridge; the
+#: class now also feeds the flight recorder when one is attached.
+SpanInlineTracer = ProvenanceTracer

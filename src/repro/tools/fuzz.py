@@ -68,6 +68,11 @@ def main(argv=None):
         help="write the campaign event stream to PATH as JSONL",
     )
     parser.add_argument(
+        "--flight-out", default=None, metavar="PATH",
+        help="write the flight-recorder ring (bounded recent campaign "
+             "history) to PATH as JSONL after the run",
+    )
+    parser.add_argument(
         "--iterations", type=int, default=DEFAULT_ITERATIONS,
         help="iterations per executor per program (default %d)"
         % DEFAULT_ITERATIONS,
@@ -91,6 +96,8 @@ def main(argv=None):
     )
     if args.report:
         obs.events.save(args.report)
+    if args.flight_out:
+        obs.flight.save(args.flight_out)
 
     print(
         "fuzz: seed=%d runs=%d/%d generator-errors=%d divergences=%d "

@@ -56,6 +56,12 @@ def main(argv=None):
              "breakdowns) to PATH as JSON",
     )
     parser.add_argument(
+        "--flight", metavar="PATH",
+        help="also dump the flight-recorder ring (bounded recent "
+             "provenance) to PATH as JSONL; replayable by "
+             "repro.tools.explain",
+    )
+    parser.add_argument(
         "--top", type=int, default=10,
         help="rows in the top-N sections (default 10)",
     )
@@ -134,6 +140,8 @@ def _run_live(args):
     finally:
         if sink is not None:
             sink.close()
+    if args.flight:
+        obs.flight.save(args.flight)
     if args.metrics:
         with open(args.metrics, "w") as handle:
             json.dump(

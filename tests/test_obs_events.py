@@ -3,7 +3,7 @@ and the inert null log."""
 
 from repro.obs import NULL_EVENTS, EventLog
 from repro.obs.report import build_report
-from repro.obs.tracebridge import SpanInlineTracer
+from repro.obs.provenance import SpanInlineTracer
 
 
 class TestSpans:

@@ -1,0 +1,221 @@
+"""The flight recorder: bounded eviction, JSONL round-trip, engine
+provenance, dump-on-crash — and, critically, bit-identical cycles with
+the recorder off (NULL_OBS) versus on."""
+
+import json
+
+import pytest
+
+from repro.errors import VMError
+from repro.jit import Engine, JitConfig
+from repro.lang import compile_source
+from repro.baselines import tuned_inliner
+from repro.obs import (
+    NULL_FLIGHT,
+    NULL_OBS,
+    FlightRecorder,
+    Observability,
+    read_flight_jsonl,
+)
+
+SOURCE = """
+object Main {
+  def helper(x: int): int { return x * 3 + 1; }
+  def crash(d: int): int { return 10 / d; }
+  def run(): int {
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < 50) { acc = acc + Main.helper(i); i = i + 1; }
+    return acc;
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SOURCE)
+
+
+def run_engine(program, iterations=8, obs=None):
+    engine = Engine(
+        program,
+        JitConfig(hot_threshold=20),
+        inliner=tuned_inliner(0.1),
+        obs=obs,
+    )
+    results = [engine.run_iteration("Main", "run") for _ in range(iterations)]
+    return engine, results
+
+
+class TestRing:
+    def test_records_in_order_with_monotonic_seq(self):
+        flight = FlightRecorder(capacity=10)
+        for i in range(5):
+            flight.record("k", i=i)
+        records = flight.records()
+        assert [r["attrs"]["i"] for r in records] == [0, 1, 2, 3, 4]
+        assert [r["seq"] for r in records] == [0, 1, 2, 3, 4]
+        assert all(r["kind"] == "k" for r in records)
+        assert len(flight) == 5
+
+    def test_eviction_drops_oldest_first(self):
+        flight = FlightRecorder(capacity=3)
+        for i in range(7):
+            flight.record("k", i=i)
+        records = flight.records()
+        # Only the newest `capacity` records survive, still in order,
+        # and seq keeps counting from the start of the run.
+        assert [r["attrs"]["i"] for r in records] == [4, 5, 6]
+        assert [r["seq"] for r in records] == [4, 5, 6]
+        assert len(flight) == 3
+        assert flight.recorded == 7
+        assert flight.evicted == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_of_kind_and_clear(self):
+        flight = FlightRecorder()
+        flight.record("a", x=1)
+        flight.record("b", x=2)
+        flight.record("a", x=3)
+        assert [r["attrs"]["x"] for r in flight.of_kind("a")] == [1, 3]
+        flight.clear()
+        assert len(flight) == 0
+
+    def test_metrics_meter_ring_traffic(self):
+        obs = Observability(flight_capacity=2)
+        obs.flight.record("k")
+        obs.flight.record("k")
+        obs.flight.record("k")
+        assert obs.metrics.value("flight.records") == 3
+        assert obs.metrics.value("flight.evicted") == 1
+
+
+class TestJsonlRoundTrip:
+    def test_save_and_read_back(self, tmp_path):
+        flight = FlightRecorder()
+        flight.record("deopt", method="A.b", reason="class-check")
+        flight.record("jit.install", method="A.b", nodes=7)
+        path = str(tmp_path / "flight.jsonl")
+        flight.save(path)
+        replayed = read_flight_jsonl(path)
+        assert [r["kind"] for r in replayed] == ["deopt", "jit.install"]
+        assert replayed[0]["attrs"]["reason"] == "class-check"
+        assert [r["seq"] for r in replayed] == [0, 1]
+
+    def test_dump_uses_event_log_record_shape(self, tmp_path):
+        flight = FlightRecorder()
+        flight.record("deopt", method="A.b")
+        path = str(tmp_path / "flight.jsonl")
+        flight.save(path)
+        with open(path) as handle:
+            line = json.loads(handle.readline())
+        assert line["type"] == "event"
+        assert line["name"] == "deopt"
+        assert line["span"] is None
+        assert line["attrs"] == {"method": "A.b"}
+
+    def test_reader_accepts_full_event_logs(self, tmp_path, program):
+        # A `stats --events`-style log contains span begin/end records;
+        # the flight reader must skip those and keep point events.
+        obs = Observability()
+        run_engine(program, obs=obs)
+        path = str(tmp_path / "events.jsonl")
+        obs.events.save(path)
+        records = read_flight_jsonl(path)
+        assert records, "expected point events in the log"
+        kinds = {r["kind"] for r in records}
+        assert "jit.install" in kinds
+        assert all("kind" in r and "attrs" in r for r in records)
+
+
+class TestEngineProvenance:
+    def test_compilations_are_recorded(self, program):
+        obs = Observability()
+        run_engine(program, obs=obs)
+        kinds = [r["kind"] for r in obs.flight.records()]
+        assert "jit.trigger" in kinds
+        assert "jit.install" in kinds
+        assert "inline.begin" in kinds
+        assert any(k.startswith("inline.") for k in kinds)
+
+    def test_decisions_carry_root_provenance(self, program):
+        obs = Observability()
+        run_engine(program, obs=obs)
+        expands = obs.flight.of_kind("inline.expand")
+        inlines = obs.flight.of_kind("inline.inline")
+        assert expands and inlines
+        for record in expands + inlines:
+            assert record["attrs"]["root"] is not None
+            assert "path" in record["attrs"]
+            assert "depth" in record["attrs"]
+
+    def test_dump_on_crash_writes_ring(self, tmp_path, program):
+        path = str(tmp_path / "crash.jsonl")
+        obs = Observability()
+        engine = Engine(
+            program,
+            JitConfig(hot_threshold=20, flight_dump=path),
+            inliner=tuned_inliner(0.1),
+            obs=obs,
+        )
+        engine.run_iteration("Main", "run")
+        with pytest.raises(VMError):
+            engine.call("Main", "crash", (0,))
+        records = read_flight_jsonl(path)
+        traps = [r for r in records if r["kind"] == "trap"]
+        assert traps
+        assert traps[-1]["attrs"]["method"] == "Main.crash"
+        assert traps[-1]["attrs"]["error"] == "DivisionByZeroTrap"
+        dumps = [r for r in records if r["kind"] == "flight.dump"]
+        assert dumps and dumps[-1]["attrs"]["trigger"] == "trap"
+
+    def test_dump_flight_on_demand(self, tmp_path, program):
+        obs = Observability()
+        engine, _ = run_engine(program, obs=obs)
+        path = str(tmp_path / "ring.jsonl")
+        engine.dump_flight(path)
+        assert read_flight_jsonl(path)
+        assert obs.metrics.value("flight.dumps") == 1
+
+
+class TestNullFlightIsInert:
+    def test_record_is_a_no_op(self):
+        NULL_FLIGHT.record("anything", x=1)
+        assert len(NULL_FLIGHT) == 0
+        assert NULL_FLIGHT.records() == []
+        assert NULL_FLIGHT.enabled is False
+
+    def test_null_obs_carries_null_flight(self):
+        assert NULL_OBS.flight is NULL_FLIGHT
+
+    def test_save_refuses(self, tmp_path):
+        with pytest.raises(ValueError):
+            NULL_FLIGHT.save(str(tmp_path / "nope.jsonl"))
+
+    def test_cycles_bit_identical_with_recorder_on_vs_off(self, program):
+        """The tentpole invariant: recording provenance must not
+        perturb the deterministic cycle model."""
+        _, plain = run_engine(program)                     # NULL_OBS
+        _, observed = run_engine(program, obs=Observability())
+        assert [r.total_cycles for r in plain] == [
+            r.total_cycles for r in observed
+        ]
+        assert [r.value for r in plain] == [r.value for r in observed]
+        assert [r.compilations for r in plain] == [
+            r.compilations for r in observed
+        ]
+
+    def test_cycles_identical_across_flight_capacities(self, program):
+        """Eviction pressure (tiny ring) must not change behaviour
+        either — the ring is telemetry, never model state."""
+        _, roomy = run_engine(program, obs=Observability())
+        _, tiny = run_engine(
+            program, obs=Observability(flight_capacity=4)
+        )
+        assert [r.total_cycles for r in roomy] == [
+            r.total_cycles for r in tiny
+        ]

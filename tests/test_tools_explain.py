@@ -1,0 +1,105 @@
+"""The explain CLI: golden tree rendering, live/replay parity, and the
+site-history answer to "why wasn't this inlined?"."""
+
+import os
+
+import pytest
+
+from repro.tools import explain
+
+EXAMPLE = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "figure1_foreach.minij"
+)
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def golden(name):
+    with open(os.path.join(GOLDEN_DIR, name)) as handle:
+        return handle.read()
+
+
+def run_cli(capsys, *argv):
+    code = explain.main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestGoldenRendering:
+    def test_tree_matches_golden(self, capsys):
+        """The full PrintInlining-style tree for the paper's Figure 1
+        program is stable — it is derived from the deterministic cost
+        model only (no wall-clock values are rendered)."""
+        code, out = run_cli(capsys, EXAMPLE, "--iterations", "30")
+        assert code == 0
+        assert out == golden("explain_figure1_tree.txt")
+
+    def test_site_history_matches_golden(self, capsys):
+        code, out = run_cli(
+            capsys, EXAMPLE, "--iterations", "30",
+            "--root", "Main.run", "--site", "Box.get",
+        )
+        assert code == 0
+        assert out == golden("explain_figure1_site.txt")
+
+
+class TestLiveReplayParity:
+    def test_saved_recording_replays_identically(self, tmp_path, capsys):
+        """--save then replay must print the same report: the flight
+        dump carries the full provenance, not a lossy summary."""
+        saved = str(tmp_path / "flight.jsonl")
+        _, live = run_cli(
+            capsys, EXAMPLE, "--iterations", "30", "--save", saved
+        )
+        _, replayed = run_cli(capsys, saved)
+        assert replayed == live
+
+    def test_site_query_from_recording(self, tmp_path, capsys):
+        saved = str(tmp_path / "flight.jsonl")
+        run_cli(capsys, EXAMPLE, "--iterations", "30", "--save", saved)
+        _, out = run_cli(
+            capsys, saved, "--root", "Main.run", "--site", "Box.get"
+        )
+        assert out == golden("explain_figure1_site.txt")
+
+
+class TestSiteAnswers:
+    def test_unknown_site_lists_recorded_roots(self, capsys):
+        _, out = run_cli(
+            capsys, EXAMPLE, "--iterations", "30", "--site", "No.such"
+        )
+        assert "no recorded decision" in out
+        assert "Main.run" in out  # the recorded roots are suggested
+
+    def test_inlined_site_shows_numbers_and_verdict(self, capsys):
+        _, out = run_cli(
+            capsys, EXAMPLE, "--iterations", "30",
+            "--root", "Main.run", "--site", "Main.log",
+        )
+        assert "Main.log" in out
+        assert "verdict: inlined" in out
+        assert "ratio=" in out and "thr=" in out
+
+    def test_suffix_matching(self, capsys):
+        _, full = run_cli(
+            capsys, EXAMPLE, "--iterations", "30", "--site", "Main.log"
+        )
+        _, suffix = run_cli(
+            capsys, EXAMPLE, "--iterations", "30", "--site", "log"
+        )
+        assert full == suffix
+        assert "Main.log" in suffix
+
+
+class TestNonTracingInliner:
+    def test_baseline_inliner_explains_the_gap(self, capsys):
+        code, out = run_cli(
+            capsys, EXAMPLE, "--iterations", "30", "--inliner", "c2"
+        )
+        assert code == 0
+        assert "no inlining provenance" in out
+        assert "--inliner incremental" in out
+
+
+class TestBadTarget:
+    def test_unknown_target_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            explain.main(["definitely-not-a-benchmark"])

@@ -1,0 +1,155 @@
+"""The perfdiff gate: identical results pass, regressed speedups fail,
+semantics divergence always fails, quick-matrix gaps are tolerated."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.tools import perfdiff
+from repro.tools.perfdiff import compare
+
+REFERENCE = {
+    "tool": "repro.tools.perf",
+    "quick": False,
+    "workloads": [
+        {
+            "baseline": {"name": "interp-classic", "seconds": 0.15},
+            "fast": {"name": "interp-predecode", "seconds": 0.06},
+            "clock": "wall",
+            "speedup": 2.4,
+            "reduction_percent": 58.2,
+            "semantics_identical": True,
+            "repeats": 5,
+            "iterations": 2,
+            "workload": "interpreter-bound",
+            "benchmark": "gauss-mix",
+        },
+        {
+            "baseline": {"name": "compile-classic", "seconds": 2.58},
+            "fast": {"name": "compile-fast", "seconds": 1.40},
+            "clock": "compile_phase",
+            "speedup": 1.84,
+            "reduction_percent": 45.7,
+            "semantics_identical": True,
+            "repeats": 3,
+            "iterations": 6,
+            "workload": "compile-bound",
+            "benchmark": "scaladoc",
+        },
+    ],
+}
+
+
+def variant(**overrides):
+    """A deep copy of REFERENCE with per-benchmark field overrides:
+    variant(scaladoc={"speedup": 0.9})."""
+    results = copy.deepcopy(REFERENCE)
+    for entry in results["workloads"]:
+        for key, value in overrides.get(entry["benchmark"], {}).items():
+            entry[key] = value
+    return results
+
+
+class TestCompare:
+    def test_identical_results_pass(self):
+        failures, lines = compare(REFERENCE, copy.deepcopy(REFERENCE))
+        assert failures == []
+        assert sum("ok" in line for line in lines) == 2
+
+    def test_regression_beyond_tolerance_fails(self):
+        new = variant(scaladoc={"speedup": 0.9})  # 1.84 -> 0.9: -51%
+        failures, _ = compare(REFERENCE, new)
+        assert len(failures) == 1
+        assert "scaladoc" in failures[0]
+        assert "0.900" in failures[0]
+
+    def test_drop_within_tolerance_passes(self):
+        new = variant(scaladoc={"speedup": 1.5})  # -18%, under 35%
+        failures, _ = compare(REFERENCE, new)
+        assert failures == []
+
+    def test_improvement_passes(self):
+        new = variant(**{"gauss-mix": {"speedup": 9.9}})
+        failures, lines = compare(REFERENCE, new)
+        assert failures == []
+        assert any("9.900" in line for line in lines)
+
+    def test_semantics_divergence_always_fails(self):
+        new = variant(scaladoc={"semantics_identical": False})
+        failures, _ = compare(REFERENCE, new)
+        assert len(failures) == 1
+        assert "semantics" in failures[0]
+
+    def test_below_absolute_floor_fails(self):
+        # Within the 35% relative tolerance of a modest reference but
+        # slower than its own baseline: the floor catches it.
+        base = variant(scaladoc={"speedup": 1.3})
+        new = variant(scaladoc={"speedup": 0.98})
+        failures, _ = compare(base, new, max_regression=0.35)
+        assert len(failures) == 1
+        assert "floor" in failures[0]
+
+    def test_missing_workload_skipped_by_default(self):
+        new = copy.deepcopy(REFERENCE)
+        new["workloads"] = [
+            w for w in new["workloads"] if w["benchmark"] != "scaladoc"
+        ]
+        failures, lines = compare(REFERENCE, new)
+        assert failures == []
+        assert any("skipped" in line for line in lines)
+
+    def test_missing_workload_fails_with_require_all(self):
+        new = copy.deepcopy(REFERENCE)
+        new["workloads"] = [
+            w for w in new["workloads"] if w["benchmark"] != "scaladoc"
+        ]
+        failures, _ = compare(REFERENCE, new, require_all=True)
+        assert len(failures) == 1
+        assert "missing" in failures[0]
+
+    def test_extra_workload_ignored(self):
+        new = copy.deepcopy(REFERENCE)
+        extra = copy.deepcopy(new["workloads"][0])
+        extra["benchmark"] = "brand-new"
+        new["workloads"].append(extra)
+        failures, lines = compare(REFERENCE, new)
+        assert failures == []
+        assert any("no reference" in line for line in lines)
+
+
+class TestCli:
+    def write(self, path, results):
+        with open(path, "w") as handle:
+            json.dump(results, handle)
+        return str(path)
+
+    def test_exit_zero_on_identical(self, tmp_path, capsys):
+        base = self.write(tmp_path / "base.json", REFERENCE)
+        new = self.write(tmp_path / "new.json", REFERENCE)
+        assert perfdiff.main([base, new]) == 0
+        assert "perfdiff: ok" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        base = self.write(tmp_path / "base.json", REFERENCE)
+        new = self.write(
+            tmp_path / "new.json", variant(scaladoc={"speedup": 0.5})
+        )
+        assert perfdiff.main([base, new]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_rejects_non_perf_files(self, tmp_path):
+        bogus = self.write(tmp_path / "bogus.json", {"something": "else"})
+        base = self.write(tmp_path / "base.json", REFERENCE)
+        with pytest.raises(SystemExit):
+            perfdiff.main([base, bogus])
+
+
+class TestCommittedReference:
+    def test_committed_bench_wall_passes_against_itself(self):
+        """The exact invocation CI's perf gate depends on."""
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_wall.json"
+        )
+        assert perfdiff.main([path, path]) == 0
