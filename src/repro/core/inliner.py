@@ -113,10 +113,11 @@ class IncrementalInliner:
         report = InlineReport()
         root = make_root(graph)
         if self.tracer is not None:
+            # graph.name defaults to the method's qualified name but
+            # diverges for OSR continuations ("Method@osr<bci>"), which
+            # keeps their provenance roots distinct in explain output.
             self.tracer.begin_compilation(
-                graph.method.qualified_name
-                if graph.method is not None
-                else "<root>"
+                graph.name if graph.method is not None else "<root>"
             )
         from repro.core.trials import discover_children
 

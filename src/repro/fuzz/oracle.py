@@ -106,6 +106,15 @@ ORACLE_CONFIGS = {
         _cfg(speculate=True),
         tuned_inliner(0.1),
     ),
+    # On-stack replacement at loop backedges: a tiny OSR threshold
+    # forces mid-method transfers into compiled continuations on every
+    # generated loop, and deopt out of OSR code must fall back through
+    # the same resume path. REPRO_OSR=off still pins this
+    # configuration OSR-free by design.
+    "osr": lambda: (
+        _cfg(osr=True, osr_threshold=6, speculate=True),
+        tuned_inliner(0.1),
+    ),
 }
 
 

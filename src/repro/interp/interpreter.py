@@ -24,7 +24,11 @@ import os
 
 from repro.bytecode.opcodes import Op
 from repro.bytecode import types as bt
-from repro.interp.predecode import RET_VALUE, predecode as predecode_method
+from repro.interp.predecode import (
+    OSR_MISS,
+    RET_VALUE,
+    predecode as predecode_method,
+)
 from repro.runtime.values import ArrayRef, ObjRef, NULL
 from repro.runtime.intrinsics import intrinsic_function
 
@@ -97,6 +101,15 @@ class Interpreter:
         self._calls_counter = None
         if obs is not None and obs.enabled:
             self._calls_counter = obs.metrics.counter("interp.calls")
+        # On-stack replacement: the engine installs ``osr_hook`` (called
+        # as ``osr_hook(method, bci, target, locals_, stack)`` right
+        # after a backedge whose counter reached ``osr_threshold`` is
+        # recorded). The hook either finishes the frame in compiled
+        # code — its return value becomes the method's result — or
+        # returns :data:`OSR_MISS` to keep interpreting. Both executor
+        # tiers consult the same two attributes.
+        self.osr_hook = None
+        self.osr_threshold = 0
 
     # ------------------------------------------------------------------
     # Entry points
@@ -301,12 +314,42 @@ class Interpreter:
                 if condition:
                     if target <= pc:
                         profile.record_backedge(pc)
+                        if (
+                            self.osr_hook is not None
+                            and profile.backedge_count(pc)
+                            >= self.osr_threshold
+                        ):
+                            # The condition is already popped, so the
+                            # operand stack is exactly the loop-header
+                            # entry stack.
+                            result = self.osr_hook(
+                                method, pc, target, locals_, stack
+                            )
+                            if result is not OSR_MISS:
+                                self.ops_executed += ops
+                                return (
+                                    result
+                                    if method.returns_value()
+                                    else None
+                                )
                     pc = target
                     continue
             elif op == Op.GOTO:
                 target = instr.target
                 if target <= pc:
                     profile.record_backedge(pc)
+                    if (
+                        self.osr_hook is not None
+                        and profile.backedge_count(pc) >= self.osr_threshold
+                    ):
+                        result = self.osr_hook(
+                            method, pc, target, locals_, stack
+                        )
+                        if result is not OSR_MISS:
+                            self.ops_executed += ops
+                            return (
+                                result if method.returns_value() else None
+                            )
                 pc = target
                 continue
             elif op == Op.RET:

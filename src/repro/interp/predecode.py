@@ -57,6 +57,12 @@ from repro.runtime.values import ArrayRef, NULL, ObjRef
 RET_VOID = -1
 RET_VALUE = -2
 
+#: Returned by an OSR hook to decline the transfer and keep
+#: interpreting (a compiled return value can legitimately be ``None``,
+#: so a unique sentinel object marks the miss). Shared by both
+#: interpreter tiers; re-exported from :mod:`repro.interp.interpreter`.
+OSR_MISS = object()
+
 
 def predecode(method, profile, interp):
     """Compile *method* into a handler table bound to *profile*.
@@ -290,14 +296,26 @@ def _decode_one(instr, pc, method, profile, program, vm, interp):
 
     # ---- control flow -------------------------------------------------
     if op == Op.IF:
-        return _make_if(instr, pc, next_pc, profile)
+        return _make_if(instr, pc, next_pc, profile, method, interp)
     if op == Op.GOTO:
         target = instr.target
         if target <= pc:
             record_backedge = profile.record_backedge
 
-            def h(stack, locals_, _t=target, _pc=pc, _rb=record_backedge):
+            def h(stack, locals_, _t=target, _pc=pc, _rb=record_backedge,
+                  _bc=profile.backedge_count, _i=interp, _m=method,
+                  _rv=method.returns_value(), _miss=OSR_MISS):
                 _rb(_pc)
+                # On-stack replacement: same trigger point as the
+                # classic tier — right after the backedge is recorded.
+                hook = _i.osr_hook
+                if hook is not None and _bc(_pc) >= _i.osr_threshold:
+                    result = hook(_m, _pc, _t, locals_, stack)
+                    if result is not _miss:
+                        if _rv:
+                            stack.append(result)
+                            return RET_VALUE
+                        return RET_VOID
                 return _t
 
             return h
@@ -575,7 +593,7 @@ def _deferred_link_error(message):
     return h
 
 
-def _make_if(instr, pc, next_pc, profile):
+def _make_if(instr, pc, next_pc, profile, method, interp):
     """An IF handler with a lazily-materialized branch-profile cell."""
     target = instr.target
     is_backedge = target <= pc
@@ -588,7 +606,9 @@ def _make_if(instr, pc, next_pc, profile):
         record_backedge = profile.record_backedge
 
         def h(stack, locals_, _cell=holder, _profile=profile, _pc=pc,
-              _rb=record_backedge, _t=target, _n=next_pc):
+              _rb=record_backedge, _t=target, _n=next_pc,
+              _bc=profile.backedge_count, _i=interp, _m=method,
+              _rv=method.returns_value(), _miss=OSR_MISS):
             condition = stack.pop() != 0
             if _cell:
                 _cell[0].record(condition)
@@ -598,6 +618,17 @@ def _make_if(instr, pc, next_pc, profile):
                 cell.record(condition)
             if condition:
                 _rb(_pc)
+                # On-stack replacement check, after the condition pop:
+                # the operand stack is exactly the loop-header entry
+                # stack, matching the classic tier's trigger point.
+                hook = _i.osr_hook
+                if hook is not None and _bc(_pc) >= _i.osr_threshold:
+                    result = hook(_m, _pc, _t, locals_, stack)
+                    if result is not _miss:
+                        if _rv:
+                            stack.append(result)
+                            return RET_VALUE
+                        return RET_VOID
                 return _t
             return _n
 

@@ -109,6 +109,10 @@ class MethodProfile:
     def record_backedge(self, index):
         self.backedges[index] = self.backedges.get(index, 0) + 1
 
+    def backedge_count(self, index):
+        """Taken-backedge count at one branch pc (the OSR trigger)."""
+        return self.backedges.get(index, 0)
+
     def record_callsite(self, index):
         self.callsites[index] = self.callsites.get(index, 0) + 1
 
@@ -120,6 +124,17 @@ class MethodProfile:
 
     def backedge_total(self):
         return sum(self.backedges.values())
+
+    def hotness(self):
+        """Scalar hotness: invocations plus a backedge contribution.
+
+        Mirrors HotSpot's combined invocation+backedge threshold so
+        that a method with one long-running loop still gets hot. The
+        single definition of the formula — :meth:`ProfileStore.hotness`
+        and :meth:`ProfileStore.hottest` both delegate here so the
+        dispatch trigger and the reporting path can never drift.
+        """
+        return self.invocations + self.backedge_total() // 8
 
     def callsite_frequency(self, index):
         """Executions of the callsite per invocation of the method.
@@ -197,20 +212,16 @@ class ProfileStore:
         self.generation += 1
 
     def hotness(self, method):
-        """Scalar hotness: invocations plus a backedge contribution.
-
-        Mirrors HotSpot's combined invocation+backedge threshold so that
-        a method with one long-running loop still gets hot.
-        """
+        """Scalar hotness of *method* (see :meth:`MethodProfile.hotness`)."""
         profile = self._methods.get(method.qualified_name)
         if profile is None:
             return 0
-        return profile.invocations + profile.backedge_total() // 8
+        return profile.hotness()
 
     def hottest(self, limit=10):
         """The *limit* hottest profiled methods as ``[(name, hotness)]``."""
         scores = [
-            (name, profile.invocations + profile.backedge_total() // 8)
+            (name, profile.hotness())
             for name, profile in self._methods.items()
         ]
         scores.sort(key=lambda item: (-item[1], item[0]))
@@ -251,6 +262,12 @@ class _FanoutProfile:
     def record_backedge(self, index):
         self.aggregate.record_backedge(index)
         self.context.record_backedge(index)
+
+    def backedge_count(self, index):
+        # The OSR trigger reads the aggregate counter: context profiles
+        # partition the same executions, so gating on the aggregate
+        # keeps the transfer point independent of the caller context.
+        return self.aggregate.backedge_count(index)
 
     def record_callsite(self, index):
         self.aggregate.record_callsite(index)

@@ -27,7 +27,8 @@ from repro.ir import stamps as st
 from repro.ir.graph import Graph
 
 
-def build_graph(method, program, profiles=None, speculate=False):
+def build_graph(method, program, profiles=None, speculate=False,
+                osr_bci=None, osr_stack_depth=0):
     """Build the SSA graph of *method*.
 
     Args:
@@ -40,10 +41,21 @@ def build_graph(method, program, profiles=None, speculate=False):
             stack, bci) on every invoke so a later speculative
             typeswitch can deoptimize. Off by default — frame state
             pins values live, so non-speculative compiles skip it.
+        osr_bci: build an *OSR continuation* graph instead of a whole
+            method: the graph's parameters become one slot per
+            interpreter local (``method.max_locals``) followed by
+            ``osr_stack_depth`` operand-stack slots, and the entry
+            block jumps straight to the loop header at this bytecode
+            index. Reachability is computed from the header, so code
+            only reachable from the method prologue is never built.
+        osr_stack_depth: operand-stack depth at the OSR entry (the
+            interpreter passes the live frame's depth at transfer).
     """
     if method.is_abstract or method.is_native:
         raise IRError("cannot build IR for %s" % method.qualified_name)
-    return _Builder(method, program, profiles, speculate).build()
+    return _Builder(
+        method, program, profiles, speculate, osr_bci, osr_stack_depth
+    ).build()
 
 
 class _BlockInfo:
@@ -61,11 +73,15 @@ class _BlockInfo:
 
 
 class _Builder:
-    def __init__(self, method, program, profiles, speculate=False):
+    def __init__(self, method, program, profiles, speculate=False,
+                 osr_bci=None, osr_stack_depth=0):
         self.method = method
         self.program = program
         self.profile = profiles.maybe_of(method) if profiles else None
         self.speculate = speculate
+        self.osr_bci = osr_bci
+        self.osr_stack_depth = osr_stack_depth
+        self.osr_entry_block = None
         self.graph = Graph(method)
         self.infos = {}
         self.order = []
@@ -145,7 +161,13 @@ class _Builder:
                     postorder.append(current)
                     stack.pop()
 
-        visit(0)
+        entry_pc = 0 if self.osr_bci is None else self.osr_bci
+        if entry_pc not in self.infos:
+            raise IRError(
+                "%s: OSR entry %d is not a block leader"
+                % (self.method.qualified_name, entry_pc)
+            )
+        visit(entry_pc)
         self.order = [self.infos[pc] for pc in reversed(postorder)]
         # Predecessor lists restricted to reachable blocks.
         reachable = {info.start for info in self.order}
@@ -159,7 +181,12 @@ class _Builder:
         from repro.bytecode.opcodes import stack_effect
 
         code = self.method.code
-        self.infos[0].entry_depth = 0
+        if self.osr_bci is None:
+            self.infos[0].entry_depth = 0
+        else:
+            # The interpreter hands over its live operand stack; the
+            # loop header is entered with exactly that depth.
+            self.infos[self.osr_bci].entry_depth = self.osr_stack_depth
         for info in self.order:
             depth = info.entry_depth
             if depth is None:
@@ -186,13 +213,34 @@ class _Builder:
                     )
 
     def _create_ir_blocks(self):
+        if self.osr_bci is not None:
+            # The synthetic OSR entry block is created first so it is
+            # ``graph.entry``: compiled OSR code starts by jumping to
+            # the loop header with the transferred frame as parameters.
+            self.osr_entry_block = self.graph.new_block()
         for info in self.order:
             info.block = self.graph.new_block()
         for info in self.order:
             info.block.preds = [p.block for p in info.preds]
+        if self.osr_bci is not None:
+            header = self.infos[self.osr_bci]
+            header.block.preds = [self.osr_entry_block] + header.block.preds
+            self.osr_entry_block.set_terminator(
+                self.graph.register(n.GotoNode(header.block))
+            )
 
     def _create_params(self):
         method = self.method
+        if self.osr_bci is not None:
+            # OSR state-mapping prologue: one parameter per interpreter
+            # local slot, then one per live operand-stack slot. Slots
+            # carry no declared types at a backedge, so every parameter
+            # gets the ANY stamp — the loop-header phis (and trivial-phi
+            # removal for untouched slots) recover precision where the
+            # loop itself pins a value.
+            for _ in range(method.max_locals + self.osr_stack_depth):
+                self.graph.add_param(st.ANY_STAMP)
+            return
         if not method.is_static:
             owner = method.klass.name if method.klass else bt.OBJECT
             self.graph.add_param(st.ref_stamp(owner, non_null=True))
@@ -206,6 +254,33 @@ class _Builder:
     def _entry_state(self, info, edge_states):
         """Entry (locals, stack) for a block; phis at joins."""
         num_locals = self.method.max_locals
+        if self.osr_bci is not None and info.start == self.osr_bci:
+            # OSR loop header: merge the transferred interpreter frame
+            # (the graph parameters, arriving over the synthetic entry
+            # edge at pred index 0) with the in-loop predecessors.
+            block = info.block
+            params = self.graph.params
+            locals_ = []
+            for slot in range(num_locals):
+                phi = self.graph.register(
+                    n.PhiNode(
+                        [params[slot]] + [None] * len(info.preds),
+                        st.BOTTOM_STAMP,
+                    )
+                )
+                block.add_phi(phi)
+                locals_.append(phi)
+            stack = []
+            for slot in range(info.entry_depth):
+                phi = self.graph.register(
+                    n.PhiNode(
+                        [params[num_locals + slot]] + [None] * len(info.preds),
+                        st.BOTTOM_STAMP,
+                    )
+                )
+                block.add_phi(phi)
+                stack.append(phi)
+            return locals_, stack
         if info.start == 0 and not info.preds:
             locals_ = list(self.graph.params)
             locals_ += [None] * (num_locals - len(locals_))
@@ -458,6 +533,14 @@ class _Builder:
             block = info.block
             if not block.phis:
                 continue
+            # At the OSR header, pred index 0 is the synthetic entry
+            # edge whose phi inputs (the parameters) were wired at
+            # creation; bytecode predecessors start at index 1.
+            offset = (
+                1
+                if self.osr_bci is not None and info.start == self.osr_bci
+                else 0
+            )
             for pred_index, pred in enumerate(info.preds):
                 state = edge_states.get((pred.start, info.start))
                 if state is None:
@@ -468,7 +551,7 @@ class _Builder:
                     raise IRError("phi/slot mismatch")
                 for phi_index, phi in enumerate(block.phis):
                     value = slots[phi_index] if phi_index < len(slots) else None
-                    phi.set_input(pred_index, value)
+                    phi.set_input(pred_index + offset, value)
 
     def _fix_phi_stamps(self):
         """Iterate meet over phi stamps until they stabilize."""

@@ -17,6 +17,10 @@ class CodeCache:
 
     def __init__(self, obs=None):
         self._code = {}
+        #: OSR continuations, keyed ``(method, backedge bci)`` — one
+        #: loop may be entered at several backedges and each gets its
+        #: own continuation code. Sizes count into ``total_size``.
+        self._osr_code = {}
         self.total_size = 0
         #: Total successful ``install`` calls (first installs *plus*
         #: replacements — the historical meaning, kept for dashboards).
@@ -80,6 +84,49 @@ class CodeCache:
             self._evictions.inc()
             self._bytes.set(self.total_size)
         return True
+
+    # ------------------------------------------------------------------
+    # OSR continuations
+    # ------------------------------------------------------------------
+
+    def get_osr(self, method, bci):
+        """Installed OSR continuation for ``(method, bci)``, or None.
+
+        Counts into the same hit/miss metrics as whole-method lookups —
+        a miss here is the trigger for an OSR compilation.
+        """
+        code = self._osr_code.get((method, bci))
+        if self._hits is not None:
+            (self._hits if code is not None else self._misses).inc()
+        return code
+
+    def install_osr(self, method, bci, code):
+        previous = self._osr_code.get((method, bci))
+        if previous is not None:
+            self.total_size -= previous.size
+            self.reinstalls += 1
+            if self._reinstalls is not None:
+                self._reinstalls.inc()
+        self._osr_code[(method, bci)] = code
+        self.total_size += code.size
+        self.install_count += 1
+        if self._installs is not None:
+            self._installs.inc()
+            self._bytes.set(self.total_size)
+
+    def evict_osr(self, method, bci):
+        """Drop one OSR continuation; returns True if it was present."""
+        code = self._osr_code.pop((method, bci), None)
+        if code is None:
+            return False
+        self.total_size -= code.size
+        if self._evictions is not None:
+            self._evictions.inc()
+            self._bytes.set(self.total_size)
+        return True
+
+    def osr_count(self):
+        return len(self._osr_code)
 
     def installed_methods(self):
         return list(self._code)

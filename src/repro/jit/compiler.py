@@ -144,6 +144,26 @@ class JitCompiler:
 
     def compile(self, method):
         """Compile *method*; returns a :class:`CompilationRecord`."""
+        return self._compile(method, None, None, 0)
+
+    def compile_osr(self, method, backedge_bci, target_bci, osr_stack_depth=0):
+        """Compile an OSR continuation of *method*.
+
+        The graph is entered at the loop header *target_bci* (the
+        target of the backedge at *backedge_bci* that triggered the
+        request) with the interpreter's locals and *osr_stack_depth*
+        operand-stack slots as parameters (see
+        :func:`~repro.ir.builder.build_graph`). The record's ``code``
+        expects exactly those ``max_locals + osr_stack_depth`` argument
+        values. The same inline/optimize/lower pipeline runs on the
+        continuation graph; the compilation is named
+        ``Method@osr<backedge bci>`` — matching the engine's cache key
+        — so provenance streams keep OSR roots distinct from
+        whole-method roots.
+        """
+        return self._compile(method, backedge_bci, target_bci, osr_stack_depth)
+
+    def _compile(self, method, osr_bci, osr_target, osr_stack_depth):
         if method.is_abstract or method.is_native:
             raise CompileError("cannot compile %s" % method.qualified_name)
         obs = self.obs
@@ -157,8 +177,13 @@ class JitCompiler:
         if obs.enabled and hasattr(self.profiles, "hotness"):
             hotness = self.profiles.hotness(method)
         timers = obs.timers
+        span_kwargs = {"method": method.qualified_name, "hotness": hotness}
+        if osr_bci is not None:
+            # Only OSR spans carry the attribute — whole-method compile
+            # records keep their PR 1 shape.
+            span_kwargs["osr_bci"] = osr_bci
         with events.span(
-            "compile", method=method.qualified_name, hotness=hotness
+            "compile", **span_kwargs
         ) as compile_span, timers.span("compile"):
             with events.span("build"), timers.span("compile.build"):
                 graph = build_graph(
@@ -166,7 +191,14 @@ class JitCompiler:
                     self.program,
                     self.profiles,
                     speculate=self.context.speculate,
+                    osr_bci=osr_target,
+                    osr_stack_depth=osr_stack_depth,
                 )
+                if osr_bci is not None:
+                    graph.name = "%s@osr%d" % (
+                        method.qualified_name,
+                        osr_bci,
+                    )
                 annotate_frequencies(graph)
             with events.span("optimize", stage="pre-inline"), \
                     timers.span("compile.optimize"):

@@ -50,6 +50,19 @@ class JitConfig:
         speculation_deopt_limit: deopts tolerated per compiled root
             before the engine stops speculating in that method
             entirely (bounds deopt/recompile churn).
+        osr: on-stack replacement at loop backedges. ``True`` lets the
+            interpreter transfer a running frame into compiled code
+            when a backedge counter crosses ``osr_threshold``;
+            ``False`` keeps frames in the interpreter until the next
+            dispatch; ``None`` (default) defers to the ``REPRO_OSR``
+            environment knob. ``REPRO_OSR=off`` is a hard pin that
+            overrides even an explicit ``True``, mirroring
+            ``REPRO_SPECULATE``.
+        osr_threshold: taken-backedge count at a single branch pc at
+            which the interpreter requests an OSR compilation for that
+            ``(method, backedge bci)`` pair. Independent of
+            ``hot_threshold``: OSR exists precisely for frames that
+            never reach another dispatch boundary.
         flight_dump: path the engine dumps the flight-recorder ring to
             (as JSONL) when a compilation fails or a trap escapes the
             dispatch — the dump-on-crash hook. ``None`` defers to the
@@ -72,6 +85,8 @@ class JitConfig:
         speculation_min_coverage=0.95,
         speculation_max_targets=2,
         speculation_deopt_limit=3,
+        osr=None,
+        osr_threshold=400,
         flight_dump=None,
     ):
         self.hot_threshold = hot_threshold
@@ -87,6 +102,8 @@ class JitConfig:
         self.speculation_min_coverage = speculation_min_coverage
         self.speculation_max_targets = speculation_max_targets
         self.speculation_deopt_limit = speculation_deopt_limit
+        self.osr = osr
+        self.osr_threshold = osr_threshold
         self.flight_dump = flight_dump
 
     def flight_dump_path(self):
@@ -108,3 +125,19 @@ class JitConfig:
         if self.speculate is None:
             return env in ("on", "1", "true")
         return bool(self.speculate)
+
+    def osr_enabled(self):
+        """Resolve the OSR knob against ``REPRO_OSR``.
+
+        Same contract as :meth:`speculation_enabled`: ``off`` pins OSR
+        off regardless of the config, ``on`` (or ``1``/``true``) turns
+        it on when the config leaves the choice open (``osr=None``).
+        """
+        if not self.compile_enabled:
+            return False
+        env = os.environ.get("REPRO_OSR", "").strip().lower()
+        if env == "off":
+            return False
+        if self.osr is None:
+            return env in ("on", "1", "true")
+        return bool(self.osr)

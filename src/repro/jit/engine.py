@@ -24,8 +24,8 @@ and leaves the cycle model bit-identical to an un-instrumented run.
 
 from repro.backend.machine import MachineExecutor
 from repro.deopt import DeoptSignal, SpeculationLog, resume_frames
-from repro.errors import CompileError, VMError
-from repro.interp.interpreter import Interpreter
+from repro.errors import CompileError, IRError, VMError
+from repro.interp.interpreter import Interpreter, OSR_MISS
 from repro.interp.profiles import ProfileStore
 from repro.jit.codecache import CodeCache
 from repro.jit.config import JitConfig
@@ -110,9 +110,24 @@ class Engine:
         self.compilation_count = 0
         self.deopt_count = 0
         self.invalidation_count = 0
+        #: Frames transferred into compiled code mid-method and OSR
+        #: continuations compiled (the ``osr.entries`` /
+        #: ``osr.compilations`` counters, kept as plain attributes so
+        #: un-instrumented tests can assert on them).
+        self.osr_entry_count = 0
+        self.osr_compilation_count = 0
         self._deopt_counts = {}  # method -> deopts taken in its code
         self._compile_failed = set()
+        self._osr_failed = set()  # (method, bci) pairs
         self._dispatch_depth = 0
+        # On-stack replacement: install the transfer hook on the
+        # interpreter only when enabled, so the disabled configuration
+        # pays exactly one None check per recorded backedge.
+        if self.config.osr_enabled():
+            self.interpreter.osr_hook = self._osr_enter
+            self.interpreter.osr_threshold = max(
+                1, int(self.config.osr_threshold)
+            )
         # Flight recorder: bounded provenance ring (inert on NULL_OBS).
         self._flight = self.obs.flight
         self._flight_dump_path = self.config.flight_dump_path()
@@ -154,12 +169,15 @@ class Engine:
                 return self._handle_deopt(method, signal)
         return self.interpreter.execute(method, args)
 
-    def _handle_deopt(self, method, signal):
+    def _handle_deopt(self, method, signal, osr_key=None):
         """A speculation guard failed inside *method*'s compiled code.
 
         Record the refuted speculation, invalidate the code (the next
         hot dispatch recompiles without it), and resume execution in
         the profiling interpreter from the materialized frame state.
+        With *osr_key* set, the failing code is the OSR continuation
+        entered at that backedge bci and only that cache entry is
+        invalidated; the fallback resume path is identical.
         """
         self.deopt_count += 1
         count = self._deopt_counts.get(method, 0) + 1
@@ -181,7 +199,10 @@ class Engine:
             # Too much deopt/recompile churn in this root: stop
             # speculating in it entirely.
             self.speculation_log.disable(method.qualified_name)
-        invalidated = self.code_cache.evict(method)
+        if osr_key is not None:
+            invalidated = self.code_cache.evict_osr(method, osr_key)
+        else:
+            invalidated = self.code_cache.evict(method)
         if invalidated:
             self.invalidation_count += 1
             if self._flight.enabled:
@@ -233,12 +254,15 @@ class Engine:
                 method=method.qualified_name,
                 hotness=self.profiles.hotness(method),
             )
-            if self._flight.enabled:
-                self._flight.record(
-                    "jit.trigger",
-                    method=method.qualified_name,
-                    hotness=self.profiles.hotness(method),
-                )
+        # Flight recording is gated independently of the event log —
+        # a ring-only configuration must still see trigger records,
+        # matching the ``jit.compile_failed`` path below.
+        if self._flight.enabled:
+            self._flight.record(
+                "jit.trigger",
+                method=method.qualified_name,
+                hotness=self.profiles.hotness(method),
+            )
         try:
             record = self.compiler.compile(method)
         except CompileError as error:
@@ -277,6 +301,138 @@ class Engine:
             obs.events.emit(
                 "jit.install",
                 method=method.qualified_name,
+                code_size=record.code.size,
+                total_size=self.code_cache.total_size,
+                compile_cycles=record.compile_cycles,
+            )
+        return record.code
+
+    # ------------------------------------------------------------------
+    # On-stack replacement
+    # ------------------------------------------------------------------
+
+    def _osr_enter(self, method, bci, target, locals_, stack):
+        """Interpreter hook: transfer a live frame into compiled code.
+
+        Called right after the interpreter recorded a backedge at *bci*
+        (branching to the loop header *target*) whose counter reached
+        the OSR threshold. Looks up or compiles the OSR continuation
+        keyed ``(method, bci)`` and runs it with the interpreter frame
+        — all local slots, then the live operand stack — as arguments;
+        the return value finishes the interpreted frame. Returns
+        :data:`~repro.interp.interpreter.OSR_MISS` to decline (failed
+        or capped compilation), in which case the interpreter simply
+        continues the loop.
+        """
+        if (method, bci) in self._osr_failed:
+            return OSR_MISS
+        code = self.code_cache.get_osr(method, bci)
+        if code is None:
+            code = self._compile_osr(method, bci, target, len(stack))
+            if code is None:
+                return OSR_MISS
+        self.osr_entry_count += 1
+        penalty = self.config.icache.entry_penalty(
+            self.code_cache.total_size
+        )
+        if penalty:
+            self.icache_cycles += penalty
+            if self._icache_counter is not None:
+                self._icache_counter.inc(penalty)
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("osr.entries").inc()
+            obs.events.emit(
+                "osr.enter",
+                method=method.qualified_name,
+                bci=bci,
+                stack_depth=len(stack),
+            )
+        if self._flight.enabled:
+            self._flight.record(
+                "osr.enter",
+                method=method.qualified_name,
+                bci=bci,
+                stack_depth=len(stack),
+            )
+        args = list(locals_) + list(stack)
+        try:
+            return self.executor.execute(code, args)
+        except DeoptSignal as signal:
+            # Same safety net as whole-method code: invalidate (just
+            # the OSR continuation) and fall back through the
+            # materialized frames into the profiling interpreter.
+            return self._handle_deopt(method, signal, osr_key=bci)
+
+    def _compile_osr(self, method, bci, target, stack_depth):
+        obs = self.obs
+        name = method.qualified_name
+        if (
+            len(self.code_cache) + self.code_cache.osr_count()
+            >= self.config.max_compiled_methods
+        ):
+            self._osr_failed.add((method, bci))
+            return None
+        if obs.enabled:
+            obs.events.emit(
+                "osr.trigger",
+                method=name,
+                bci=bci,
+                hotness=self.profiles.hotness(method),
+            )
+        if self._flight.enabled:
+            self._flight.record(
+                "osr.trigger",
+                method=name,
+                bci=bci,
+                hotness=self.profiles.hotness(method),
+            )
+        try:
+            record = self.compiler.compile_osr(method, bci, target, stack_depth)
+        except (CompileError, IRError) as error:
+            # IRError included: OSR graphs are built from mid-method
+            # entry states the whole-method front end never sees, and a
+            # builder failure must degrade to interpretation, not crash.
+            self._osr_failed.add((method, bci))
+            if obs.enabled:
+                obs.metrics.counter("jit.compile.failures").inc()
+                obs.events.emit("osr.compile_failed", method=name, bci=bci)
+            if self._flight.enabled:
+                self._flight.record(
+                    "osr.compile_failed",
+                    method=name,
+                    bci=bci,
+                    error=repr(error),
+                )
+                self._dump_flight_on_crash("compile-error")
+            return None
+        self.code_cache.install_osr(method, bci, record.code)
+        self.compile_cycles += record.compile_cycles
+        self.compilation_count += 1
+        self.osr_compilation_count += 1
+        if self._flight.enabled:
+            self._flight.record(
+                "osr.install",
+                method=name,
+                bci=bci,
+                code_size=record.code.size,
+                total_size=self.code_cache.total_size,
+                compile_cycles=record.compile_cycles,
+                nodes=record.graph_nodes,
+            )
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("osr.compilations").inc()
+            metrics.counter("jit.compile.count").inc()
+            metrics.counter("jit.compile.cycles").inc(record.compile_cycles)
+            metrics.histogram("jit.compile.nodes").record(record.graph_nodes)
+            metrics.histogram("jit.compile.code_size").record(
+                record.code.size
+            )
+            obs.events.emit(
+                "osr.install",
+                method=name,
+                bci=bci,
                 code_size=record.code.size,
                 total_size=self.code_cache.total_size,
                 compile_cycles=record.compile_cycles,

@@ -118,10 +118,17 @@ def group_compilations(records):
         elif kind in _DECISION_KINDS:
             if current is not None:
                 current.decisions.append((kind[len("inline."):], attrs))
-        elif kind == "jit.install":
+        elif kind in ("jit.install", "osr.install"):
+            # OSR roots are tagged "Method@osr<bci>" by the compiler
+            # (matching the engine's (method, backedge bci) cache key),
+            # while the install record carries method and bci
+            # separately — reconstruct the root name to pair them.
+            root = attrs.get("method")
+            if kind == "osr.install":
+                root = "%s@osr%s" % (root, attrs.get("bci"))
             for compilation in reversed(compilations):
                 if (
-                    compilation.root == attrs.get("method")
+                    compilation.root == root
                     and compilation.install is None
                 ):
                     compilation.install = attrs

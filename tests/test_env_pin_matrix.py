@@ -1,11 +1,11 @@
 """Composability of the environment pins.
 
-``REPRO_SPECULATE=off``, ``REPRO_PRIORITY_CACHE=off`` and
-``REPRO_GRAPH_COPY=reference`` each pin one engineering fast path back
-to its reference behaviour; all eight combinations must be
-bit-identical on a pinned workload (same values, same program output).
-The priority-cache and graph-copy pins are read at module import time,
-so every combination runs in a fresh subprocess.
+``REPRO_SPECULATE=off``, ``REPRO_PRIORITY_CACHE=off``,
+``REPRO_GRAPH_COPY=reference`` and ``REPRO_OSR=off`` each pin one
+engineering fast path back to its reference behaviour; all sixteen
+combinations must be bit-identical on a pinned workload (same values,
+same program output). The priority-cache and graph-copy pins are read
+at module import time, so every combination runs in a fresh subprocess.
 """
 
 import itertools
@@ -21,13 +21,21 @@ PINS = [
     ("REPRO_SPECULATE", "off"),
     ("REPRO_PRIORITY_CACHE", "off"),
     ("REPRO_GRAPH_COPY", "reference"),
+    ("REPRO_OSR", "off"),
 ]
 
-# The pinned workload: the receiver-flip driver from the deopt tests.
-# Ten monomorphic warmup iterations compile (and, unless pinned off,
-# speculate in) the driver, then alternating receivers refute the
-# guard — so the speculation pin changes real compiled-code paths, not
-# just flags.
+# The pinned workload, two parts:
+#
+# 1. The receiver-flip driver from the deopt tests: ten monomorphic
+#    warmup iterations compile (and, unless pinned off, speculate in)
+#    the driver, then alternating receivers refute the guard — so the
+#    speculation pin changes real compiled-code paths, not just flags.
+#
+# 2. The shapes benchmark's 120-iteration loop on a second engine whose
+#    dispatch threshold is unreachable: the *only* route into compiled
+#    code is an OSR transfer at the loop backedge, so the OSR pin also
+#    changes real compiled-code paths (loop finishes in the OSR
+#    continuation vs. stays interpreted).
 CHILD = r"""
 import json
 
@@ -35,6 +43,7 @@ from repro.baselines import tuned_inliner
 from repro.jit.config import JitConfig
 from repro.jit.engine import Engine
 from tests.test_deopt import flip_program
+from tests.helpers import shapes_program
 
 program = flip_program()
 engine = Engine(
@@ -48,11 +57,27 @@ for i in range(16):
     result = engine.run_iteration("Main", "drive", [kind])
     values.append(result.value)
     cycles.append(result.total_cycles)
+
+osr_engine = Engine(
+    shapes_program(),
+    JitConfig(hot_threshold=10**9, osr=True, osr_threshold=30),
+    tuned_inliner(1.0),
+)
+osr_values, osr_cycles = [], []
+for _ in range(2):
+    result = osr_engine.run_iteration("Main", "run")
+    osr_values.append(result.value)
+    osr_cycles.append(result.total_cycles)
+
 print(json.dumps({
     "values": values,
     "cycles": cycles,
     "output": list(engine.vm.output),
     "deopts": engine.deopt_count,
+    "osr_values": osr_values,
+    "osr_cycles": osr_cycles,
+    "osr_output": list(osr_engine.vm.output),
+    "osr_entries": osr_engine.osr_entry_count,
 }))
 """
 
@@ -78,28 +103,45 @@ def _run_combo(bits):
 def test_env_pin_matrix_bit_identical():
     results = {
         bits: _run_combo(bits)
-        for bits in itertools.product((False, True), repeat=3)
+        for bits in itertools.product((False, True), repeat=len(PINS))
     }
-    baseline = results[(False, False, False)]
+    baseline = results[(False,) * len(PINS)]
 
-    # Observables are bit-identical across all eight combinations.
+    # Observables are bit-identical across all sixteen combinations.
     for bits, result in results.items():
         assert result["values"] == baseline["values"], bits
         assert result["output"] == baseline["output"], bits
+        assert result["osr_values"] == baseline["osr_values"], bits
+        assert result["osr_output"] == baseline["osr_output"], bits
 
     # The cycle model may legitimately differ between speculative and
     # pinned-off runs (different compiled code), but the cache and
     # copy pins are pure engineering knobs: within each speculation
-    # setting all four combinations agree exactly.
+    # setting the flip-driver cycles of all eight combinations agree
+    # exactly.
     for spec_off in (False, True):
-        quartet = [
+        group = [
             result["cycles"]
             for bits, result in results.items()
             if bits[0] == spec_off
         ]
-        assert all(cycles == quartet[0] for cycles in quartet), spec_off
+        assert all(cycles == group[0] for cycles in group), spec_off
 
-    # Sanity: the speculation bit changed real behaviour — unpinned
-    # runs took a deopt on the receiver flip, pinned runs never did.
+    # Likewise the loop workload: its cycles depend only on whether the
+    # frame transferred into OSR code (the dispatch threshold is
+    # unreachable, so no other tier change can interfere).
+    for osr_off in (False, True):
+        group = [
+            result["osr_cycles"]
+            for bits, result in results.items()
+            if bits[3] == osr_off
+        ]
+        assert all(cycles == group[0] for cycles in group), osr_off
+
+    # Sanity: the pinned bits changed real behaviour — unpinned runs
+    # took a deopt on the receiver flip and transferred the hot loop
+    # into compiled code mid-method; pinned runs never did.
     assert baseline["deopts"] == 1
-    assert results[(True, False, False)]["deopts"] == 0
+    assert baseline["osr_entries"] >= 1
+    assert results[(True, False, False, False)]["deopts"] == 0
+    assert results[(False, False, False, True)]["osr_entries"] == 0

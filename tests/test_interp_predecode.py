@@ -92,6 +92,57 @@ def test_integer_edge_cases(op, a, b, expected):
     assert _run_both(_binop_program(op), "T", "f", [a, b]) == expected
 
 
+def test_backedge_recording_parity():
+    """Both tiers record the same backedge counters at the same pcs.
+
+    The workload mixes every branch shape: a backward taken IF (the
+    inner do-while backedge), a backward GOTO (the outer backedge), a
+    forward exit IF and a forward always-taken skip IF — only the two
+    backward branches may appear in ``profile.backedges``. OSR triggers
+    off these counters, so a tier recording them differently would
+    change where (or whether) frames transfer.
+    """
+
+    def build(b):
+        acc = b.alloc_local()
+        i = b.alloc_local()
+        j = b.alloc_local()
+        b.const(0).store(acc)
+        b.const(0).store(i)
+        outer = b.new_label()
+        done = b.new_label()
+        b.place(outer).load(i).load(0).ge().if_true(done)  # forward exit
+        b.const(0).store(j)
+        inner = b.new_label()
+        b.place(inner)
+        b.load(acc).const(1).add().store(acc)
+        b.load(j).const(1).add().store(j)
+        b.load(j).const(3).lt().if_true(inner)  # backward IF backedge
+        skip = b.new_label()
+        b.load(acc).const(0).ge().if_true(skip)  # forward, always taken
+        b.load(acc).const(100).add().store(acc)  # dead
+        b.place(skip)
+        b.load(i).const(1).add().store(i)
+        b.goto(outer)  # backward GOTO backedge
+        b.place(done).load(acc).retv()
+
+    program = single_method_program(build)
+    # 7 outer iterations x 3 inner increments; the dead +100 never runs.
+    assert _run_both(program, "T", "f", [7]) == 21
+
+    # _run_both already pinned tier parity; now pin the *content*: the
+    # inner IF backedge fires twice per outer iteration (j = 1, 2), the
+    # outer GOTO once, and neither forward branch is counted.
+    classic = Interpreter(VMState(program), predecode=False)
+    classic.execute(program.lookup_method("T", "f"), [7])
+    profile = classic.profiles._methods["T.f"]
+    assert sorted(profile.backedges.values()) == [7, 14]
+    assert profile.backedge_total() == 21
+    for pc in profile.backedges:
+        instr = program.lookup_method("T", "f").code[pc]
+        assert instr.target <= pc  # truly backward
+
+
 def test_repeated_calls_accumulate_identically():
     program = shapes_program()
     method = program.lookup_method("Main", "run")
