@@ -115,6 +115,17 @@ ORACLE_CONFIGS = {
         _cfg(osr=True, osr_threshold=6, speculate=True),
         tuned_inliner(0.1),
     ),
+    # Background compilation: requests queue behind a worker thread and
+    # install between iterations (the oracle drains the queue at each
+    # iteration edge, so compiled tiers are reached deterministically).
+    # Values, trap kinds, and output must stay bit-identical to sync —
+    # only cycle attribution may differ. REPRO_COMPILE=sync still pins
+    # this configuration synchronous by design.
+    "jit-async": lambda: (
+        _cfg(compile_mode="async", osr=True, osr_threshold=6,
+             speculate=True),
+        tuned_inliner(0.1),
+    ),
 }
 
 
@@ -208,13 +219,19 @@ def run_config(program, entry, name, iterations=DEFAULT_ITERATIONS, vm_seed=0x5E
     class_name, method_name = entry
     config, inliner = ORACLE_CONFIGS[name]()
     engine = Engine(program, config, inliner, seed=vm_seed)
-    outcomes = [
-        _observe(
-            lambda: engine.run_iteration(class_name, method_name).value
-        )
-        for _ in range(iterations)
-    ]
-    return ExecutionRecord(outcomes, engine.vm.output)
+    try:
+        outcomes = []
+        for _ in range(iterations):
+            outcomes.append(_observe(
+                lambda: engine.run_iteration(class_name, method_name).value
+            ))
+            # Under async compilation, settle the queue at the iteration
+            # edge so later iterations deterministically reach compiled
+            # code — same coverage as sync, same required behavior.
+            engine.drain_compiles()
+        return ExecutionRecord(outcomes, engine.vm.output)
+    finally:
+        engine.shutdown()
 
 
 def compare_records(config, reference, record):

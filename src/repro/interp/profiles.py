@@ -211,6 +211,34 @@ class ProfileStore:
         self._contexts.clear()
         self.generation += 1
 
+    def snapshot(self):
+        """A deep copy safe to hand to another thread.
+
+        Background compilation (:mod:`repro.serve`) reads profiles off
+        the application thread; handing the compiler a snapshot taken
+        on the *submitting* thread means it never iterates a dict the
+        interpreter is concurrently growing. Writers in other tenant
+        threads can still race the copy (shared aggregate profiles), so
+        a copy that observes a mid-iteration size change is simply
+        retried.
+        """
+        import copy
+
+        for _ in range(8):
+            try:
+                clone = ProfileStore(
+                    context_sensitive=self.context_sensitive
+                )
+                clone._methods = copy.deepcopy(self._methods)
+                clone._contexts = copy.deepcopy(self._contexts)
+                clone.generation = self.generation
+                return clone
+            except RuntimeError:
+                continue
+        # Pathological contention: fall back to an empty store — the
+        # compiler degrades to default profiles, never to a crash.
+        return ProfileStore(context_sensitive=self.context_sensitive)
+
     def hotness(self, method):
         """Scalar hotness of *method* (see :meth:`MethodProfile.hotness`)."""
         profile = self._methods.get(method.qualified_name)

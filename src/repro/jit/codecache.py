@@ -7,7 +7,20 @@ to the instruction-cache pressure model.
 With observability enabled the cache records install/evict/hit/miss
 metrics (``codecache.*``); a lookup miss means the call fell back to
 the interpreter tier.
+
+Two implementations share the same surface:
+
+- :class:`CodeCache` — the classic per-engine cache (one VM instance,
+  unbounded, the paper's measurement protocol).
+- :class:`SharedCodeCache` — the multi-tenant serving cache
+  (:mod:`repro.serve`): one sharded store for the whole process with
+  per-tenant byte quotas and LRU- or hotness-driven eviction under a
+  global memory budget. Engines see it through a per-tenant
+  :class:`TenantCacheView`, which implements the :class:`CodeCache`
+  surface so the engine code is identical either way.
 """
+
+import threading
 
 from repro.obs import NULL_OBS
 
@@ -137,3 +150,447 @@ class CodeCache:
 
     def __len__(self):
         return len(self._code)
+
+
+class _Entry:
+    """One installed code object in the shared cache."""
+
+    __slots__ = ("code", "size", "tick", "tenant", "method", "osr_bci")
+
+    def __init__(self, code, tick, tenant, method, osr_bci=None):
+        self.code = code
+        self.size = code.size
+        self.tick = tick
+        self.tenant = tenant
+        self.method = method
+        self.osr_bci = osr_bci  # None for whole-method entries
+
+    @property
+    def is_osr(self):
+        return self.osr_bci is not None
+
+
+class SharedCodeCache:
+    """Process-wide installed-code store for multi-tenant serving.
+
+    - **Sharded**: entries are spread over ``shards`` dicts by key hash;
+      lookups are lock-free dict reads (atomic under the GIL), so hot
+      dispatch paths of concurrent tenants never contend.
+    - **Budgeted**: a global byte ``budget`` bounds the sum of installed
+      code across all tenants; per-tenant byte quotas bound each
+      tenant's share. Exceeding either evicts victims.
+    - **Victim selection**: ``policy="lru"`` evicts the
+      least-recently-dispatched entry; ``policy="hotness"`` evicts the
+      entry whose method currently has the lowest profile hotness (via
+      the ``hotness_fn(tenant, method)`` callback — the PR 1/4
+      telemetry signal). Evicting a whole-method entry also drops its
+      OSR side-table entries: a continuation without its root method is
+      dead weight.
+    - **Reinstall accounting**: evicted methods that later recompile
+      count into ``reinstalls_after_evict`` — the thrash signal a
+      too-small budget produces.
+
+    An entry larger than its tenant's quota (or the global budget) is
+    rejected outright (``install`` returns False) — the engine marks
+    the method compile-failed rather than thrash the cache.
+    """
+
+    def __init__(self, budget=None, shards=8, policy="lru",
+                 tenant_quota=None, hotness_fn=None, obs=None):
+        if policy not in ("lru", "hotness"):
+            raise ValueError("unknown eviction policy %r" % (policy,))
+        self.budget = budget
+        self.policy = policy
+        self.default_quota = tenant_quota
+        self.hotness_fn = hotness_fn
+        self._shard_count = max(1, int(shards))
+        self._shards = [{} for _ in range(self._shard_count)]
+        self._lock = threading.RLock()
+        self._tick = 0
+        self.total_size = 0
+        self._tenant_bytes = {}
+        self._quotas = {}
+        self._install_counts = {}
+        self._reinstalls = {}
+        self._evictions = {}
+        self._reinstalls_after_evict = {}
+        self._evicted_methods = set()  # (tenant, method) pairs
+        self.eviction_count = 0
+        self.quota_rejections = 0
+        obs = obs if obs is not None else NULL_OBS
+        self._obs = obs
+        if obs.enabled:
+            metrics = obs.metrics
+            self._m_hits = metrics.counter("codecache.hits")
+            self._m_misses = metrics.counter("codecache.misses")
+            self._m_installs = metrics.counter("codecache.installs")
+            self._m_evictions = metrics.counter("codecache.shared.evictions")
+            self._m_rejections = metrics.counter(
+                "codecache.shared.quota_rejections"
+            )
+            self._m_bytes = metrics.gauge("codecache.installed_bytes")
+        else:
+            self._m_hits = self._m_misses = None
+            self._m_installs = self._m_evictions = None
+            self._m_rejections = self._m_bytes = None
+
+    # ------------------------------------------------------------------
+    # Tenant administration
+    # ------------------------------------------------------------------
+
+    def view(self, tenant, quota=None):
+        """The per-tenant :class:`CodeCache`-shaped facade."""
+        if quota is not None:
+            self._quotas[tenant] = quota
+        return TenantCacheView(self, tenant)
+
+    def set_quota(self, tenant, quota):
+        self._quotas[tenant] = quota
+
+    def quota_of(self, tenant):
+        return self._quotas.get(tenant, self.default_quota)
+
+    def drop_tenant(self, tenant):
+        """Evict every entry of *tenant* (tenant eviction); returns the
+        number of bytes reclaimed."""
+        with self._lock:
+            reclaimed = 0
+            for shard in self._shards:
+                for key in [k for k in shard if k[0] == tenant]:
+                    entry = shard.pop(key)
+                    reclaimed += entry.size
+            self.total_size -= reclaimed
+            self._tenant_bytes.pop(tenant, None)
+            if self._m_bytes is not None:
+                self._m_bytes.set(self.total_size)
+            return reclaimed
+
+    # ------------------------------------------------------------------
+    # Lookup / install / evict (tenant-scoped)
+    # ------------------------------------------------------------------
+
+    def _shard_of(self, key):
+        return self._shards[hash(key) % self._shard_count]
+
+    def _get(self, key):
+        entry = self._shard_of(key).get(key)
+        if entry is not None:
+            self._tick += 1
+            entry.tick = self._tick
+            if self._m_hits is not None:
+                self._m_hits.inc()
+            return entry.code
+        if self._m_misses is not None:
+            self._m_misses.inc()
+        return None
+
+    def get(self, tenant, method):
+        return self._get((tenant, method))
+
+    def get_osr(self, tenant, method, bci):
+        return self._get((tenant, method, bci))
+
+    def contains(self, tenant, method):
+        return (tenant, method) in self._shard_of((tenant, method))
+
+    def size_of(self, tenant, method):
+        """Entry size without touching its recency (introspection)."""
+        entry = self._shard_of((tenant, method)).get((tenant, method))
+        return entry.size if entry is not None else 0
+
+    def _install(self, tenant, key, entry):
+        quota = self.quota_of(tenant)
+        if quota is not None and entry.size > quota:
+            self.quota_rejections += 1
+            if self._m_rejections is not None:
+                self._m_rejections.inc()
+            return False
+        if self.budget is not None and entry.size > self.budget:
+            self.quota_rejections += 1
+            if self._m_rejections is not None:
+                self._m_rejections.inc()
+            return False
+        shard = self._shard_of(key)
+        previous = shard.get(key)
+        if previous is not None:
+            self._account_removal(previous)
+            self._reinstalls[tenant] = self._reinstalls.get(tenant, 0) + 1
+        shard[key] = entry
+        self.total_size += entry.size
+        self._tenant_bytes[tenant] = (
+            self._tenant_bytes.get(tenant, 0) + entry.size
+        )
+        self._install_counts[tenant] = (
+            self._install_counts.get(tenant, 0) + 1
+        )
+        if not entry.is_osr and (tenant, entry.method) in self._evicted_methods:
+            self._evicted_methods.discard((tenant, entry.method))
+            self._reinstalls_after_evict[tenant] = (
+                self._reinstalls_after_evict.get(tenant, 0) + 1
+            )
+        self._enforce(entry)
+        if self._m_installs is not None:
+            self._m_installs.inc()
+            self._m_bytes.set(self.total_size)
+        return True
+
+    def install(self, tenant, method, code):
+        with self._lock:
+            self._tick += 1
+            entry = _Entry(code, self._tick, tenant, method)
+            return self._install(tenant, (tenant, method), entry)
+
+    def install_osr(self, tenant, method, bci, code):
+        with self._lock:
+            self._tick += 1
+            entry = _Entry(code, self._tick, tenant, method, osr_bci=bci)
+            return self._install(tenant, (tenant, method, bci), entry)
+
+    def _account_removal(self, entry):
+        self.total_size -= entry.size
+        tenant = entry.tenant
+        remaining = self._tenant_bytes.get(tenant, 0) - entry.size
+        self._tenant_bytes[tenant] = remaining
+
+    def _remove(self, key):
+        entry = self._shard_of(key).pop(key, None)
+        if entry is None:
+            return None
+        self._account_removal(entry)
+        return entry
+
+    def evict(self, tenant, method):
+        """Engine-driven invalidation (deopt): drop just this entry."""
+        with self._lock:
+            entry = self._remove((tenant, method))
+            if entry is None:
+                return False
+            if self._m_bytes is not None:
+                self._m_bytes.set(self.total_size)
+            return True
+
+    def evict_osr(self, tenant, method, bci):
+        with self._lock:
+            entry = self._remove((tenant, method, bci))
+            if entry is None:
+                return False
+            if self._m_bytes is not None:
+                self._m_bytes.set(self.total_size)
+            return True
+
+    # ------------------------------------------------------------------
+    # Policy-driven eviction
+    # ------------------------------------------------------------------
+
+    def _score(self, entry):
+        """Victim ordering key: evict the smallest score first."""
+        if self.policy == "hotness" and self.hotness_fn is not None:
+            hotness = self.hotness_fn(entry.tenant, entry.method)
+            # Ties (same hotness) fall back to LRU order.
+            return (hotness, entry.tick)
+        return (entry.tick,)
+
+    def _candidates(self, protect, tenant=None):
+        for shard in self._shards:
+            for entry in shard.values():
+                if entry is protect:
+                    continue
+                if tenant is not None and entry.tenant != tenant:
+                    continue
+                yield entry
+
+    def _evict_entry(self, victim):
+        """Remove *victim* and — for whole-method entries — its OSR
+        side-table entries (a continuation without its root is dead)."""
+        tenant = victim.tenant
+        if victim.is_osr:
+            keys = [(tenant, victim.method, victim.osr_bci)]
+        else:
+            keys = [(tenant, victim.method)]
+            for shard in self._shards:
+                keys.extend(
+                    key
+                    for key, entry in shard.items()
+                    if (
+                        entry.is_osr
+                        and entry.tenant == tenant
+                        and entry.method is victim.method
+                    )
+                )
+        for key in keys:
+            entry = self._remove(key)
+            if entry is None:
+                continue
+            self.eviction_count += 1
+            self._evictions[tenant] = self._evictions.get(tenant, 0) + 1
+            if not entry.is_osr:
+                self._evicted_methods.add((tenant, entry.method))
+            if self._m_evictions is not None:
+                self._m_evictions.inc()
+            obs = self._obs
+            if obs.enabled:
+                obs.events.emit(
+                    "codecache.evict",
+                    tenant=str(tenant),
+                    method=entry.method.qualified_name,
+                    osr_bci=entry.osr_bci,
+                    policy=self.policy,
+                    size=entry.size,
+                )
+            if obs.flight.enabled:
+                obs.flight.record(
+                    "codecache.evict",
+                    tenant=str(tenant),
+                    method=entry.method.qualified_name,
+                    osr_bci=entry.osr_bci,
+                    policy=self.policy,
+                    size=entry.size,
+                )
+
+    def _enforce(self, protect):
+        """Evict until the installing tenant is under quota and the
+        process is under the global budget. *protect* (the entry just
+        installed) is never a victim."""
+        tenant = protect.tenant
+        quota = self.quota_of(tenant)
+        while (
+            quota is not None
+            and self._tenant_bytes.get(tenant, 0) > quota
+        ):
+            victims = sorted(
+                self._candidates(protect, tenant=tenant), key=self._score
+            )
+            if not victims:
+                break
+            self._evict_entry(victims[0])
+        while self.budget is not None and self.total_size > self.budget:
+            victims = sorted(self._candidates(protect), key=self._score)
+            if not victims:
+                break
+            self._evict_entry(victims[0])
+        if self._m_bytes is not None:
+            self._m_bytes.set(self.total_size)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def tenant_size(self, tenant):
+        return self._tenant_bytes.get(tenant, 0)
+
+    def method_count(self, tenant):
+        # Under the lock: other tenants' threads install/evict while we
+        # walk the shards (their dispatch checks max_compiled_methods).
+        with self._lock:
+            count = 0
+            for shard in self._shards:
+                for entry in shard.values():
+                    if entry.tenant == tenant and not entry.is_osr:
+                        count += 1
+            return count
+
+    def osr_count(self, tenant=None):
+        with self._lock:
+            count = 0
+            for shard in self._shards:
+                for entry in shard.values():
+                    if entry.is_osr and (
+                        tenant is None or entry.tenant == tenant
+                    ):
+                        count += 1
+            return count
+
+    def installed_methods(self, tenant):
+        with self._lock:
+            return [
+                entry.method
+                for shard in self._shards
+                for entry in shard.values()
+                if entry.tenant == tenant and not entry.is_osr
+            ]
+
+    def install_count_of(self, tenant):
+        return self._install_counts.get(tenant, 0)
+
+    def reinstalls_of(self, tenant):
+        return self._reinstalls.get(tenant, 0)
+
+    def evictions_of(self, tenant):
+        return self._evictions.get(tenant, 0)
+
+    def reinstalls_after_evict(self, tenant):
+        return self._reinstalls_after_evict.get(tenant, 0)
+
+    def __len__(self):
+        return sum(len(shard) for shard in self._shards)
+
+
+class TenantCacheView:
+    """One tenant's :class:`CodeCache`-shaped window onto the shared
+    cache. ``total_size`` is deliberately the *global* installed size:
+    instruction-cache pressure is a property of the process, not of one
+    tenant — sharing the icache penalty across tenants is the point of
+    a shared cache."""
+
+    __slots__ = ("_shared", "tenant")
+
+    def __init__(self, shared, tenant):
+        self._shared = shared
+        self.tenant = tenant
+
+    @property
+    def total_size(self):
+        return self._shared.total_size
+
+    @property
+    def tenant_size(self):
+        return self._shared.tenant_size(self.tenant)
+
+    @property
+    def install_count(self):
+        return self._shared.install_count_of(self.tenant)
+
+    @property
+    def reinstalls(self):
+        return self._shared.reinstalls_of(self.tenant)
+
+    @property
+    def evictions(self):
+        return self._shared.evictions_of(self.tenant)
+
+    @property
+    def reinstalls_after_evict(self):
+        return self._shared.reinstalls_after_evict(self.tenant)
+
+    def get(self, method):
+        return self._shared.get(self.tenant, method)
+
+    def __contains__(self, method):
+        return self._shared.contains(self.tenant, method)
+
+    def install(self, method, code):
+        return self._shared.install(self.tenant, method, code)
+
+    def evict(self, method):
+        return self._shared.evict(self.tenant, method)
+
+    def get_osr(self, method, bci):
+        return self._shared.get_osr(self.tenant, method, bci)
+
+    def install_osr(self, method, bci, code):
+        return self._shared.install_osr(self.tenant, method, bci, code)
+
+    def evict_osr(self, method, bci):
+        return self._shared.evict_osr(self.tenant, method, bci)
+
+    def osr_count(self):
+        return self._shared.osr_count(self.tenant)
+
+    def installed_methods(self):
+        return self._shared.installed_methods(self.tenant)
+
+    def size_of(self, method):
+        return self._shared.size_of(self.tenant, method)
+
+    def __len__(self):
+        return self._shared.method_count(self.tenant)

@@ -68,6 +68,27 @@ class JitConfig:
             dispatch — the dump-on-crash hook. ``None`` defers to the
             ``REPRO_FLIGHT_DUMP`` environment knob; no-op when the
             engine's observability has no live flight recorder.
+        compile_mode: how compilation requests are served. ``"sync"``
+            compiles on the dispatching thread (the classic engine —
+            compile cycles are charged to the running iteration, the
+            paper's single-threaded JIT model). ``"async"`` enqueues a
+            request on a background compile pipeline
+            (:mod:`repro.serve.scheduler`) and keeps interpreting until
+            the code installs — the paper's *online* setting made real.
+            ``None`` (default) defers to the ``REPRO_COMPILE``
+            environment knob, which defaults to sync.
+            ``REPRO_COMPILE=sync`` is a hard pin that overrides even an
+            explicit ``"async"``, so differential harnesses can force
+            the deterministic fallback from the outside.
+        compile_workers: worker threads of the engine-private
+            background pipeline (only used when the engine runs async
+            *without* an externally attached compile service — a
+            multi-tenant :class:`~repro.serve.service.VMService` shares
+            one pipeline across all tenant engines instead).
+        compile_queue_capacity: bound of the engine-private compile
+            queue; a full queue rejects the request (backpressure) and
+            the method stays interpreted until a later hot dispatch
+            retries.
     """
 
     def __init__(
@@ -88,6 +109,9 @@ class JitConfig:
         osr=None,
         osr_threshold=400,
         flight_dump=None,
+        compile_mode=None,
+        compile_workers=1,
+        compile_queue_capacity=32,
     ):
         self.hot_threshold = hot_threshold
         self.compile_enabled = compile_enabled
@@ -105,6 +129,9 @@ class JitConfig:
         self.osr = osr
         self.osr_threshold = osr_threshold
         self.flight_dump = flight_dump
+        self.compile_mode = compile_mode
+        self.compile_workers = compile_workers
+        self.compile_queue_capacity = compile_queue_capacity
 
     def flight_dump_path(self):
         """Resolve the dump-on-crash path against ``REPRO_FLIGHT_DUMP``."""
@@ -125,6 +152,30 @@ class JitConfig:
         if self.speculate is None:
             return env in ("on", "1", "true")
         return bool(self.speculate)
+
+    def compile_mode_resolved(self):
+        """Resolve the compile mode against ``REPRO_COMPILE``.
+
+        Returns ``"sync"`` or ``"async"``. ``REPRO_COMPILE=sync`` is a
+        hard pin (the deterministic fallback) that overrides even an
+        explicit ``compile_mode="async"``; ``REPRO_COMPILE=async``
+        turns background compilation on when the config leaves the
+        choice open (``compile_mode=None``). Pure interpreters
+        (``compile_enabled=False``) are always sync — there is nothing
+        to enqueue.
+        """
+        if not self.compile_enabled:
+            return "sync"
+        env = os.environ.get("REPRO_COMPILE", "").strip().lower()
+        if env == "sync":
+            return "sync"
+        if self.compile_mode is None:
+            return "async" if env == "async" else "sync"
+        return (
+            "async"
+            if str(self.compile_mode).strip().lower() == "async"
+            else "sync"
+        )
 
     def osr_enabled(self):
         """Resolve the OSR knob against ``REPRO_OSR``.

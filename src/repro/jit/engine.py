@@ -20,7 +20,24 @@ transitions, compile triggers/failures and per-iteration breakdowns
 into the shared metrics registry and event stream (see
 :mod:`repro.obs`). The default is the inert :data:`~repro.obs.NULL_OBS`
 and leaves the cycle model bit-identical to an un-instrumented run.
+
+Background compilation: with ``JitConfig(compile_mode="async")`` (or
+``REPRO_COMPILE=async``) compile requests are enqueued on a
+:class:`~repro.serve.scheduler.BackgroundCompiler` — either an
+externally attached one (``compile_service=``, shared across tenants by
+:class:`~repro.serve.service.VMService`) or an engine-private pipeline
+created lazily — and interpretation continues until the code installs.
+Observable semantics (values, trap kinds, printed output) are
+bit-identical to sync mode; only cycle *attribution* changes:
+background compile cycles accumulate in ``background_compile_cycles``
+instead of being charged to the running iteration (the compiler no
+longer steals application cycles — the point of the paper's online
+setting). ``REPRO_COMPILE=sync`` is a hard pin back to the classic
+synchronous engine.
 """
+
+import threading
+import time
 
 from repro.backend.machine import MachineExecutor
 from repro.deopt import DeoptSignal, SpeculationLog, resume_frames
@@ -82,20 +99,31 @@ class IterationResult:
 class Engine:
     """A tiered VM instance."""
 
-    def __init__(self, program, config=None, inliner=None, seed=0x5EED, obs=None):
+    def __init__(self, program, config=None, inliner=None, seed=0x5EED,
+                 obs=None, code_cache=None, profiles=None,
+                 compile_service=None):
         self.program = program
         self.config = config or JitConfig()
         self.obs = obs if obs is not None else NULL_OBS
         self.vm = VMState(program, seed=seed)
-        self.profiles = ProfileStore(
-            context_sensitive=self.config.context_sensitive_profiles,
-            obs=self.obs,
+        self.profiles = (
+            profiles
+            if profiles is not None
+            else ProfileStore(
+                context_sensitive=self.config.context_sensitive_profiles,
+                obs=self.obs,
+            )
         )
         self.interpreter = Interpreter(
             self.vm, profiles=self.profiles, dispatch=self._dispatch,
             obs=self.obs, predecode=self.config.interp_predecode,
         )
-        self.code_cache = CodeCache(obs=self.obs)
+        #: Installed-code bookkeeping. Per-engine by default; a
+        #: multi-tenant service passes a per-tenant *view* of a shared
+        #: sharded cache instead (same surface, global accounting).
+        self.code_cache = (
+            code_cache if code_cache is not None else CodeCache(obs=self.obs)
+        )
         self.speculation_log = SpeculationLog()
         from repro.jit.compiler import JitCompiler
 
@@ -120,6 +148,22 @@ class Engine:
         self._compile_failed = set()
         self._osr_failed = set()  # (method, bci) pairs
         self._dispatch_depth = 0
+        # Background compilation (the online setting): resolved once at
+        # construction so the dispatch fast path pays a single bool.
+        self.compile_mode = self.config.compile_mode_resolved()
+        self._async = self.compile_mode == "async"
+        self.compile_service = compile_service
+        self._owns_service = False
+        #: Background-pipeline cycle/charge accounting, kept separate
+        #: from ``compile_cycles`` — async compilation no longer steals
+        #: application cycles, so iterations never see these.
+        self.background_compile_cycles = 0
+        self.async_installs = 0
+        self.async_cancelled = 0
+        self._pending = {}  # request key -> CompileRequest
+        self._pending_lock = threading.Lock()
+        self._compile_lock = threading.RLock()
+        self._cache_lock = threading.RLock()
         # On-stack replacement: install the transfer hook on the
         # interpreter only when enabled, so the disabled configuration
         # pays exactly one None check per recorded backedge.
@@ -153,7 +197,12 @@ class Engine:
     def _dispatch(self, method, args):
         code = self.code_cache.get(method)
         if code is None and self._should_compile(method):
-            code = self._compile(method)
+            if self._async:
+                # Online mode: enqueue and keep interpreting this call;
+                # a later dispatch picks up the installed code.
+                self._request_compile(method)
+            else:
+                code = self._compile(method)
         if code is not None:
             penalty = self.config.icache.entry_penalty(self.code_cache.total_size)
             if penalty:
@@ -199,10 +248,15 @@ class Engine:
             # Too much deopt/recompile churn in this root: stop
             # speculating in it entirely.
             self.speculation_log.disable(method.qualified_name)
-        if osr_key is not None:
-            invalidated = self.code_cache.evict_osr(method, osr_key)
-        else:
-            invalidated = self.code_cache.evict(method)
+        if self._async:
+            # A queued compilation of this method speculated on the
+            # site this deopt just refuted: keep it out of the cache.
+            self._cancel_pending(method)
+        with self._cache_lock:
+            if osr_key is not None:
+                invalidated = self.code_cache.evict_osr(method, osr_key)
+            else:
+                invalidated = self.code_cache.evict(method)
         if invalidated:
             self.invalidation_count += 1
             if self._flight.enabled:
@@ -280,7 +334,8 @@ class Engine:
                 )
                 self._dump_flight_on_crash("compile-error")
             return None
-        self.code_cache.install(method, record.code)
+        if self._install_code(method, record.code) is False:
+            return None
         self.compile_cycles += record.compile_cycles
         self.compilation_count += 1
         if self._flight.enabled:
@@ -307,6 +362,277 @@ class Engine:
             )
         return record.code
 
+    def _install_code(self, method, code, osr_bci=None):
+        """Install compiled code, tolerating shared-cache rejection.
+
+        A per-tenant quota can reject an entry outright (the code alone
+        exceeds the quota); the method is then marked failed so hot
+        dispatches stop re-requesting it. Returns False on rejection.
+        """
+        with self._cache_lock:
+            if osr_bci is not None:
+                accepted = self.code_cache.install_osr(method, osr_bci, code)
+            else:
+                accepted = self.code_cache.install(method, code)
+        if accepted is False:
+            if osr_bci is not None:
+                self._osr_failed.add((method, osr_bci))
+            else:
+                self._compile_failed.add(method)
+            if self.obs.enabled:
+                self.obs.metrics.counter("codecache.quota_rejections").inc()
+                self.obs.events.emit(
+                    "jit.install_rejected",
+                    method=method.qualified_name,
+                    code_size=code.size,
+                )
+            if self._flight.enabled:
+                self._flight.record(
+                    "jit.install_rejected",
+                    method=method.qualified_name,
+                    code_size=code.size,
+                )
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Background compilation (the online setting)
+    # ------------------------------------------------------------------
+
+    def _service(self):
+        """The attached compile service, creating a private pipeline
+        (one worker, bounded queue) on first use when none was given."""
+        service = self.compile_service
+        if service is None:
+            from repro.serve.scheduler import BackgroundCompiler
+
+            service = BackgroundCompiler(
+                workers=self.config.compile_workers,
+                queue_capacity=self.config.compile_queue_capacity,
+                obs=self.obs,
+            )
+            self.compile_service = service
+            self._owns_service = True
+        return service
+
+    def _request_compile(self, method, osr=None):
+        """Enqueue a background compilation (dedup'd per cache key).
+
+        *osr* is ``None`` for whole-method requests or an
+        ``(backedge bci, target bci, stack depth)`` triple. The profile
+        snapshot is taken here, on the submitting thread, so the worker
+        never reads live profile dicts.
+        """
+        from repro.serve.queue import CompileRequest
+
+        key = method if osr is None else (method, osr[0])
+        with self._pending_lock:
+            if key in self._pending:
+                return
+            if osr is None:
+                request = CompileRequest(
+                    self, method, profiles=self.profiles.snapshot()
+                )
+            else:
+                bci, target, stack_depth = osr
+                request = CompileRequest(
+                    self, method, kind="osr", bci=bci, target=target,
+                    stack_depth=stack_depth,
+                    profiles=self.profiles.snapshot(),
+                )
+            self._pending[key] = request
+        obs = self.obs
+        if obs.enabled:
+            obs.events.emit(
+                "jit.trigger",
+                method=method.qualified_name,
+                hotness=self.profiles.hotness(method),
+                mode="async",
+            )
+        if self._flight.enabled:
+            self._flight.record(
+                "compile.enqueue",
+                method=request.describe(),
+                hotness=self.profiles.hotness(method),
+            )
+        if not self._service().submit(request):
+            # Backpressure: drop the marker so a later hot dispatch
+            # retries once the queue has drained.
+            with self._pending_lock:
+                self._pending.pop(key, None)
+
+    def background_compile_lock(self):
+        """Serializes background compilations for this engine (the
+        inliner and pipeline carry per-compilation state)."""
+        return self._compile_lock
+
+    def execute_compile_request(self, request):
+        """Worker-thread entry: run one compilation against the
+        request's profile snapshot. Caller holds the compile lock."""
+        compiler = self.compiler
+        saved = compiler.profiles
+        compiler.profiles = request.profiles
+        compiler.context.profiles = request.profiles
+        try:
+            if request.kind == "osr":
+                return compiler.compile_osr(
+                    request.method, request.bci, request.target,
+                    request.stack_depth,
+                )
+            return compiler.compile(request.method)
+        finally:
+            compiler.profiles = saved
+            compiler.context.profiles = saved
+
+    def finish_background_compile(self, request, record, error):
+        """Terminal step of a background request; returns its outcome.
+
+        Runs on the worker thread (or on whichever thread cancels a
+        never-run request). Cancellation is re-checked *here*, after
+        the compilation and before the install, so a tenant eviction or
+        a speculation refutation that raced the compile still keeps the
+        code out of the cache.
+        """
+        method = request.method
+        name = method.qualified_name
+        with self._pending_lock:
+            self._pending.pop(request.key, None)
+        if request.cancelled or (record is None and error is None):
+            self.async_cancelled += 1
+            if self._flight.enabled:
+                self._flight.record(
+                    "compile.cancelled", method=request.describe()
+                )
+            if self.obs.enabled:
+                self.obs.events.emit(
+                    "compile.cancelled", method=request.describe()
+                )
+            return "cancelled"
+        if error is not None:
+            if not isinstance(error, (CompileError, IRError)):
+                # A compiler bug must degrade the method to
+                # interpretation, never kill the worker.
+                error = CompileError(
+                    "background compilation crashed: %r" % (error,)
+                )
+            if request.kind == "osr":
+                self._osr_failed.add((method, request.bci))
+            else:
+                self._compile_failed.add(method)
+            if self.obs.enabled:
+                self.obs.metrics.counter("jit.compile.failures").inc()
+                self.obs.events.emit(
+                    "jit.compile_failed", method=name, mode="async"
+                )
+            if self._flight.enabled:
+                self._flight.record(
+                    "jit.compile_failed",
+                    method=request.describe(),
+                    error=repr(error),
+                )
+                self._dump_flight_on_crash("compile-error")
+            return "failed"
+        if self._install_code(
+            method, record.code,
+            osr_bci=request.bci if request.kind == "osr" else None,
+        ) is False:
+            return "failed"
+        self.background_compile_cycles += record.compile_cycles
+        self.compilation_count += 1
+        self.async_installs += 1
+        if request.kind == "osr":
+            self.osr_compilation_count += 1
+        obs = self.obs
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("jit.compile.count").inc()
+            metrics.counter("jit.compile.cycles.background").inc(
+                record.compile_cycles
+            )
+            metrics.histogram("jit.compile.nodes").record(record.graph_nodes)
+            metrics.histogram("jit.compile.code_size").record(
+                record.code.size
+            )
+            if request.kind == "osr":
+                metrics.counter("osr.compilations").inc()
+            obs.events.emit(
+                "jit.install",
+                method=request.describe(),
+                code_size=record.code.size,
+                total_size=self.code_cache.total_size,
+                compile_cycles=record.compile_cycles,
+                mode="async",
+            )
+        if self._flight.enabled:
+            self._flight.record(
+                "jit.install",
+                method=request.describe(),
+                code_size=record.code.size,
+                total_size=self.code_cache.total_size,
+                compile_cycles=record.compile_cycles,
+                nodes=record.graph_nodes,
+                mode="async",
+            )
+        return "installed"
+
+    def _cancel_pending(self, method):
+        """Cancel pending requests touching *method* (refuted before
+        install) — whole-method and every OSR continuation."""
+        with self._pending_lock:
+            requests = [
+                request
+                for key, request in self._pending.items()
+                if request.method is method
+            ]
+        for request in requests:
+            request.cancel()
+
+    def pending_compiles(self):
+        """Snapshot of in-flight background requests (for tests/tools)."""
+        with self._pending_lock:
+            return list(self._pending.values())
+
+    def drain_compiles(self, timeout=30.0):
+        """Block until every pending background request reaches a
+        terminal outcome; returns False on timeout. No-op in sync mode.
+
+        With a worker-less pipeline attached (the deterministic test
+        mode) the queue is drained on the calling thread instead.
+        """
+        if not self._async:
+            return True
+        service = self.compile_service
+        deadline = time.monotonic() + timeout
+        while True:
+            pending = self.pending_compiles()
+            if not pending:
+                return True
+            if service is not None and not service.has_workers:
+                service.run_queued()
+                continue
+            for request in pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                request.done.wait(remaining)
+
+    def shutdown(self, drain=False):
+        """Tear down background compilation.
+
+        Cancels pending requests (optionally draining them first) and
+        closes the engine-private pipeline if this engine created one.
+        Externally attached services are left running — the
+        multi-tenant service owns those. Safe no-op in sync mode.
+        """
+        if drain:
+            self.drain_compiles()
+        for request in self.pending_compiles():
+            request.cancel()
+        if self._owns_service and self.compile_service is not None:
+            self.compile_service.close()
+            self.compile_service = None
+            self._owns_service = False
+
     # ------------------------------------------------------------------
     # On-stack replacement
     # ------------------------------------------------------------------
@@ -328,6 +654,19 @@ class Engine:
             return OSR_MISS
         code = self.code_cache.get_osr(method, bci)
         if code is None:
+            if self._async:
+                # Decline this transfer but queue the continuation; the
+                # loop keeps interpreting and a later backedge (the
+                # counter stays past the threshold) enters the
+                # installed code.
+                if (
+                    len(self.code_cache) + self.code_cache.osr_count()
+                    < self.config.max_compiled_methods
+                ):
+                    self._request_compile(
+                        method, osr=(bci, target, len(stack))
+                    )
+                return OSR_MISS
             code = self._compile_osr(method, bci, target, len(stack))
             if code is None:
                 return OSR_MISS
@@ -406,7 +745,8 @@ class Engine:
                 )
                 self._dump_flight_on_crash("compile-error")
             return None
-        self.code_cache.install_osr(method, bci, record.code)
+        if self._install_code(method, record.code, osr_bci=bci) is False:
+            return None
         self.compile_cycles += record.compile_cycles
         self.compilation_count += 1
         self.osr_compilation_count += 1

@@ -1,0 +1,140 @@
+"""The bounded compile-request queue.
+
+One :class:`CompileRequest` is one unit of background compiler work —
+a whole-method compilation or an OSR continuation — carrying everything
+the worker needs to run it off-thread: the owning engine, the method,
+and a :meth:`~repro.interp.profiles.ProfileStore.snapshot` of the
+profiles taken on the submitting thread (so the compiler never reads a
+profile dict another thread is mutating).
+
+The queue itself is a bounded FIFO. ``submit`` never blocks: a full
+queue rejects the request — backpressure — and the method simply stays
+interpreted until a later hot dispatch retries. Requests can be
+cancelled at any point before installation (tenant evicted, speculation
+site refuted); a cancelled request still flows through the worker so
+its ``done`` event always fires exactly once.
+"""
+
+import threading
+import time
+
+
+class CompileRequest:
+    """One queued compilation: a method root or an OSR continuation."""
+
+    __slots__ = (
+        "engine",
+        "kind",
+        "method",
+        "bci",
+        "target",
+        "stack_depth",
+        "profiles",
+        "submitted_at",
+        "started_at",
+        "done",
+        "outcome",
+        "_cancelled",
+    )
+
+    def __init__(self, engine, method, kind="method", bci=None, target=None,
+                 stack_depth=0, profiles=None):
+        self.engine = engine
+        self.kind = kind  # "method" | "osr"
+        self.method = method
+        self.bci = bci
+        self.target = target
+        self.stack_depth = stack_depth
+        self.profiles = profiles
+        self.submitted_at = time.monotonic()
+        self.started_at = None
+        #: Set exactly once, when the request leaves the pipeline —
+        #: installed, failed, rejected or cancelled. ``drain`` waits on
+        #: this.
+        self.done = threading.Event()
+        #: "installed" | "failed" | "cancelled" | "rejected" | None
+        self.outcome = None
+        self._cancelled = False
+
+    @property
+    def key(self):
+        """The engine-local dedup key (matches the code-cache key)."""
+        if self.kind == "osr":
+            return (self.method, self.bci)
+        return self.method
+
+    @property
+    def cancelled(self):
+        return self._cancelled
+
+    def cancel(self):
+        """Mark the request cancelled.
+
+        The worker checks the flag both before compiling and again
+        right before installing, so a cancellation that races with an
+        in-flight compilation still prevents the install.
+        """
+        self._cancelled = True
+
+    def finish(self, outcome):
+        self.outcome = outcome
+        self.done.set()
+
+    def describe(self):
+        name = self.method.qualified_name
+        if self.kind == "osr":
+            return "%s@osr%d" % (name, self.bci)
+        return name
+
+
+class CompileQueue:
+    """A bounded FIFO of :class:`CompileRequest`, non-blocking submit."""
+
+    def __init__(self, capacity=32):
+        self.capacity = max(1, int(capacity))
+        self._items = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def submit(self, request):
+        """Enqueue *request*; returns False when the queue is full or
+        closed (the caller treats either as backpressure)."""
+        with self._lock:
+            if self._closed or len(self._items) >= self.capacity:
+                return False
+            self._items.append(request)
+            self._not_empty.notify()
+            return True
+
+    def pop(self, timeout=None):
+        """Dequeue the oldest request, or None on timeout/close."""
+        with self._lock:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            return self._items.pop(0)
+
+    def close(self):
+        """Close the queue; pending requests are drained and cancelled.
+
+        Returns the requests that were still queued so the caller can
+        mark them done (workers never see them again).
+        """
+        with self._lock:
+            self._closed = True
+            pending, self._items = self._items, []
+            self._not_empty.notify_all()
+        for request in pending:
+            request.cancel()
+        return pending
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def __len__(self):
+        with self._lock:
+            return len(self._items)

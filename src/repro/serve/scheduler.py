@@ -1,0 +1,182 @@
+"""The background compilation pipeline.
+
+A :class:`BackgroundCompiler` owns one bounded
+:class:`~repro.serve.queue.CompileQueue` and N daemon worker threads.
+Workers drain the queue: for each request they serialize on the owning
+engine's compile lock (one in-flight compilation per engine — the
+engine's inliner and pipeline carry per-compilation state), run the
+compilation against the request's profile snapshot, and hand the result
+back to the engine for installation. Engines from *different* tenants
+compile concurrently; interpretation continues on the application
+threads throughout.
+
+Cancellation is checked twice — when the request is dequeued and again
+by the engine immediately before install — so evicting a tenant or
+refuting a speculation site between enqueue and install reliably stops
+the code from landing.
+
+``workers=0`` is the deterministic test mode: nothing runs until
+:meth:`run_queued` drains the queue on the calling thread.
+
+Metrics (``compile.queue.*``): ``submitted`` / ``rejected`` /
+``completed`` / ``failed`` / ``cancelled`` counters, a ``depth`` gauge,
+and ``wait_ms`` / ``compile_ms`` histograms (queue latency and compile
+wall time). All inert under :data:`~repro.obs.NULL_OBS`.
+"""
+
+import threading
+import time
+
+from repro.obs import NULL_OBS
+from repro.serve.queue import CompileQueue
+
+
+class BackgroundCompiler:
+    """Bounded compile queue drained by worker threads."""
+
+    def __init__(self, workers=1, queue_capacity=32, obs=None):
+        self.obs = obs if obs is not None else NULL_OBS
+        self.queue = CompileQueue(capacity=queue_capacity)
+        self._workers = []
+        self._closed = False
+        self._lock = threading.Lock()
+        #: Total requests that reached a terminal outcome, by outcome.
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.rejected = 0
+        self.submitted = 0
+        for index in range(max(0, int(workers))):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name="repro-compile-%d" % index,
+                daemon=True,
+            )
+            self._workers.append(thread)
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, request):
+        """Enqueue *request*; returns False on backpressure/shutdown."""
+        accepted = self.queue.submit(request)
+        obs = self.obs
+        if accepted:
+            self.submitted += 1
+            if obs.enabled:
+                obs.metrics.counter("compile.queue.submitted").inc()
+                obs.metrics.gauge("compile.queue.depth").set(len(self.queue))
+        else:
+            self.rejected += 1
+            request.finish("rejected")
+            if obs.enabled:
+                obs.metrics.counter("compile.queue.rejected").inc()
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+
+    def _serve(self, request):
+        """Run one dequeued request to its terminal outcome."""
+        obs = self.obs
+        request.started_at = time.monotonic()
+        if obs.enabled:
+            obs.metrics.gauge("compile.queue.depth").set(len(self.queue))
+            obs.metrics.histogram("compile.queue.wait_ms").record(
+                (request.started_at - request.submitted_at) * 1000.0
+            )
+        engine = request.engine
+        if request.cancelled:
+            outcome = engine.finish_background_compile(request, None, None)
+        else:
+            record = error = None
+            # One in-flight compilation per engine: the engine's
+            # inliner and optimizer carry per-compilation state.
+            with engine.background_compile_lock():
+                try:
+                    record = engine.execute_compile_request(request)
+                except Exception as failure:  # CompileError, IRError, bugs
+                    error = failure
+                elapsed = time.monotonic() - request.started_at
+                if obs.enabled:
+                    obs.metrics.histogram("compile.queue.compile_ms").record(
+                        elapsed * 1000.0
+                    )
+                outcome = engine.finish_background_compile(
+                    request, record, error
+                )
+        if outcome == "installed":
+            self.completed += 1
+            if obs.enabled:
+                obs.metrics.counter("compile.queue.completed").inc()
+        elif outcome == "cancelled":
+            self.cancelled += 1
+            if obs.enabled:
+                obs.metrics.counter("compile.queue.cancelled").inc()
+        else:
+            self.failed += 1
+            if obs.enabled:
+                obs.metrics.counter("compile.queue.failed").inc()
+        request.finish(outcome)
+
+    def _worker_loop(self):
+        while True:
+            request = self.queue.pop(timeout=0.1)
+            if request is None:
+                if self.queue.closed:
+                    return
+                continue
+            self._serve(request)
+
+    def run_queued(self, limit=None):
+        """Drain queued requests on the *calling* thread.
+
+        The deterministic mode behind ``workers=0``: tests submit
+        requests, then decide exactly when each compilation runs.
+        Returns the number of requests served.
+        """
+        served = 0
+        while limit is None or served < limit:
+            request = self.queue.pop(timeout=0)
+            if request is None:
+                break
+            self._serve(request)
+            served += 1
+        return served
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def close(self, timeout=5.0):
+        """Close the queue, cancel what never ran, join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for request in self.queue.close():
+            self.cancelled += 1
+            outcome = request.engine.finish_background_compile(
+                request, None, None
+            )
+            request.finish(outcome)
+        for thread in self._workers:
+            thread.join(timeout)
+        self._workers = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    @property
+    def depth(self):
+        return len(self.queue)
+
+    @property
+    def has_workers(self):
+        return bool(self._workers)

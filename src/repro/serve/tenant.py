@@ -1,0 +1,97 @@
+"""One hosted tenant: an engine, a workload loop, an outcome record.
+
+A tenant's workload is ``iterations`` calls of its entry point on its
+own engine (own :class:`~repro.runtime.vmstate.VMState`, own profiles —
+possibly pooled, see :mod:`repro.serve.profiles` — and a per-tenant
+view of the shared code cache). Outcomes are normalized exactly like
+the fuzz oracle's: ``("value", v)`` or ``("trap", kind)`` — a trap
+aborts only its own iteration. That makes a service run directly
+comparable across compile modes: sync and async must produce
+bit-identical outcome lists and printed output per tenant.
+"""
+
+import time
+
+from repro.errors import TrapError, VMError
+
+
+class Tenant:
+    """One admitted workload and its execution record."""
+
+    STATES = ("admitted", "running", "done", "failed", "evicted")
+
+    def __init__(self, spec, engine, tenant_id):
+        self.spec = spec
+        self.engine = engine
+        self.tenant_id = tenant_id
+        self.name = spec.name
+        self.state = "admitted"
+        self.outcomes = []
+        self.iterations_done = 0
+        self.wall_seconds = 0.0
+        self.error = None
+        self._evicted = False
+
+    def mark_evicted(self):
+        """Ask the workload loop to stop at the next iteration edge."""
+        self._evicted = True
+
+    @property
+    def evicted(self):
+        return self._evicted
+
+    def run_workload(self):
+        """Run the tenant's iterations; never raises.
+
+        Traps are recorded per iteration (the VM keeps running, exactly
+        like the oracle's protocol); only an engine *crash* — a
+        non-VMError — fails the tenant.
+        """
+        engine = self.engine
+        entry = self.spec.entry
+        self.state = "running"
+        started = time.perf_counter()
+        try:
+            for _ in range(self.spec.iterations):
+                if self._evicted:
+                    break
+                try:
+                    result = engine.run_iteration(entry[0], entry[1])
+                    self.outcomes.append(("value", result.value))
+                except TrapError as trap:
+                    self.outcomes.append(("trap", trap.kind))
+                except VMError as crash:
+                    self.outcomes.append(("crash", type(crash).__name__))
+                self.iterations_done += 1
+            self.state = "evicted" if self._evicted else "done"
+        except Exception as error:  # pragma: no cover - defensive
+            self.state = "failed"
+            self.error = error
+        finally:
+            self.wall_seconds = time.perf_counter() - started
+
+    @property
+    def output(self):
+        return list(self.engine.vm.output)
+
+    def throughput(self):
+        """Iterations per second of wall time (0 before running)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.iterations_done / self.wall_seconds
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "tenant_id": self.tenant_id,
+            "benchmark": self.spec.benchmark,
+            "state": self.state,
+            "iterations": self.iterations_done,
+            "requested_iterations": self.spec.iterations,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "throughput": round(self.throughput(), 3),
+            "compilations": self.engine.compilation_count,
+            "async_installs": self.engine.async_installs,
+            "deopts": self.engine.deopt_count,
+            "merge": self.spec.merge,
+        }

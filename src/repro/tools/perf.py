@@ -246,6 +246,81 @@ def _mixed_workload(benchmark, iterations, repeats, progress):
     return pair
 
 
+#: fleet size of the serving workload — ≥4 tenants so the fairness
+#: index and queue contention are meaningful.
+SERVE_TENANTS = 6
+
+
+def _serve_once(mode, iterations):
+    """One mixed-traffic fleet run; returns (report, per-tenant state)."""
+    from repro.serve import ServiceConfig, VMService
+    from repro.tools.serve import mixed_specs
+
+    config = ServiceConfig(
+        max_tenants=SERVE_TENANTS,
+        compile_workers=2,
+        compile_mode=mode,
+        hot_threshold=10,
+    )
+    with VMService(config) as service:
+        for spec in mixed_specs(SERVE_TENANTS, iterations):
+            service.admit(spec)
+        report = service.run(concurrent=True)
+        state = {
+            tenant.name: (list(tenant.outcomes), tenant.output)
+            for tenant in service.tenants.values()
+        }
+    return report, state
+
+
+def _serve_workload(benchmark, iterations, repeats, progress):
+    """Multi-tenant serving: synchronous compilation (tenants stall on
+    their own compiles) vs the background pipeline (compiles overlap
+    interpretation across the whole fleet).
+
+    Semantics here is per-tenant outcomes + printed output — *not*
+    cycles, whose attribution legitimately differs across modes (async
+    charges compile cycles to ``background_compile_cycles``). The
+    result carries the serving-specific measurements on top of the
+    usual pair shape: fleet throughput, Jain fairness, queue stats.
+    """
+    sync_runs, async_runs = [], []
+    semantics_identical = True
+    for _ in range(repeats):
+        sync_report, sync_state = _serve_once("sync", iterations)
+        async_report, async_state = _serve_once("async", iterations)
+        sync_runs.append(sync_report)
+        async_runs.append(async_report)
+        if sync_state != async_state:
+            semantics_identical = False
+        if progress:
+            sys.stderr.write(".")
+            sys.stderr.flush()
+    sync_t = statistics.median(r.wall_seconds for r in sync_runs)
+    async_t = statistics.median(r.wall_seconds for r in async_runs)
+    median_async = sorted(
+        async_runs, key=lambda r: r.wall_seconds
+    )[len(async_runs) // 2]
+    return {
+        "workload": "serve-mixed",
+        "benchmark": benchmark,
+        "baseline": {"name": "serve-sync", "seconds": round(sync_t, 6)},
+        "fast": {"name": "serve-async", "seconds": round(async_t, 6)},
+        "clock": "wall",
+        "speedup": round(sync_t / async_t, 3) if async_t > 0 else None,
+        "reduction_percent": (
+            round(100.0 * (1.0 - async_t / sync_t), 1) if sync_t > 0 else None
+        ),
+        "semantics_identical": semantics_identical,
+        "repeats": repeats,
+        "iterations": iterations,
+        "tenants": SERVE_TENANTS,
+        "throughput": round(median_async.throughput, 3),
+        "fairness": round(median_async.fairness, 4),
+        "queue": median_async.queue_stats,
+    }
+
+
 # Pinned matrix: (builder, benchmark, full-(iterations, repeats),
 # quick-(iterations, repeats) or None to skip in quick mode).
 # Benchmarks chosen so each workload is actually bound by the phase it
@@ -257,6 +332,7 @@ MATRIX = [
     (_compile_workload, "kiama", (6, 7), (6, 1)),
     (_compile_workload, "scaladoc", (6, 3), None),
     (_mixed_workload, "jython", (4, 5), (2, 1)),
+    (_serve_workload, "mixed-fleet", (8, 3), (4, 1)),
 ]
 
 

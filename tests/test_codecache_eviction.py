@@ -1,0 +1,307 @@
+"""Eviction accounting of the shared, budgeted code cache.
+
+Unit tests drive :class:`~repro.jit.codecache.SharedCodeCache` directly
+with stub code objects (the cache only reads ``.size``); the
+integration tests at the bottom run a real engine over a
+:class:`~repro.jit.codecache.TenantCacheView` so quota pressure and
+rejection interact with actual compilation and dispatch.
+"""
+
+from repro.baselines import tuned_inliner
+from repro.bytecode import MethodBuilder, verify_program
+from repro.jit.codecache import SharedCodeCache
+from repro.jit.config import JitConfig
+from repro.jit.engine import Engine
+
+from tests.helpers import fresh_program, shapes_program
+
+
+class FakeCode:
+    """The cache's whole contract with installed code is ``.size``."""
+
+    def __init__(self, size):
+        self.size = size
+
+
+def fill(cache, tenant, names, size=40):
+    for name in names:
+        assert cache.install(tenant, name, FakeCode(size))
+
+
+# ----------------------------------------------------------------------
+# Quota enforcement
+# ----------------------------------------------------------------------
+
+
+class TestQuotaEnforcement:
+    def test_tenant_quota_evicts_down_to_quota(self):
+        cache = SharedCodeCache(tenant_quota=100)
+        fill(cache, "a", ["m1", "m2", "m3"], size=40)
+        assert cache.tenant_size("a") <= 100
+        assert cache.eviction_count == 1
+        # LRU: the first-installed entry was the victim.
+        assert cache.get("a", "m1") is None
+        assert cache.get("a", "m2") is not None
+
+    def test_quota_is_per_tenant_not_global(self):
+        cache = SharedCodeCache(tenant_quota=100)
+        fill(cache, "a", ["m1", "m2"], size=40)
+        fill(cache, "b", ["m1", "m2"], size=40)
+        # Both tenants fit their own quota; nothing evicted even though
+        # the process holds 160 bytes.
+        assert cache.eviction_count == 0
+        assert cache.total_size == 160
+
+    def test_global_budget_evicts_across_tenants(self):
+        cache = SharedCodeCache(budget=100)
+        fill(cache, "a", ["m1"], size=60)
+        fill(cache, "b", ["m1"], size=60)
+        # Tenant a's entry was the least recently used process-wide.
+        assert cache.total_size == 60
+        assert cache.get("a", "m1") is None
+        assert cache.get("b", "m1") is not None
+        assert cache.evictions_of("a") == 1
+        assert cache.evictions_of("b") == 0
+
+    def test_oversized_entry_rejected_not_thrashed(self):
+        cache = SharedCodeCache(tenant_quota=100)
+        fill(cache, "a", ["m1"], size=40)
+        assert cache.install("a", "huge", FakeCode(101)) is False
+        # Rejected outright: nothing was evicted to make room.
+        assert cache.quota_rejections == 1
+        assert cache.eviction_count == 0
+        assert cache.get("a", "m1") is not None
+        assert cache.get("a", "huge") is None
+
+    def test_entry_over_global_budget_rejected(self):
+        cache = SharedCodeCache(budget=50)
+        assert cache.install("a", "m1", FakeCode(51)) is False
+        assert cache.quota_rejections == 1
+        assert len(cache) == 0
+
+    def test_per_tenant_quota_override(self):
+        cache = SharedCodeCache(tenant_quota=100)
+        cache.view("big", quota=500)
+        fill(cache, "big", ["m1", "m2", "m3"], size=100)
+        assert cache.eviction_count == 0
+        assert cache.tenant_size("big") == 300
+
+
+# ----------------------------------------------------------------------
+# Victim selection: LRU vs hotness
+# ----------------------------------------------------------------------
+
+
+class TestVictimSelection:
+    def test_lru_spares_recently_dispatched(self):
+        cache = SharedCodeCache(budget=120)
+        fill(cache, "a", ["m1", "m2", "m3"], size=40)
+        assert cache.get("a", "m1") is not None  # bump m1's recency
+        assert cache.install("a", "m4", FakeCode(40))
+        # m2 — not m1 — was least recently used.
+        assert cache.get("a", "m2") is None
+        assert cache.get("a", "m1") is not None
+
+    def test_hotness_evicts_coldest_regardless_of_recency(self):
+        heat = {"cold": 1, "warm": 50, "hot": 900}
+        cache = SharedCodeCache(
+            budget=120,
+            policy="hotness",
+            hotness_fn=lambda tenant, method: heat.get(method, 0),
+        )
+        fill(cache, "a", ["cold", "warm", "hot"], size=40)
+        assert cache.get("a", "cold") is not None  # recency can't save it
+        heat["m4"] = 10
+        assert cache.install("a", "m4", FakeCode(40))
+        assert cache.get("a", "cold") is None
+        assert cache.get("a", "warm") is not None
+        assert cache.get("a", "hot") is not None
+
+    def test_hotness_ties_fall_back_to_lru(self):
+        cache = SharedCodeCache(
+            budget=80, policy="hotness",
+            hotness_fn=lambda tenant, method: 7,
+        )
+        fill(cache, "a", ["m1", "m2"], size=40)
+        assert cache.get("a", "m1") is not None
+        assert cache.install("a", "m3", FakeCode(40))
+        assert cache.get("a", "m2") is None
+        assert cache.get("a", "m1") is not None
+
+    def test_just_installed_entry_is_never_the_victim(self):
+        cache = SharedCodeCache(tenant_quota=40)
+        fill(cache, "a", ["m1"], size=40)
+        assert cache.install("a", "m2", FakeCode(40))
+        # m2 (the protected install) survived; m1 was evicted.
+        assert cache.get("a", "m2") is not None
+        assert cache.get("a", "m1") is None
+
+
+# ----------------------------------------------------------------------
+# OSR side-table interaction
+# ----------------------------------------------------------------------
+
+
+class TestOsrEviction:
+    def test_policy_eviction_cascades_osr_entries(self):
+        cache = SharedCodeCache(budget=200)
+        assert cache.install("a", "loopy", FakeCode(40))
+        assert cache.install_osr("a", "loopy", 5, FakeCode(30))
+        assert cache.install_osr("a", "loopy", 9, FakeCode(30))
+        assert cache.osr_count("a") == 2
+        # Push the root method out via budget pressure: both OSR
+        # continuations must go with it (a continuation without its
+        # root method is dead weight).
+        assert cache.install("a", "big", FakeCode(180))
+        assert cache.get("a", "loopy") is None
+        assert cache.osr_count("a") == 0
+        assert cache.eviction_count == 3
+        assert cache.total_size == 180
+
+    def test_engine_driven_evict_does_not_cascade(self):
+        # Deopt invalidation drops exactly the entry the engine names:
+        # an OSR continuation stays installed when only the root method
+        # is invalidated (and vice versa) — the engine owns that policy.
+        cache = SharedCodeCache()
+        assert cache.install("a", "loopy", FakeCode(40))
+        assert cache.install_osr("a", "loopy", 5, FakeCode(30))
+        assert cache.evict("a", "loopy")
+        assert cache.osr_count("a") == 1
+        assert cache.get_osr("a", "loopy", 5) is not None
+
+    def test_osr_entry_can_be_the_lru_victim_alone(self):
+        cache = SharedCodeCache(budget=100)
+        assert cache.install_osr("a", "loopy", 5, FakeCode(40))
+        assert cache.install("a", "m1", FakeCode(40))
+        assert cache.install("a", "m2", FakeCode(40))
+        # The OSR continuation was oldest; evicting it must not touch
+        # the whole-method entries.
+        assert cache.osr_count("a") == 0
+        assert cache.get("a", "m1") is not None
+        assert cache.get("a", "m2") is not None
+
+
+# ----------------------------------------------------------------------
+# Reinstall accounting
+# ----------------------------------------------------------------------
+
+
+class TestReinstallAccounting:
+    def test_reinstall_after_evict_is_counted(self):
+        cache = SharedCodeCache(tenant_quota=80)
+        fill(cache, "a", ["m1", "m2"], size=40)
+        assert cache.install("a", "m3", FakeCode(40))  # evicts m1
+        assert cache.reinstalls_after_evict("a") == 0
+        assert cache.install("a", "m1", FakeCode(40))  # the thrash signal
+        assert cache.reinstalls_after_evict("a") == 1
+
+    def test_plain_reinstall_is_not_thrash(self):
+        cache = SharedCodeCache()
+        assert cache.install("a", "m1", FakeCode(40))
+        assert cache.install("a", "m1", FakeCode(50))  # recompile, no evict
+        assert cache.reinstalls_of("a") == 1
+        assert cache.reinstalls_after_evict("a") == 0
+        # Reinstall replaces: bytes are the new size, not the sum.
+        assert cache.tenant_size("a") == 50
+
+    def test_drop_tenant_reclaims_everything(self):
+        cache = SharedCodeCache()
+        fill(cache, "a", ["m1", "m2"], size=40)
+        cache.install_osr("a", "m1", 3, FakeCode(20))
+        fill(cache, "b", ["m1"], size=40)
+        assert cache.drop_tenant("a") == 100
+        assert cache.tenant_size("a") == 0
+        assert len(cache) == 1
+        assert cache.get("b", "m1") is not None
+
+
+# ----------------------------------------------------------------------
+# Integration: a real engine over a tenant view
+# ----------------------------------------------------------------------
+
+
+def _run_engine(code_cache=None, iterations=8):
+    engine = Engine(
+        shapes_program(),
+        JitConfig(hot_threshold=2),
+        tuned_inliner(0.5),
+        code_cache=code_cache,
+    )
+    values = [
+        engine.run_iteration("Main", "run").value for _ in range(iterations)
+    ]
+    return engine, values
+
+
+def _two_entry_program():
+    """Two identical independent entry points — a working set of two
+    methods that only ever reach compiled code via engine dispatch, so
+    a budget that fits one of them must thrash."""
+    program = fresh_program()
+    holder = program.define_class("T", is_abstract=True)
+    for name in ("f", "g"):
+        builder = MethodBuilder(name, [], "int", is_static=True)
+        builder.const(0)
+        for i in range(20):
+            builder.const(i).add()
+        builder.retv()
+        holder.add_method(builder.build())
+    verify_program(program)
+    return program
+
+
+class TestEngineIntegration:
+    def test_tiny_budget_evicts_but_preserves_semantics(self):
+        program = _two_entry_program()
+
+        def alternate(code_cache):
+            engine = Engine(
+                program, JitConfig(hot_threshold=2), None,
+                code_cache=code_cache,
+            )
+            return engine, [
+                engine.run_iteration("T", "fg"[i % 2]).value
+                for i in range(12)
+            ]
+
+        _, reference = alternate(None)
+        # Measure one compiled method, then budget for exactly one.
+        probe = SharedCodeCache()
+        alternate(probe.view(0))
+        one_method = probe.size_of(0, program.lookup_method("T", "f"))
+        assert one_method > 0
+
+        shared = SharedCodeCache(budget=one_method)
+        _, values = alternate(shared.view(0))
+        assert values == reference
+        # f and g keep displacing each other: every install past the
+        # first evicts the other method, and each recompile of a
+        # previously evicted method counts as thrash.
+        assert shared.eviction_count >= 2
+        assert shared.reinstalls_after_evict(0) >= 1
+        assert shared.total_size <= one_method
+
+    def test_quota_rejection_marks_method_failed(self):
+        _, reference = _run_engine()
+        shared = SharedCodeCache(tenant_quota=1)
+        engine, values = _run_engine(code_cache=shared.view(0))
+        assert values == reference
+        # Nothing fit under a 1-byte quota: every compile was rejected
+        # once, then the engine stopped retrying (no thrash loop).
+        assert shared.quota_rejections > 0
+        assert len(shared) == 0
+        assert engine.compilation_count == 0
+
+    def test_two_tenants_share_the_budget(self):
+        shared = SharedCodeCache(budget=10**6)
+        engine_a, values_a = _run_engine(code_cache=shared.view("a"))
+        engine_b, values_b = _run_engine(code_cache=shared.view("b"))
+        assert values_a == values_b
+        assert shared.tenant_size("a") > 0
+        assert shared.tenant_size("a") == shared.tenant_size("b")
+        # The view reports *global* pressure as total_size by design.
+        view = shared.view("a")
+        assert view.total_size == shared.total_size
+        assert view.total_size == (
+            shared.tenant_size("a") + shared.tenant_size("b")
+        )

@@ -57,7 +57,9 @@ def test_cli_quick_writes_json(tmp_path):
     assert payload["quick"] is True
     workloads = payload["workloads"]
     kinds = {w["workload"] for w in workloads}
-    assert kinds == {"interpreter-bound", "compile-bound", "mixed"}
+    assert kinds == {
+        "interpreter-bound", "compile-bound", "mixed", "serve-mixed",
+    }
     for w in workloads:
         assert w["semantics_identical"] is True
         assert w["baseline"]["seconds"] > 0.0

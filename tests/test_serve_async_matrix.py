@@ -1,0 +1,174 @@
+"""Composability of background compilation with the other env pins.
+
+``REPRO_COMPILE=async`` moves compilation onto a background queue that
+the workload drains at iteration edges; values, trap kinds, and printed
+output must stay bit-identical to synchronous compilation under every
+combination of the speculation, OSR, and interpreter-tier pins — the
+async pipeline may only change *when* compiled code becomes available,
+never what it computes. Cycles are deliberately not compared across the
+compile-mode bit: async charges compile cycles to the engine's
+``background_compile_cycles`` ledger instead of the triggering
+iteration, so per-iteration cycle counts legitimately differ.
+
+The compile-mode pin is read at engine construction, so every
+combination runs in a fresh subprocess (same harness as
+``test_env_pin_matrix``).
+"""
+
+import itertools
+import json
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: (env var, pinned value) — bit i of a combination sets PINS[i].
+PINS = [
+    ("REPRO_COMPILE", "async"),
+    ("REPRO_SPECULATE", "off"),
+    ("REPRO_OSR", "off"),
+    ("REPRO_INTERP", "predecode"),
+]
+
+# The pinned workload, three parts, each stressing a different
+# interaction with the background pipeline:
+#
+# 1. The receiver-flip driver: speculation plus a guaranteed deopt at
+#    iteration 10 — a deopt in async mode also cancels pending requests
+#    for the method, so this exercises the cancellation edge.
+#
+# 2. The shapes loop with an unreachable dispatch threshold: the only
+#    route into compiled code is an OSR transfer, so in async mode the
+#    OSR continuation itself is compiled in the background.
+#
+# 3. A trapping division driven through zero every fourth call: trap
+#    kinds must survive the compiled tier regardless of *when* the
+#    compiled code was installed.
+CHILD = r"""
+import json
+
+from repro.baselines import tuned_inliner
+from repro.errors import TrapError
+from repro.jit.config import JitConfig
+from repro.jit.engine import Engine
+from tests.test_deopt import flip_program
+from tests.helpers import shapes_program, single_method_program
+
+def observe(engine, cls, name, args):
+    try:
+        return ("value", engine.run_iteration(cls, name, args).value)
+    except TrapError as trap:
+        return ("trap", trap.kind)
+    finally:
+        # Async mode: settle the queue at the iteration edge so
+        # compiled code is reached deterministically; sync no-op.
+        engine.drain_compiles()
+
+flip = Engine(
+    flip_program(),
+    JitConfig(hot_threshold=4, speculate=True),
+    tuned_inliner(1.0),
+)
+flip_outcomes = [
+    observe(flip, "Main", "drive", [i % 2 if i >= 10 else 0])
+    for i in range(16)
+]
+
+osr = Engine(
+    shapes_program(),
+    JitConfig(hot_threshold=10**9, osr=True, osr_threshold=30),
+    tuned_inliner(1.0),
+)
+osr_outcomes = [observe(osr, "Main", "run", []) for _ in range(2)]
+
+trap = Engine(
+    single_method_program(
+        lambda b: b.const(100).load(0).div().retv()
+    ),
+    JitConfig(hot_threshold=3),
+    tuned_inliner(1.0),
+)
+trap_outcomes = [observe(trap, "T", "f", [2 - i % 4]) for i in range(12)]
+
+engines = (flip, osr, trap)
+result = {
+    "flip": flip_outcomes,
+    "osr": osr_outcomes,
+    "trap": trap_outcomes,
+    "output": [list(e.vm.output) for e in engines],
+    "deopts": flip.deopt_count,
+    "osr_entries": osr.osr_entry_count,
+    "async_installs": sum(e.async_installs for e in engines),
+    "compilations": sum(e.compilation_count for e in engines),
+}
+for e in engines:
+    e.shutdown()
+print(json.dumps(result))
+"""
+
+
+def _run_combo(bits):
+    env = dict(os.environ)
+    for (name, value), bit in zip(PINS, bits):
+        env.pop(name, None)
+        if bit:
+            env[name] = value
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD],
+        env=env,
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, "combo %r failed:\n%s" % (bits, proc.stderr)
+    return json.loads(proc.stdout)
+
+
+def test_async_pin_matrix_bit_identical():
+    results = {
+        bits: _run_combo(bits)
+        for bits in itertools.product((False, True), repeat=len(PINS))
+    }
+    baseline = results[(False,) * len(PINS)]
+
+    # Outcomes (values and trap kinds) and printed output are
+    # bit-identical across all sixteen combinations.
+    for bits, result in results.items():
+        assert result["flip"] == baseline["flip"], bits
+        assert result["osr"] == baseline["osr"], bits
+        assert result["trap"] == baseline["trap"], bits
+        assert result["output"] == baseline["output"], bits
+
+    # The deopt protocol is compile-mode independent: within each
+    # speculation setting, every combination observed the same deopts.
+    for spec_off in (False, True):
+        group = [
+            result["deopts"]
+            for bits, result in results.items()
+            if bits[1] == spec_off
+        ]
+        assert all(count == group[0] for count in group), spec_off
+
+    # Sanity: the trapping workload actually trapped, and kept trapping
+    # after the method compiled.
+    assert baseline["trap"][2][0] == "trap"
+    assert baseline["trap"][10][0] == "trap"
+    assert any(kind == "value" for kind, _ in baseline["trap"])
+
+    # Sanity: the async bit exercised the background pipeline — every
+    # async combination installed code off the queue; no sync
+    # combination did.
+    for bits, result in results.items():
+        assert result["compilations"] > 0, bits
+        if bits[0]:
+            assert result["async_installs"] > 0, bits
+        else:
+            assert result["async_installs"] == 0, bits
+
+    # Sanity: the pinned bits changed real behaviour.
+    assert baseline["deopts"] == 1
+    assert baseline["osr_entries"] >= 1
+    assert results[(False, True, False, False)]["deopts"] == 0
+    assert results[(False, False, True, False)]["osr_entries"] == 0
