@@ -85,6 +85,15 @@ class MachineCode:
             :class:`~repro.deopt.FrameTemplate` tuples, indexed by the
             operand of ``GUARD``/``DEOPT`` instructions. Empty for
             non-speculative code.
+        py_factory / py_source: the Python execution tier riding along
+            (:mod:`repro.backend.pycodegen`): ``py_factory(vm,
+            dispatch, sink)`` returns the closure the engine runs
+            instead of the machine executor when the ``py`` backend is
+            selected; ``py_source`` is the generated source (debugging
+            and tests). ``None`` when the machine backend is selected
+            or the generator bailed out. ``size`` stays the machine
+            instruction count either way, so code-cache accounting,
+            quotas and the icache model are backend-independent.
     """
 
     __slots__ = (
@@ -94,6 +103,8 @@ class MachineCode:
         "entry_cost",
         "size",
         "deopt_table",
+        "py_factory",
+        "py_source",
     )
 
     def __init__(self, method, instrs, num_regs, entry_cost, deopt_table=()):
@@ -103,6 +114,8 @@ class MachineCode:
         self.entry_cost = entry_cost
         self.size = len(instrs)
         self.deopt_table = tuple(deopt_table)
+        self.py_factory = None
+        self.py_source = None
 
     def listing(self):
         """Human-readable disassembly (for tests and debugging)."""

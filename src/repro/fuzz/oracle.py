@@ -126,6 +126,22 @@ ORACLE_CONFIGS = {
              speculate=True),
         tuned_inliner(0.1),
     ),
+    # The Python-codegen top tier: optimized graphs run as generated
+    # Python closures instead of the machine model. Values, trap kinds
+    # and output must stay bit-identical to every other tier — the
+    # machine model remains the oracle. REPRO_BACKEND=machine still
+    # pins these configurations back to the machine executor by design.
+    "jit-py": lambda: (
+        _cfg(backend="py"),
+        tuned_inliner(0.1),
+    ),
+    # ... and with speculation + OSR on top, so guard/deopt raises and
+    # OSR continuations generated by the py tier cross the same resume
+    # paths the machine tier uses.
+    "jit-py-speculate": lambda: (
+        _cfg(backend="py", speculate=True, osr=True, osr_threshold=6),
+        tuned_inliner(0.1),
+    ),
 }
 
 

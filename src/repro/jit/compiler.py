@@ -17,6 +17,7 @@ pipeline, and the inliner's decision trace bridged in as
 """
 
 from repro.backend.lowering import lower_graph
+from repro.backend.pycodegen import PyCodegenBailout, generate as generate_py
 from repro.errors import CompileError
 from repro.ir.builder import build_graph
 from repro.ir.frequency import annotate_frequencies
@@ -103,6 +104,9 @@ class JitCompiler:
         self.profiles = profiles
         self.config = config
         self.inliner = inliner
+        #: Resolved once per compiler so every compilation of this VM
+        #: instance (sync or background pipeline) uses one backend.
+        self.backend = config.backend_resolved()
         self.obs = obs if obs is not None else NULL_OBS
         self.pipeline = OptimizationPipeline(
             program, config.optimizer, obs=self.obs
@@ -213,6 +217,9 @@ class JitCompiler:
             work_units = graph.node_count()
             with events.span("lower"), timers.span("compile.lower"):
                 code = lower_graph(graph, self.config.cost_model)
+            backend = "machine"
+            if self.backend == "py":
+                backend = self._attach_py_tier(graph, code, obs)
             compile_cycles = self.config.cost_model.compile_cost(
                 work_units, passes=self.config.optimizer.max_iterations
             )
@@ -224,6 +231,7 @@ class JitCompiler:
                 nodes=work_units,
                 code_size=code.size,
                 compile_cycles=compile_cycles,
+                backend=backend,
             )
             if obs.enabled and memo is not None:
                 obs.metrics.gauge("inline.trial_memo.hits").set(memo.hits)
@@ -233,6 +241,48 @@ class JitCompiler:
         )
         self.records.append(record)
         return record
+
+    def _attach_py_tier(self, graph, code, obs):
+        """Lower *graph* to a Python closure and attach it to *code*.
+
+        Returns the backend that will actually execute this root:
+        ``"py"`` on success, ``"machine"`` when the generator bails out
+        (unsupported shape) — the machine code is always present, so a
+        bailout degrades to the oracle tier, never to a wrong answer.
+        """
+        events = obs.events
+        try:
+            with events.span("pycodegen"), \
+                    obs.timers.span("compile.pycodegen"):
+                factory, source = generate_py(
+                    graph, self.config.cost_model
+                )
+        except PyCodegenBailout as bailout:
+            if obs.enabled:
+                metrics = obs.metrics
+                metrics.counter("backend.py.bailouts").inc()
+                metrics.counter(
+                    "backend.py.bailouts.%s" % bailout.reason
+                ).inc()
+                events.emit(
+                    "backend.bailout",
+                    method=graph.name,
+                    reason=bailout.reason,
+                    detail=bailout.detail,
+                )
+                if obs.flight.enabled:
+                    obs.flight.record(
+                        "backend.bailout",
+                        method=graph.name,
+                        reason=bailout.reason,
+                        detail=bailout.detail,
+                    )
+            return "machine"
+        code.py_factory = factory
+        code.py_source = source
+        if obs.enabled:
+            obs.metrics.counter("backend.py.compiles").inc()
+        return "py"
 
     def _run_inliner(self, graph, obs):
         """Run the inlining policy inside an ``inline`` span, mirroring

@@ -80,6 +80,19 @@ class JitConfig:
             ``REPRO_COMPILE=sync`` is a hard pin that overrides even an
             explicit ``"async"``, so differential harnesses can force
             the deterministic fallback from the outside.
+        backend: which executor runs compiled roots. ``"machine"`` is
+            the deterministic cycle-model register machine
+            (:mod:`repro.backend.machine`) — the differential oracle.
+            ``"py"`` additionally lowers each optimized graph to a live
+            Python closure (:mod:`repro.backend.pycodegen`) and runs
+            that instead; values, trap kinds, printed output, cycles
+            and deopt frames are bit-identical by construction, only
+            host wall-clock changes. ``None`` (default) defers to the
+            ``REPRO_BACKEND`` environment knob, which defaults to
+            machine. ``REPRO_BACKEND=machine`` is a hard pin that
+            overrides even an explicit ``backend="py"``, so
+            differential harnesses can force the oracle backend from
+            the outside — mirroring ``REPRO_SPECULATE=off``.
         compile_workers: worker threads of the engine-private
             background pipeline (only used when the engine runs async
             *without* an externally attached compile service — a
@@ -109,6 +122,7 @@ class JitConfig:
         osr=None,
         osr_threshold=400,
         flight_dump=None,
+        backend=None,
         compile_mode=None,
         compile_workers=1,
         compile_queue_capacity=32,
@@ -129,6 +143,7 @@ class JitConfig:
         self.osr = osr
         self.osr_threshold = osr_threshold
         self.flight_dump = flight_dump
+        self.backend = backend
         self.compile_mode = compile_mode
         self.compile_workers = compile_workers
         self.compile_queue_capacity = compile_queue_capacity
@@ -152,6 +167,26 @@ class JitConfig:
         if self.speculate is None:
             return env in ("on", "1", "true")
         return bool(self.speculate)
+
+    def backend_resolved(self):
+        """Resolve the backend knob against ``REPRO_BACKEND``.
+
+        Returns ``"machine"`` or ``"py"``. ``REPRO_BACKEND=machine`` is
+        a hard pin back to the oracle backend that overrides even an
+        explicit ``backend="py"``; ``REPRO_BACKEND=py`` turns the
+        Python tier on when the config leaves the choice open
+        (``backend=None``).
+        """
+        env = os.environ.get("REPRO_BACKEND", "").strip().lower()
+        if env == "machine":
+            return "machine"
+        if self.backend is None:
+            return "py" if env == "py" else "machine"
+        return (
+            "py"
+            if str(self.backend).strip().lower() == "py"
+            else "machine"
+        )
 
     def compile_mode_resolved(self):
         """Resolve the compile mode against ``REPRO_COMPILE``.

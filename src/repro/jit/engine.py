@@ -132,6 +132,21 @@ class Engine:
             speculation_log=self.speculation_log,
         )
         self.executor = MachineExecutor(self.vm, self._dispatch, self)
+        #: Which tier runs compiled roots: ``"machine"`` (the cycle
+        #: model, the differential oracle) or ``"py"`` (generated
+        #: Python closures, :mod:`repro.backend.pycodegen`). Resolved
+        #: once at construction — mirrors ``compile_mode`` below.
+        self.backend = self.config.backend_resolved()
+        self._py = self.backend == "py"
+        #: Bound Python-tier entries, keyed by code-object identity.
+        #: The factory closes over the generated module; binding it to
+        #: this engine's VM state/dispatch/cycle sink happens once per
+        #: installed code object, on first execution.
+        self._py_entries = {}
+        #: Executions served by the Python tier (plain attribute so
+        #: un-instrumented differential tests can assert the py tier
+        #: actually ran).
+        self.py_exec_count = 0
         self.compiled_cycles = 0
         self.compile_cycles = 0
         self.icache_cycles = 0
@@ -190,6 +205,28 @@ class Engine:
     def add_compiled_cycles(self, cycles):
         self.compiled_cycles += cycles
 
+    def _execute(self, code, args):
+        """Run installed *code* on the selected backend.
+
+        The ``py`` tier runs the generated closure riding on the code
+        object when present (bound to this engine's VM state, dispatch
+        and cycle sink once, then cached per engine — code objects are
+        shared across tenants, bindings are not); roots whose generator
+        bailed out fall back to the machine executor, so a mixed cache
+        is fine. Both tiers raise the same traps and
+        :class:`~repro.deopt.DeoptSignal`; callers don't care which ran.
+        """
+        if self._py and code.py_factory is not None:
+            entry = self._py_entries.get(code)
+            if entry is None:
+                entry = code.py_factory(
+                    self.vm, self._dispatch, self.add_compiled_cycles
+                )
+                self._py_entries[code] = entry
+            self.py_exec_count += 1
+            return entry(args)
+        return self.executor.execute(code, args)
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
@@ -210,7 +247,7 @@ class Engine:
                 if self._icache_counter is not None:
                     self._icache_counter.inc(penalty)
             try:
-                return self.executor.execute(code, args)
+                return self._execute(code, args)
             except DeoptSignal as signal:
                 # Caught at the deopting method's *own* dispatch
                 # boundary, so compiled callers further up the stack
@@ -254,9 +291,20 @@ class Engine:
             self._cancel_pending(method)
         with self._cache_lock:
             if osr_key is not None:
+                stale = (
+                    self.code_cache.get_osr(method, osr_key)
+                    if self._py
+                    else None
+                )
                 invalidated = self.code_cache.evict_osr(method, osr_key)
             else:
+                stale = self.code_cache.get(method) if self._py else None
                 invalidated = self.code_cache.evict(method)
+        if stale is not None:
+            # Drop the bound closure with the code: a recompile installs
+            # a fresh code object, and the refuted binding must not pin
+            # the old one in memory.
+            self._py_entries.pop(stale, None)
         if invalidated:
             self.invalidation_count += 1
             if self._flight.enabled:
@@ -696,7 +744,7 @@ class Engine:
             )
         args = list(locals_) + list(stack)
         try:
-            return self.executor.execute(code, args)
+            return self._execute(code, args)
         except DeoptSignal as signal:
             # Same safety net as whole-method code: invalidate (just
             # the OSR continuation) and fall back through the

@@ -17,7 +17,12 @@ back with :meth:`EventLog.read_jsonl`) into a plain-dict report:
 """
 
 #: Child spans of ``compile`` whose wall time is reported per phase.
-PHASES = ("build", "inline", "optimize", "lower")
+#: ``pycodegen`` only appears when the Python-codegen backend runs.
+PHASES = ("build", "inline", "optimize", "lower", "pycodegen")
+
+#: Phases omitted from per-compile phase listings when they took no
+#: time (they don't exist in every configuration).
+OPTIONAL_PHASES = ("inline", "pycodegen")
 
 #: Inline decision kinds surfaced in the rollup, in display order.
 INLINE_KINDS = ("expand", "decline", "cluster", "inline", "reject", "typeswitch")
@@ -37,6 +42,7 @@ def build_report(records):
     failures = []
     deopts = []  # {"method", "reason", "site"}
     invalidations = []
+    backend_bailouts = []  # {"method", "reason", "detail"}
 
     def enclosing_compile(sid):
         while sid is not None:
@@ -63,6 +69,8 @@ def build_report(records):
                     "nodes": None,
                     "code_size": None,
                     "compile_cycles": None,
+                    "backend": None,
+                    "bailout": None,
                     "duration": None,
                     "phases": dict.fromkeys(PHASES, 0.0),
                     "inline": dict.fromkeys(INLINE_KINDS, 0),
@@ -115,6 +123,19 @@ def build_report(records):
                 )
             elif name == "jit.invalidate":
                 invalidations.append(attrs.get("method"))
+            elif name == "backend.bailout":
+                backend_bailouts.append(
+                    {
+                        "method": attrs.get("method"),
+                        "reason": attrs.get("reason"),
+                        "detail": attrs.get("detail"),
+                    }
+                )
+                # The compilation fell back to the machine backend; the
+                # compile end-record already reports backend=machine.
+                entry = enclosing_compile(sid)
+                if entry is not None:
+                    entry["bailout"] = attrs.get("reason")
             elif name == "iteration":
                 iterations.append(attrs)
         elif rtype == "end":
@@ -124,7 +145,8 @@ def build_report(records):
                 entry = compile_by_sid.get(sid)
                 if entry is not None:
                     entry["duration"] = duration
-                    for key in ("nodes", "code_size", "compile_cycles"):
+                    for key in ("nodes", "code_size", "compile_cycles",
+                                "backend"):
                         if attrs.get(key) is not None:
                             entry[key] = attrs[key]
             elif name in phase_totals:
@@ -147,6 +169,7 @@ def build_report(records):
         "failures": failures,
         "deopts": deopts,
         "invalidations": invalidations,
+        "backend_bailouts": backend_bailouts,
     }
 
 
@@ -197,10 +220,13 @@ def render_report(report, top=10, hottest=None, metrics_snapshot=None):
                     entry["compile_cycles"]
                     if entry["compile_cycles"] is not None
                     else "-",
+                    (entry["backend"] or "-")
+                    + ("!" if entry["bailout"] else ""),
                     " ".join(
                         "%s=%s" % (phase, _ms(entry["phases"][phase]))
                         for phase in PHASES
-                        if entry["phases"][phase] or phase != "inline"
+                        if entry["phases"][phase]
+                        or phase not in OPTIONAL_PHASES
                     ),
                     entry["inline"]["inline"],
                     entry["inline"]["typeswitch"],
@@ -210,14 +236,40 @@ def render_report(report, top=10, hottest=None, metrics_snapshot=None):
             _table(
                 rows,
                 ("#", "method", "hotness", "nodes", "code", "jit-cycles",
-                 "phase wall time", "inl", "ts"),
-                align_left=(1, 6),
+                 "backend", "phase wall time", "inl", "ts"),
+                align_left=(1, 6, 7),
             )
         )
     else:
         lines.append("  (no compilations recorded)")
     for method in report["failures"]:
         lines.append("  FAILED %s" % method)
+
+    bailouts = report.get("backend_bailouts") or []
+    if bailouts:
+        lines.append("")
+        lines.append(
+            "== py-backend bailouts (%d; '!' above marks the compiles) =="
+            % len(bailouts)
+        )
+        by_reason = {}
+        for bailout in bailouts:
+            reason = bailout.get("reason") or "?"
+            by_reason[reason] = by_reason.get(reason, 0) + 1
+        lines.append(
+            "  by reason: "
+            + ", ".join(
+                "%s ×%d" % (reason, count)
+                for reason, count in sorted(by_reason.items())
+            )
+        )
+        for bailout in bailouts[:top]:
+            lines.append(
+                "  %s: %s (%s)"
+                % (bailout.get("method") or "?",
+                   bailout.get("reason") or "?",
+                   bailout.get("detail") or "")
+            )
 
     lines.append("")
     lines.append("== phase totals (wall time; telemetry only) ==")

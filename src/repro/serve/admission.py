@@ -35,12 +35,17 @@ class ServiceConfig:
             the methods whose profiles are pooled across tenants
             (None = pool everything).
         hot_threshold: default compile threshold for tenant engines.
+        backend: ``"machine"`` / ``"py"`` / None — default executor
+            backend forwarded into every tenant's
+            :class:`~repro.jit.config.JitConfig` (a tenant's ``jit``
+            overrides win); None defers to ``REPRO_BACKEND``
+            (``machine`` remains the hard pin).
     """
 
     def __init__(self, max_tenants=16, compile_workers=2,
                  queue_capacity=64, cache_budget=None, tenant_quota=None,
                  eviction_policy="lru", cache_shards=8, compile_mode=None,
-                 share_profiles=None, hot_threshold=40):
+                 share_profiles=None, hot_threshold=40, backend=None):
         self.max_tenants = max_tenants
         self.compile_workers = compile_workers
         self.queue_capacity = queue_capacity
@@ -51,6 +56,7 @@ class ServiceConfig:
         self.compile_mode = compile_mode
         self.share_profiles = share_profiles
         self.hot_threshold = hot_threshold
+        self.backend = backend
 
 
 class TenantSpec:

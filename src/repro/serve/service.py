@@ -144,6 +144,7 @@ class VMService:
         )
         jit_kwargs = dict(spec.jit)
         jit_kwargs.setdefault("hot_threshold", self.config.hot_threshold)
+        jit_kwargs.setdefault("backend", self.config.backend)
         jit_kwargs["compile_mode"] = self.mode
         engine = Engine(
             program,

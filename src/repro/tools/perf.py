@@ -52,23 +52,41 @@ SEED = 0x5EED
 
 
 class _RunResult:
-    __slots__ = ("wall", "compile_seconds", "values", "cycles", "ops")
+    __slots__ = (
+        "wall", "compile_seconds", "values", "cycles", "ops", "output",
+    )
 
-    def __init__(self, wall, compile_seconds, values, cycles, ops):
+    def __init__(self, wall, compile_seconds, values, cycles, ops, output):
         self.wall = wall
         self.compile_seconds = compile_seconds
         self.values = values
         self.cycles = cycles
         self.ops = ops
+        self.output = output
 
     def semantics(self):
         """The parts that must match between variants."""
         return (self.values, self.cycles, self.ops)
 
+    def observable(self):
+        """Values + printed output only — the cross-*tier* contract.
+
+        Used when baseline and fast variant legitimately run different
+        tiers (interpreter vs compiled code), so per-iteration cycles
+        and interpreted op counts are expected to differ.
+        """
+        return (self.values, self.output)
+
 
 def _run_once(program, config_factory, inliner_factory, iterations,
-              fast_copy, time_compile, priority_cache=True):
-    """One fresh VM instance; returns a :class:`_RunResult`."""
+              fast_copy, time_compile, priority_cache=True, warmup=0):
+    """One fresh VM instance; returns a :class:`_RunResult`.
+
+    *warmup* iterations run before the clock starts (steady-state
+    timing: compilation settles outside the measured window). Their
+    values and cycles still join the semantic comparison — both
+    variants warm up identically, only the clock ignores them.
+    """
     saved = graph_mod.FAST_COPY
     saved_cache = priorities_mod.CACHE_ENABLED
     graph_mod.FAST_COPY = fast_copy
@@ -84,6 +102,10 @@ def _run_once(program, config_factory, inliner_factory, iterations,
         )
         values = []
         cycles = []
+        for _ in range(warmup):
+            result = engine.run_iteration(*ENTRY)
+            values.append(result.value)
+            cycles.append(result.total_cycles)
         start = time.perf_counter()
         for _ in range(iterations):
             result = engine.run_iteration(*ENTRY)
@@ -96,6 +118,7 @@ def _run_once(program, config_factory, inliner_factory, iterations,
         return _RunResult(
             wall, compile_seconds, values, cycles,
             engine.interpreter.ops_executed,
+            list(engine.vm.output),
         )
     finally:
         graph_mod.FAST_COPY = saved
@@ -108,20 +131,28 @@ def _measure_pair(program, iterations, repeats, base, fast, progress):
     ``base`` and ``fast`` are dicts with keys ``name``, ``config``,
     ``inliner``, ``fast_copy`` (plus optional ``priority_cache``);
     ``time_compile`` selects which clock the comparison uses.
+    ``observable_only`` on the base dict relaxes the equivalence check
+    to values + printed output, for pairs whose variants run different
+    tiers and therefore legitimately differ in cycles and op counts.
     """
     time_compile = base.get("time_compile", False)
+    observable_only = base.get("observable_only", False)
+    warmup = base.get("warmup", 0)
     base_runs, fast_runs = [], []
     semantics_identical = True
     for repeat in range(repeats):
         b = _run_once(program, base["config"], base["inliner"], iterations,
                       base["fast_copy"], time_compile,
-                      base.get("priority_cache", True))
+                      base.get("priority_cache", True), warmup)
         f = _run_once(program, fast["config"], fast["inliner"], iterations,
                       fast["fast_copy"], time_compile,
-                      fast.get("priority_cache", True))
+                      fast.get("priority_cache", True), warmup)
         base_runs.append(b)
         fast_runs.append(f)
-        if b.semantics() != f.semantics():
+        if observable_only:
+            if b.observable() != f.observable():
+                semantics_identical = False
+        elif b.semantics() != f.semantics():
             semantics_identical = False
         if progress:
             sys.stderr.write(".")
@@ -142,6 +173,7 @@ def _measure_pair(program, iterations, repeats, base, fast, progress):
         "semantics_identical": semantics_identical,
         "repeats": repeats,
         "iterations": iterations,
+        "warmup": warmup,
     }
 
 
@@ -246,6 +278,46 @@ def _mixed_workload(benchmark, iterations, repeats, progress):
     return pair
 
 
+def _pybackend_workload(benchmark, iterations, repeats, progress):
+    """The Python-codegen top tier against the fastest interpreter.
+
+    Baseline is the pre-decoded interpreter alone (the previous raw
+    host-speed ceiling); fast is the tiered JIT with ``backend="py"``
+    so hot roots run as generated Python closures
+    (:mod:`repro.backend.pycodegen`). The variants run different tiers
+    by design, so the equivalence check is the cross-tier contract —
+    iteration values and printed output — rather than cycle sequences;
+    two warmup iterations keep compilation outside the timed window
+    (steady-state timing, the standard JIT protocol — warmup iterations
+    still join the semantic comparison).
+    """
+    program = get_benchmark(benchmark).load()
+    pair = _measure_pair(
+        program, iterations, repeats,
+        base={
+            "name": "interp-predecode",
+            "config": lambda: JitConfig(
+                compile_enabled=False, interp_predecode=True
+            ),
+            "inliner": None,
+            "fast_copy": True,
+            "observable_only": True,
+            "warmup": 2,
+        },
+        fast={
+            "name": "jit-py",
+            "config": lambda: JitConfig(
+                hot_threshold=10, interp_predecode=True, backend="py",
+            ),
+            "inliner": lambda: tuned_inliner(0.1),
+            "fast_copy": True,
+        },
+        progress=progress,
+    )
+    pair.update(workload="py-backend", benchmark=benchmark)
+    return pair
+
+
 #: fleet size of the serving workload — ≥4 tenants so the fairness
 #: index and queue contention are meaningful.
 SERVE_TENANTS = 6
@@ -329,6 +401,8 @@ def _serve_workload(benchmark, iterations, repeats, progress):
 MATRIX = [
     (_interp_workload, "gauss-mix", (2, 5), (1, 1)),
     (_interp_workload, "stmbench7", (2, 5), (1, 1)),
+    (_pybackend_workload, "gauss-mix", (2, 5), (1, 1)),
+    (_pybackend_workload, "stmbench7", (2, 5), (1, 1)),
     (_compile_workload, "kiama", (6, 7), (6, 1)),
     (_compile_workload, "scaladoc", (6, 3), None),
     (_mixed_workload, "jython", (4, 5), (2, 1)),

@@ -1,11 +1,17 @@
 """Composability of the environment pins.
 
 ``REPRO_SPECULATE=off``, ``REPRO_PRIORITY_CACHE=off``,
-``REPRO_GRAPH_COPY=reference`` and ``REPRO_OSR=off`` each pin one
-engineering fast path back to its reference behaviour; all sixteen
-combinations must be bit-identical on a pinned workload (same values,
-same program output). The priority-cache and graph-copy pins are read
-at module import time, so every combination runs in a fresh subprocess.
+``REPRO_GRAPH_COPY=reference``, ``REPRO_OSR=off`` and
+``REPRO_BACKEND=machine`` each pin one engineering fast path back to
+its reference behaviour; every exercised combination must be
+bit-identical on a pinned workload (same values, same program output).
+The priority-cache and graph-copy pins are read at module import time,
+so every combination runs in a fresh subprocess.
+
+The first four pins run as the full sixteen-combination cross-product.
+The backend pin is *sampled* on top (the py tier is bit-identical by
+construction, cycles included, so four representative combinations
+suffice) to keep subprocess count bounded instead of doubling to 32.
 """
 
 import itertools
@@ -22,6 +28,17 @@ PINS = [
     ("REPRO_PRIORITY_CACHE", "off"),
     ("REPRO_GRAPH_COPY", "reference"),
     ("REPRO_OSR", "off"),
+    ("REPRO_BACKEND", "machine"),
+]
+
+#: Sampled combinations with the backend pinned back to the machine
+#: executor: the all-off / all-on corners plus each cycle-relevant pin
+#: alone, so a backend/pin interaction in any cycle group would show.
+BACKEND_PINNED_COMBOS = [
+    (False, False, False, False, True),
+    (True, False, False, False, True),
+    (False, False, False, True, True),
+    (True, True, True, True, True),
 ]
 
 # The pinned workload, two parts:
@@ -48,7 +65,7 @@ from tests.helpers import shapes_program
 program = flip_program()
 engine = Engine(
     program,
-    JitConfig(hot_threshold=4, speculate=True),
+    JitConfig(hot_threshold=4, speculate=True, backend="py"),
     tuned_inliner(1.0),
 )
 values, cycles = [], []
@@ -60,7 +77,8 @@ for i in range(16):
 
 osr_engine = Engine(
     shapes_program(),
-    JitConfig(hot_threshold=10**9, osr=True, osr_threshold=30),
+    JitConfig(hot_threshold=10**9, osr=True, osr_threshold=30,
+              backend="py"),
     tuned_inliner(1.0),
 )
 osr_values, osr_cycles = [], []
@@ -78,6 +96,7 @@ print(json.dumps({
     "osr_cycles": osr_cycles,
     "osr_output": list(osr_engine.vm.output),
     "osr_entries": osr_engine.osr_entry_count,
+    "py_execs": engine.py_exec_count + osr_engine.py_exec_count,
 }))
 """
 
@@ -101,13 +120,14 @@ def _run_combo(bits):
 
 
 def test_env_pin_matrix_bit_identical():
-    results = {
-        bits: _run_combo(bits)
-        for bits in itertools.product((False, True), repeat=len(PINS))
-    }
+    combos = [
+        bits + (False,)
+        for bits in itertools.product((False, True), repeat=len(PINS) - 1)
+    ] + BACKEND_PINNED_COMBOS
+    results = {bits: _run_combo(bits) for bits in combos}
     baseline = results[(False,) * len(PINS)]
 
-    # Observables are bit-identical across all sixteen combinations.
+    # Observables are bit-identical across all exercised combinations.
     for bits, result in results.items():
         assert result["values"] == baseline["values"], bits
         assert result["output"] == baseline["output"], bits
@@ -115,10 +135,10 @@ def test_env_pin_matrix_bit_identical():
         assert result["osr_output"] == baseline["osr_output"], bits
 
     # The cycle model may legitimately differ between speculative and
-    # pinned-off runs (different compiled code), but the cache and
-    # copy pins are pure engineering knobs: within each speculation
-    # setting the flip-driver cycles of all eight combinations agree
-    # exactly.
+    # pinned-off runs (different compiled code), but the cache, copy
+    # and backend pins are pure engineering knobs: within each
+    # speculation setting the flip-driver cycles of every combination
+    # (backend-pinned ones included) agree exactly.
     for spec_off in (False, True):
         group = [
             result["cycles"]
@@ -139,9 +159,14 @@ def test_env_pin_matrix_bit_identical():
         assert all(cycles == group[0] for cycles in group), osr_off
 
     # Sanity: the pinned bits changed real behaviour — unpinned runs
-    # took a deopt on the receiver flip and transferred the hot loop
-    # into compiled code mid-method; pinned runs never did.
+    # took a deopt on the receiver flip, transferred the hot loop into
+    # compiled code mid-method, and served compiled calls from the
+    # Python tier (the engines request backend="py"); pinned runs
+    # never did.
     assert baseline["deopts"] == 1
     assert baseline["osr_entries"] >= 1
-    assert results[(True, False, False, False)]["deopts"] == 0
-    assert results[(False, False, False, True)]["osr_entries"] == 0
+    assert baseline["py_execs"] > 0
+    assert results[(True, False, False, False, False)]["deopts"] == 0
+    assert results[(False, False, False, True, False)]["osr_entries"] == 0
+    for bits in BACKEND_PINNED_COMBOS:
+        assert results[bits]["py_execs"] == 0, bits

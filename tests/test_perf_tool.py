@@ -58,7 +58,8 @@ def test_cli_quick_writes_json(tmp_path):
     workloads = payload["workloads"]
     kinds = {w["workload"] for w in workloads}
     assert kinds == {
-        "interpreter-bound", "compile-bound", "mixed", "serve-mixed",
+        "interpreter-bound", "py-backend", "compile-bound", "mixed",
+        "serve-mixed",
     }
     for w in workloads:
         assert w["semantics_identical"] is True

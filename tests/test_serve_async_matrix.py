@@ -13,6 +13,12 @@ iteration, so per-iteration cycle counts legitimately differ.
 The compile-mode pin is read at engine construction, so every
 combination runs in a fresh subprocess (same harness as
 ``test_env_pin_matrix``).
+
+The workload engines request ``backend="py"`` (the Python-codegen top
+tier), and a sampled set of combinations re-runs with
+``REPRO_BACKEND=machine`` pinned on top — the backend is bit-identical
+by construction, so four representative combinations suffice instead
+of doubling the cross-product to 32.
 """
 
 import itertools
@@ -29,6 +35,17 @@ PINS = [
     ("REPRO_SPECULATE", "off"),
     ("REPRO_OSR", "off"),
     ("REPRO_INTERP", "predecode"),
+    ("REPRO_BACKEND", "machine"),
+]
+
+#: Sampled combinations with the backend pinned back to the machine
+#: executor: both compile modes, alone and with everything else pinned,
+#: so a backend/pipeline interaction would show in either mode.
+BACKEND_PINNED_COMBOS = [
+    (False, False, False, False, True),
+    (True, False, False, False, True),
+    (True, True, True, True, True),
+    (False, True, True, True, True),
 ]
 
 # The pinned workload, three parts, each stressing a different
@@ -67,7 +84,7 @@ def observe(engine, cls, name, args):
 
 flip = Engine(
     flip_program(),
-    JitConfig(hot_threshold=4, speculate=True),
+    JitConfig(hot_threshold=4, speculate=True, backend="py"),
     tuned_inliner(1.0),
 )
 flip_outcomes = [
@@ -77,7 +94,8 @@ flip_outcomes = [
 
 osr = Engine(
     shapes_program(),
-    JitConfig(hot_threshold=10**9, osr=True, osr_threshold=30),
+    JitConfig(hot_threshold=10**9, osr=True, osr_threshold=30,
+              backend="py"),
     tuned_inliner(1.0),
 )
 osr_outcomes = [observe(osr, "Main", "run", []) for _ in range(2)]
@@ -86,7 +104,7 @@ trap = Engine(
     single_method_program(
         lambda b: b.const(100).load(0).div().retv()
     ),
-    JitConfig(hot_threshold=3),
+    JitConfig(hot_threshold=3, backend="py"),
     tuned_inliner(1.0),
 )
 trap_outcomes = [observe(trap, "T", "f", [2 - i % 4]) for i in range(12)]
@@ -101,6 +119,7 @@ result = {
     "osr_entries": osr.osr_entry_count,
     "async_installs": sum(e.async_installs for e in engines),
     "compilations": sum(e.compilation_count for e in engines),
+    "py_execs": sum(e.py_exec_count for e in engines),
 }
 for e in engines:
     e.shutdown()
@@ -127,14 +146,15 @@ def _run_combo(bits):
 
 
 def test_async_pin_matrix_bit_identical():
-    results = {
-        bits: _run_combo(bits)
-        for bits in itertools.product((False, True), repeat=len(PINS))
-    }
+    combos = [
+        bits + (False,)
+        for bits in itertools.product((False, True), repeat=len(PINS) - 1)
+    ] + BACKEND_PINNED_COMBOS
+    results = {bits: _run_combo(bits) for bits in combos}
     baseline = results[(False,) * len(PINS)]
 
     # Outcomes (values and trap kinds) and printed output are
-    # bit-identical across all sixteen combinations.
+    # bit-identical across all exercised combinations.
     for bits, result in results.items():
         assert result["flip"] == baseline["flip"], bits
         assert result["osr"] == baseline["osr"], bits
@@ -167,8 +187,14 @@ def test_async_pin_matrix_bit_identical():
         else:
             assert result["async_installs"] == 0, bits
 
-    # Sanity: the pinned bits changed real behaviour.
+    # Sanity: the pinned bits changed real behaviour — including the
+    # backend pin: unpinned combinations served compiled calls from the
+    # Python tier (the engines request backend="py"), pinned ones never
+    # touched it.
     assert baseline["deopts"] == 1
     assert baseline["osr_entries"] >= 1
-    assert results[(False, True, False, False)]["deopts"] == 0
-    assert results[(False, False, True, False)]["osr_entries"] == 0
+    assert baseline["py_execs"] > 0
+    assert results[(False, True, False, False, False)]["deopts"] == 0
+    assert results[(False, False, True, False, False)]["osr_entries"] == 0
+    for bits in BACKEND_PINNED_COMBOS:
+        assert results[bits]["py_execs"] == 0, bits

@@ -91,6 +91,20 @@ class TestCompare:
         assert len(failures) == 1
         assert "floor" in failures[0]
 
+    def test_floor_unbound_when_reference_below_it(self):
+        # serve-mixed commits a sub-1.0 "speedup" (async overhead):
+        # the absolute floor must not bind a matched workload whose
+        # own reference never met it — only the ratio check applies.
+        base = variant(scaladoc={"speedup": 0.75})
+        new = variant(scaladoc={"speedup": 0.74})
+        failures, _ = compare(base, new)
+        assert failures == []
+        # ...but a genuine ratio regression on such a workload fails.
+        worse = variant(scaladoc={"speedup": 0.40})
+        failures, _ = compare(base, worse)
+        assert len(failures) == 1
+        assert "tolerance" in failures[0]
+
     def test_missing_workload_skipped_by_default(self):
         new = copy.deepcopy(REFERENCE)
         new["workloads"] = [
@@ -109,14 +123,36 @@ class TestCompare:
         assert len(failures) == 1
         assert "missing" in failures[0]
 
-    def test_extra_workload_ignored(self):
+    def test_extra_workload_gated_on_floor(self):
+        # Candidate-only workloads have no reference ratio but still
+        # gate on semantics + the absolute speedup floor.
         new = copy.deepcopy(REFERENCE)
         extra = copy.deepcopy(new["workloads"][0])
         extra["benchmark"] = "brand-new"
         new["workloads"].append(extra)
         failures, lines = compare(REFERENCE, new)
         assert failures == []
-        assert any("no reference" in line for line in lines)
+        assert any("new workload, floor only" in line for line in lines)
+
+    def test_extra_workload_below_floor_fails(self):
+        new = copy.deepcopy(REFERENCE)
+        extra = copy.deepcopy(new["workloads"][0])
+        extra["benchmark"] = "brand-new"
+        extra["speedup"] = 0.8
+        new["workloads"].append(extra)
+        failures, _ = compare(REFERENCE, new)
+        assert len(failures) == 1
+        assert "floor" in failures[0]
+
+    def test_extra_workload_semantics_divergence_fails(self):
+        new = copy.deepcopy(REFERENCE)
+        extra = copy.deepcopy(new["workloads"][0])
+        extra["benchmark"] = "brand-new"
+        extra["semantics_identical"] = False
+        new["workloads"].append(extra)
+        failures, _ = compare(REFERENCE, new)
+        assert len(failures) == 1
+        assert "semantics" in failures[0]
 
 
 class TestCli:
