@@ -120,3 +120,75 @@ class TestExplorationPenalty:
         for _ in range(8):
             engine.run_iteration("Main", "run")
         benchmark(engine.run_iteration, "Main", "run")
+
+
+TYPECHECK_SOURCE = """
+trait Shape { def tag(): int; }
+class Square implements Shape {
+  var side: int;
+  def init(s: int): void { this.side = s; }
+  def tag(): int { return 1; }
+}
+class Circle implements Shape {
+  var r: int;
+  def init(r: int): void { this.r = r; }
+  def tag(): int { return 2; }
+}
+object Main {
+  var cur: Shape;
+  def classify(s: Shape): int {
+    if (s is Square) { return (s as Square).side; }
+    return 7;
+  }
+  def run(): int {
+    if (Main.cur == null) { Main.cur = new Square(8); }
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < 200) { acc = acc + Main.classify(Main.cur); i = i + 1; }
+    return acc;
+  }
+}
+"""
+
+
+class TestTypeCheckSpeculation:
+    def test_typespec_folds_profiled_checks(self, benchmark):
+        """Profile-guided type-check speculation: the operand comes out
+        of a field, so its stamp stays inexact and only the profile can
+        justify pinning it — with ``typespec`` the instanceof and the
+        dominated checkcast fold out of the hot loop."""
+        from repro.lang import compile_source
+        from repro.obs import Observability
+
+        def steady(typespec):
+            program = compile_source(TYPECHECK_SOURCE)
+            obs = Observability()
+            engine = Engine(
+                program,
+                JitConfig(hot_threshold=3, speculate=True, typespec=typespec),
+                inliner=tuned_inliner(0.1),
+                obs=obs,
+            )
+            last = None
+            for _ in range(12):
+                last = engine.run_iteration("Main", "run")
+            snap = obs.metrics.snapshot()
+            folds = snap.get("opt.type_check_folds", {"value": 0})["value"]
+            specs = snap.get(
+                "inline.type_speculations", {"value": 0}
+            )["value"]
+            return last, folds, specs, engine
+
+        off, off_folds, off_specs, _ = steady(False)
+        on, on_folds, on_specs, engine = steady(True)
+        print(
+            "\ntypespec steady cycles: off %d, on %d (folds %d->%d)"
+            % (off.total_cycles, on.total_cycles, off_folds, on_folds)
+        )
+        assert off.value == on.value
+        assert off_specs == 0
+        assert on_specs > 0
+        assert on_folds > off_folds
+        assert on.total_cycles < off.total_cycles
+        assert engine.deopt_count == 0
+        benchmark(engine.run_iteration, "Main", "run")

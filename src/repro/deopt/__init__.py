@@ -181,15 +181,23 @@ class SpeculationLog:
 
 
 class SpeculationPolicy:
-    """Per-compilation speculation knobs handed to the inliner."""
+    """Per-compilation speculation knobs handed to the inliner.
 
-    __slots__ = ("enabled", "min_coverage", "max_targets", "log")
+    ``typecheck`` additionally lets the graph builder speculate on
+    profile-monomorphic INSTANCEOF/CHECKCAST operands (guard + Pi
+    pinning the exact type); it rides on the same log and frame-state
+    machinery, so it only has effect when ``enabled`` is also set.
+    """
 
-    def __init__(self, enabled, min_coverage, max_targets, log):
+    __slots__ = ("enabled", "min_coverage", "max_targets", "log", "typecheck")
+
+    def __init__(self, enabled, min_coverage, max_targets, log,
+                 typecheck=False):
         self.enabled = enabled
         self.min_coverage = min_coverage
         self.max_targets = max_targets
         self.log = log
+        self.typecheck = typecheck
 
 
 def resume_frames(interpreter, frames):

@@ -632,7 +632,9 @@ def _forest_size(stmts):
             total += _tree_size(stmt.cond)
             total += _forest_size(stmt.then) + _forest_size(stmt.els)
         elif t is LoopS:
-            total += _forest_size(stmt.body)
+            # A multi-trip loop counts one extra unit so reducing the
+            # trip count to 1 is a strictly-shrinking move.
+            total += _forest_size(stmt.body) + (1 if stmt.count > 1 else 0)
         elif t in (Assign, PrintS, ExprS):
             total += _tree_size(stmt.expr)
         elif t is AStore:
@@ -660,7 +662,10 @@ def _shrink_expr(expr):
         yield expr.a
     elif t in (CallS, CallV):
         for arg in expr.args:
-            if type(arg) is not Const:
+            # Only multi-node arguments: zeroing a LocalRef would keep
+            # the candidate the same size, breaking the reducer's
+            # strictly-shrinking contract.
+            if _tree_size(arg) > 1:
                 args = [Const(0) if a is arg else a for a in expr.args]
                 if t is CallS:
                     yield CallS(expr.owner, expr.method, args)
@@ -765,6 +770,12 @@ class _Generator:
         self.rng = random.Random(seed)
         self.seed = seed
         self._loop_seq = 0  # unique loop-counter names (see stmt())
+        # Roughly one case in five is type-check heavy: instanceof
+        # leaves and cast statements get several times their normal
+        # weight and the maybe-null receiver joins the pool more
+        # often — the shapes profile-guided type-check speculation
+        # (the jit-typespec oracle config) feeds on.
+        self.typecheck_heavy = self.rng.random() < 0.2
 
     def constant(self):
         rng = self.rng
@@ -854,7 +865,7 @@ class _Generator:
             recv, klass = rng.choice(ctx.refs)
             field = {"A": "x", "B": "y", "C": "z"}[klass]
             return FLoad(recv, klass, field)
-        if roll < 0.84 and ctx.refs:
+        if roll < (0.92 if self.typecheck_heavy else 0.84) and ctx.refs:
             recv, _klass = rng.choice(ctx.refs)
             return InstOf(recv, rng.choice(["A", "B", "C", "I"]))
         if roll < 0.88 and ctx.arrays:
@@ -889,7 +900,7 @@ class _Generator:
             then = self.stmts(ctx, depth - 1, budget // 2)
             els = self.stmts(ctx, depth - 1, budget // 3) if rng.random() < 0.6 else []
             return IfS(cond, then, els)
-        if roll < 0.88 and budget > 2:
+        if roll < (0.82 if self.typecheck_heavy else 0.88) and budget > 2:
             # A fresh name per loop: nested loops sharing a counter
             # (the inner resetting the outer's) would never terminate.
             var = "i%d" % self._loop_seq
@@ -979,7 +990,7 @@ class _Generator:
 
         # Main body.
         refs = [("ra", "A"), ("rb", "B"), ("rc", "C")]
-        if rng.random() < 0.25:
+        if rng.random() < (0.5 if self.typecheck_heavy else 0.25):
             refs.append(("rn", "A"))  # may be null: NPE coverage
         virtuals = [
             ("virtual", "I", "get", 0),

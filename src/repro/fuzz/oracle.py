@@ -106,6 +106,16 @@ ORACLE_CONFIGS = {
         _cfg(speculate=True),
         tuned_inliner(0.1),
     ),
+    # Profile-guided type-check speculation on top of guard/deopt:
+    # profile-monomorphic INSTANCEOF/CHECKCAST operands get pinned with
+    # an exact-type guard so dominated checks fold; a refuted guard
+    # must resume in the interpreter bit-identically.
+    # REPRO_TYPESPEC=off still pins this configuration back to runtime
+    # type checks by design.
+    "jit-typespec": lambda: (
+        _cfg(speculate=True, typespec=True),
+        tuned_inliner(0.1),
+    ),
     # On-stack replacement at loop backedges: a tiny OSR threshold
     # forces mid-method transfers into compiled continuations on every
     # generated loop, and deopt out of OSR code must fall back through

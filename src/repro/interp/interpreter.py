@@ -415,6 +415,7 @@ class Interpreter:
             elif op == Op.INSTANCEOF:
                 value = stack.pop()
                 if value is NULL:
+                    profile.typecheck(pc).record(None)
                     stack.append(0)
                 else:
                     type_name = (
@@ -422,17 +423,24 @@ class Interpreter:
                         if isinstance(value, ObjRef)
                         else value.type_name
                     )
+                    profile.typecheck(pc).record(type_name)
                     stack.append(
                         1 if program.is_subtype(type_name, instr.args[0]) else 0
                     )
             elif op == Op.CHECKCAST:
                 value = stack[-1]
-                if value is not NULL:
+                if value is NULL:
+                    profile.typecheck(pc).record(None)
+                else:
                     type_name = (
                         value.class_name
                         if isinstance(value, ObjRef)
                         else value.type_name
                     )
+                    # Recorded before the trap: a site that only ever
+                    # fails its cast still reads as polymorphic/typed
+                    # rather than unexecuted.
+                    profile.typecheck(pc).record(type_name)
                     if not program.is_subtype(type_name, instr.args[0]):
                         raise CastTrap(
                             "%s -> %s" % (type_name, instr.args[0])

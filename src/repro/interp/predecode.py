@@ -441,14 +441,25 @@ def _decode_one(instr, pc, method, profile, program, vm, interp):
         return h
 
     # ---- type tests ---------------------------------------------------
+    # Like the receiver histograms below, the type-check histogram is
+    # materialized on first execution — never-executed sites must not
+    # grow (empty) profile cells that the classic tier would not have.
     if op == Op.INSTANCEOF:
         is_subtype = program.is_subtype
         type_name = instr.args[0]
+        holder = []
 
         def h(stack, locals_, _sub=is_subtype, _t=type_name, _null=NULL,
-              _obj=ObjRef, _n=next_pc):
+              _obj=ObjRef, _cell=holder, _profile=profile, _pc=pc,
+              _n=next_pc):
             value = stack[-1]
+            if _cell:
+                cell = _cell[0]
+            else:
+                cell = _profile.typecheck(_pc)
+                _cell.append(cell)
             if value is _null:
+                cell.record(None)
                 stack[-1] = 0
             else:
                 vt = (
@@ -456,6 +467,7 @@ def _decode_one(instr, pc, method, profile, program, vm, interp):
                     if isinstance(value, _obj)
                     else value.type_name
                 )
+                cell.record(vt)
                 stack[-1] = 1 if _sub(vt, _t) else 0
             return _n
 
@@ -463,16 +475,26 @@ def _decode_one(instr, pc, method, profile, program, vm, interp):
     if op == Op.CHECKCAST:
         is_subtype = program.is_subtype
         type_name = instr.args[0]
+        holder = []
 
         def h(stack, locals_, _sub=is_subtype, _t=type_name, _null=NULL,
-              _obj=ObjRef, _n=next_pc):
+              _obj=ObjRef, _cell=holder, _profile=profile, _pc=pc,
+              _n=next_pc):
             value = stack[-1]
-            if value is not _null:
+            if _cell:
+                cell = _cell[0]
+            else:
+                cell = _profile.typecheck(_pc)
+                _cell.append(cell)
+            if value is _null:
+                cell.record(None)
+            else:
                 vt = (
                     value.class_name
                     if isinstance(value, _obj)
                     else value.type_name
                 )
+                cell.record(vt)
                 if not _sub(vt, _t):
                     raise CastTrap("%s -> %s" % (vt, _t))
             return _n

@@ -6,7 +6,9 @@ The profile model mirrors what HotSpot exposes to Graal:
 - per-branch taken/not-taken counters (→ branch probabilities),
 - per-branch backedge counters (→ loop frequency estimates),
 - per-callsite receiver-type histograms with megamorphic saturation
-  (→ speculative devirtualization and polymorphic inlining, §IV).
+  (→ speculative devirtualization and polymorphic inlining, §IV),
+- per-site operand-type histograms at INSTANCEOF/CHECKCAST
+  (→ speculative type-check folding via guard/deopt).
 
 Profiles are *measured*, never oracular: a callsite that was observed
 with one receiver type may later see another (the paper's "noisy
@@ -88,10 +90,82 @@ class ReceiverProfile:
         return None
 
 
+class TypeCheckProfile:
+    """Operand-type histogram for one INSTANCEOF/CHECKCAST site.
+
+    Null operands are tracked separately (``nulls``) rather than as a
+    pseudo-type: a speculated exact-type guard cannot cover null, so the
+    compiler must know whether the site ever saw one.
+    """
+
+    __slots__ = ("counts", "overflow", "nulls", "total")
+
+    def __init__(self):
+        self.counts = {}
+        self.overflow = 0
+        self.nulls = 0
+        self.total = 0
+
+    def record(self, class_name):
+        """Record one observed operand; ``None`` means a null operand."""
+        self.total += 1
+        if class_name is None:
+            self.nulls += 1
+            return
+        count = self.counts.get(class_name)
+        if count is not None:
+            self.counts[class_name] = count + 1
+        elif len(self.counts) < MAX_RECORDED_TYPES:
+            self.counts[class_name] = 1
+        else:
+            self.overflow += 1
+
+    @property
+    def is_megamorphic(self):
+        return self.overflow > 0
+
+    def observed_types(self):
+        """``[(class_name, probability)]`` sorted by descending probability.
+
+        Probabilities are relative to *all* operands including nulls,
+        so a half-null site never looks monomorphic.
+        """
+        if self.total == 0:
+            return []
+        items = sorted(
+            self.counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [(name, count / self.total) for name, count in items]
+
+    def monomorphic_type(self):
+        """The single observed non-null type, or None.
+
+        Unlike :meth:`ReceiverProfile.monomorphic_type` there is no
+        probability bar: any null or second type disqualifies the site
+        outright, because a refuted type-check guard deopts the whole
+        root rather than falling back to a slow path.
+        """
+        if (
+            self.total > 0
+            and self.nulls == 0
+            and not self.is_megamorphic
+            and len(self.counts) == 1
+        ):
+            return next(iter(self.counts))
+        return None
+
+
 class MethodProfile:
     """All profile data for one method."""
 
-    __slots__ = ("invocations", "branches", "backedges", "callsites", "receivers")
+    __slots__ = (
+        "invocations",
+        "branches",
+        "backedges",
+        "callsites",
+        "receivers",
+        "typechecks",
+    )
 
     def __init__(self):
         self.invocations = 0
@@ -99,6 +173,7 @@ class MethodProfile:
         self.backedges = {}  # instr index -> int
         self.callsites = {}  # instr index -> execution count
         self.receivers = {}  # instr index -> ReceiverProfile
+        self.typechecks = {}  # instr index -> TypeCheckProfile
 
     def branch(self, index):
         profile = self.branches.get(index)
@@ -120,6 +195,12 @@ class MethodProfile:
         profile = self.receivers.get(index)
         if profile is None:
             profile = self.receivers[index] = ReceiverProfile()
+        return profile
+
+    def typecheck(self, index):
+        profile = self.typechecks.get(index)
+        if profile is None:
+            profile = self.typechecks[index] = TypeCheckProfile()
         return profile
 
     def backedge_total(self):
@@ -306,6 +387,11 @@ class _FanoutProfile:
             self.aggregate.receiver(index), self.context.receiver(index)
         )
 
+    def typecheck(self, index):
+        return _FanoutTypeCheck(
+            self.aggregate.typecheck(index), self.context.typecheck(index)
+        )
+
 
 class _FanoutBranch:
     __slots__ = ("a", "b")
@@ -320,6 +406,18 @@ class _FanoutBranch:
 
 
 class _FanoutReceiver:
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+    def record(self, class_name):
+        self.a.record(class_name)
+        self.b.record(class_name)
+
+
+class _FanoutTypeCheck:
     __slots__ = ("a", "b")
 
     def __init__(self, a, b):

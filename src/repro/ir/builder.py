@@ -27,8 +27,13 @@ from repro.ir import stamps as st
 from repro.ir.graph import Graph
 
 
+#: Guard reason for speculated type checks — surfaces in deopt records
+#: and the ``deopt.reasons.typecheck`` metric.
+REASON_TYPECHECK = "typecheck"
+
+
 def build_graph(method, program, profiles=None, speculate=False,
-                osr_bci=None, osr_stack_depth=0):
+                speculation=None, osr_bci=None, osr_stack_depth=0):
     """Build the SSA graph of *method*.
 
     Args:
@@ -41,6 +46,13 @@ def build_graph(method, program, profiles=None, speculate=False,
             stack, bci) on every invoke so a later speculative
             typeswitch can deoptimize. Off by default — frame state
             pins values live, so non-speculative compiles skip it.
+        speculation: optional :class:`~repro.deopt.SpeculationPolicy`.
+            With ``speculation.typecheck`` set (and *speculate* on), a
+            profile-monomorphic ``INSTANCEOF``/``CHECKCAST`` operand is
+            pinned to its observed exact type with a guard + Pi, so the
+            canonicalizer folds the check — and every dominated check —
+            instead of keeping a runtime subtype test. Each considered
+            site records a decision on ``graph.typecheck_decisions``.
         osr_bci: build an *OSR continuation* graph instead of a whole
             method: the graph's parameters become one slot per
             interpreter local (``method.max_locals``) followed by
@@ -54,7 +66,8 @@ def build_graph(method, program, profiles=None, speculate=False,
     if method.is_abstract or method.is_native:
         raise IRError("cannot build IR for %s" % method.qualified_name)
     return _Builder(
-        method, program, profiles, speculate, osr_bci, osr_stack_depth
+        method, program, profiles, speculate, speculation,
+        osr_bci, osr_stack_depth
     ).build()
 
 
@@ -74,15 +87,28 @@ class _BlockInfo:
 
 class _Builder:
     def __init__(self, method, program, profiles, speculate=False,
-                 osr_bci=None, osr_stack_depth=0):
+                 speculation=None, osr_bci=None, osr_stack_depth=0):
         self.method = method
         self.program = program
         self.profile = profiles.maybe_of(method) if profiles else None
         self.speculate = speculate
+        self.speculation = speculation
+        # Type-check speculation needs frame capture (speculate), a
+        # policy that asks for it, and a profile to consult.
+        self.typespec = bool(
+            speculate
+            and speculation is not None
+            and speculation.enabled
+            and speculation.typecheck
+            and self.profile is not None
+        )
         self.osr_bci = osr_bci
         self.osr_stack_depth = osr_stack_depth
         self.osr_entry_block = None
         self.graph = Graph(method)
+        #: Per-site type-check speculation decisions, for provenance
+        #: (read by the compiler via getattr — graph copies drop it).
+        self.graph.typecheck_decisions = []
         self.infos = {}
         self.order = []
 
@@ -402,8 +428,16 @@ class _Builder:
                 cname, fname = instr.args
                 emit(n.StoreStaticNode(cname, fname, stack.pop()))
             elif op == Op.INSTANCEOF:
+                if self.typespec:
+                    self._speculate_typecheck(
+                        "instanceof", instr.args[0], pc, stack, locals_, emit
+                    )
                 stack.append(emit(n.InstanceOfNode(stack.pop(), instr.args[0])))
             elif op == Op.CHECKCAST:
+                if self.typespec:
+                    self._speculate_typecheck(
+                        "checkcast", instr.args[0], pc, stack, locals_, emit
+                    )
                 value = stack.pop()
                 stack.append(emit(n.CheckCastNode(value, instr.args[0], program)))
             elif op in (
@@ -452,6 +486,94 @@ class _Builder:
 
         for succ_pc in info.succ_pcs:
             edge_states[(info.start, succ_pc)] = (list(locals_), list(stack))
+
+    def _speculate_typecheck(self, kind, check_type, pc, stack, locals_, emit):
+        """Pin the type-check operand (``stack[-1]``) to its profiled type.
+
+        When the profile is monomorphic (single non-null, non-array
+        operand type) and the site is not refuted, emits an exact-type
+        check + guard + Pi before the type-check node, and substitutes
+        the Pi for the operand everywhere in the abstract state — that
+        substitution is what lets the canonicalizer fold this check and
+        every dominated check on the same value. Sites the profile
+        disqualifies record a negative decision instead; sites that
+        never executed record nothing.
+        """
+        cell = self.profile.typechecks.get(pc)
+        if cell is None or cell.total == 0:
+            return
+        value = stack[-1]
+        stamp = value.stamp
+
+        def decide(observed, speculate, reason):
+            self.graph.typecheck_decisions.append({
+                "check": kind,
+                "method": self.method.qualified_name,
+                "bci": pc,
+                "type": check_type,
+                "observed": observed,
+                "speculate": speculate,
+                "reason": reason,
+                "site": "%s@%d" % (self.method.qualified_name, pc),
+            })
+
+        if cell.is_megamorphic:
+            return decide(None, False, "megamorphic")
+        if cell.nulls > 0:
+            return decide(None, False, "nulls-observed")
+        types = cell.observed_types()
+        if len(types) != 1:
+            return decide(None, False, "polymorphic-operand")
+        observed = types[0][0]
+        if observed.endswith("[]"):
+            # Exact-type checks compare object class names (M_ISEXACT
+            # and the py tier both test ObjRef identity); guarding an
+            # array operand would refute on every execution.
+            return decide(observed, False, "array-operand")
+        if kind == "checkcast" and not self.program.is_subtype(
+            observed, check_type
+        ):
+            # The profiled type fails the cast: the interpreter traps
+            # here, and a guard would just deopt into that trap.
+            return decide(observed, False, "failing-cast")
+        if stamp.kind == st.Stamp.REF and stamp.exact and stamp.non_null:
+            # The stamp already decides the check; the canonicalizer
+            # folds it without a guard.
+            return decide(observed, False, "stamp-precise")
+        log = self.speculation.log
+        if log is not None:
+            if log.refuted((self.method.qualified_name, pc)):
+                return decide(observed, False, "refuted-site")
+            if log.is_disabled(self.method.qualified_name):
+                return decide(observed, False, "deopt-budget")
+        decide(observed, True, "typecheck-speculated")
+        # Frame state is captured with the operand still on the stack:
+        # a refuted guard re-executes this very type check in the
+        # interpreter (innermost frame, so argc/pushes_result are
+        # irrelevant and zero).
+        local_slots = [i for i, v in enumerate(locals_) if v is not None]
+        values = [locals_[i] for i in local_slots] + list(stack)
+        descriptor = FrameDescriptor(
+            self.method, pc, local_slots, len(stack), 0, False
+        )
+        check = emit(n.InstanceOfNode(value, observed, exact=True))
+        emit(
+            n.GuardNode(
+                check, REASON_TYPECHECK, frames=[descriptor], state=values
+            )
+        )
+        pinned = stamp.join(
+            st.ref_stamp(observed, exact=True, non_null=True), self.program
+        )
+        if pinned.kind == st.Stamp.BOTTOM:
+            pinned = st.ref_stamp(observed, exact=True, non_null=True)
+        pi = emit(n.PiNode(value, pinned))
+        for index, slot in enumerate(locals_):
+            if slot is value:
+                locals_[index] = pi
+        for index, slot in enumerate(stack):
+            if slot is value:
+                stack[index] = pi
 
     def _translate_invoke(self, instr, pc, stack, locals_, emit):
         program = self.program

@@ -42,6 +42,11 @@ class CompileContext:
         #: and enabled, graphs are built with frame-state capture and
         #: the inliner may emit guard/deopt typeswitches.
         self.speculation = None
+        #: Type-check speculation decisions from callee graphs built
+        #: during the current compilation (the root graph keeps its own
+        #: on ``graph.typecheck_decisions``); reset per compilation and
+        #: drained into the event stream by the compiler.
+        self.typecheck_decisions = []
 
     @property
     def speculate(self):
@@ -65,8 +70,15 @@ class CompileContext:
         ):
             profiles = profiles.view_for_caller(caller)
         graph = build_graph(
-            method, self.program, profiles, speculate=self.speculate
+            method,
+            self.program,
+            profiles,
+            speculate=self.speculate,
+            speculation=self.speculation,
         )
+        decisions = getattr(graph, "typecheck_decisions", None)
+        if decisions:
+            self.typecheck_decisions.extend(decisions)
         annotate_frequencies(graph)
         return graph
 
@@ -123,6 +135,7 @@ class JitCompiler:
             log=speculation_log
             if speculation_log is not None
             else SpeculationLog(),
+            typecheck=config.typespec_enabled(),
         )
         if config.enable_trial_memo:
             from repro.core.trials import TrialMemo
@@ -177,6 +190,7 @@ class JitCompiler:
             # Profiles mutate between compilations; memoized trial
             # results are only sound within one.
             memo.reset()
+        self.context.typecheck_decisions = []
         hotness = None
         if obs.enabled and hasattr(self.profiles, "hotness"):
             hotness = self.profiles.hotness(method)
@@ -195,6 +209,7 @@ class JitCompiler:
                     self.program,
                     self.profiles,
                     speculate=self.context.speculate,
+                    speculation=self.context.speculation,
                     osr_bci=osr_target,
                     osr_stack_depth=osr_stack_depth,
                 )
@@ -211,6 +226,7 @@ class JitCompiler:
             if self.inliner is not None:
                 with timers.span("compile.inline"):
                     inline_report = self._run_inliner(graph, obs)
+            self._emit_typecheck_decisions(graph, obs)
             with events.span("optimize", stage="post-inline"), \
                     timers.span("compile.optimize"):
                 self.pipeline.run(graph)
@@ -241,6 +257,38 @@ class JitCompiler:
         )
         self.records.append(record)
         return record
+
+    def _emit_typecheck_decisions(self, graph, obs):
+        """Mirror the builder's type-check speculation decisions into
+        the event stream and flight ring.
+
+        Emitted after the inliner ran so ``explain`` attributes them to
+        the compilation opened by its ``inline.begin``. Positive
+        decisions feed the ``inline.type_speculations`` counter.
+        """
+        decisions = list(getattr(graph, "typecheck_decisions", ()) or ())
+        # Callee graphs built (and usually inlined) during this
+        # compilation decided their own sites; surface them too, one
+        # entry per distinct decision (the trial memo may rebuild the
+        # same specialization).
+        seen = {
+            tuple(sorted(d.items())) for d in decisions
+        }
+        for decision in self.context.typecheck_decisions:
+            key = tuple(sorted(decision.items()))
+            if key not in seen:
+                seen.add(key)
+                decisions.append(decision)
+        if not decisions or not obs.enabled:
+            return
+        speculated = sum(1 for d in decisions if d["speculate"])
+        if speculated:
+            obs.metrics.counter("inline.type_speculations").inc(speculated)
+        flight = obs.flight
+        for decision in decisions:
+            obs.events.emit("inline.typecheck", **decision)
+            if flight.enabled:
+                flight.record("inline.typecheck", **decision)
 
     def _attach_py_tier(self, graph, code, obs):
         """Lower *graph* to a Python closure and attach it to *code*.

@@ -50,6 +50,18 @@ class JitConfig:
         speculation_deopt_limit: deopts tolerated per compiled root
             before the engine stops speculating in that method
             entirely (bounds deopt/recompile churn).
+        typespec: profile-guided type-check speculation. ``True`` lets
+            the graph builder replace a profile-monomorphic
+            ``INSTANCEOF``/``CHECKCAST`` with an exact-type guard plus
+            a Pi that pins the operand's type, so the canonicalizer
+            folds the check (and every dominated check downstream);
+            refuted guards deopt through the same frame-state path as
+            speculative devirtualization. Requires speculation to be
+            on (frame capture); ``False`` keeps every type check as a
+            runtime test; ``None`` (default) defers to the
+            ``REPRO_TYPESPEC`` environment knob. ``REPRO_TYPESPEC=off``
+            is a hard pin that overrides even an explicit ``True``,
+            mirroring ``REPRO_SPECULATE``.
         osr: on-stack replacement at loop backedges. ``True`` lets the
             interpreter transfer a running frame into compiled code
             when a backedge counter crosses ``osr_threshold``;
@@ -119,6 +131,7 @@ class JitConfig:
         speculation_min_coverage=0.95,
         speculation_max_targets=2,
         speculation_deopt_limit=3,
+        typespec=None,
         osr=None,
         osr_threshold=400,
         flight_dump=None,
@@ -140,6 +153,7 @@ class JitConfig:
         self.speculation_min_coverage = speculation_min_coverage
         self.speculation_max_targets = speculation_max_targets
         self.speculation_deopt_limit = speculation_deopt_limit
+        self.typespec = typespec
         self.osr = osr
         self.osr_threshold = osr_threshold
         self.flight_dump = flight_dump
@@ -167,6 +181,23 @@ class JitConfig:
         if self.speculate is None:
             return env in ("on", "1", "true")
         return bool(self.speculate)
+
+    def typespec_enabled(self):
+        """Resolve the type-check-speculation knob against ``REPRO_TYPESPEC``.
+
+        Same contract as :meth:`speculation_enabled`: ``off`` pins
+        type-check speculation off regardless of the config, ``on`` (or
+        ``1``/``true``) turns it on when the config leaves the choice
+        open (``typespec=None``). The builder additionally requires
+        speculation itself to be enabled — type-check guards need the
+        same frame-state capture.
+        """
+        env = os.environ.get("REPRO_TYPESPEC", "").strip().lower()
+        if env == "off":
+            return False
+        if self.typespec is None:
+            return env in ("on", "1", "true")
+        return bool(self.typespec)
 
     def backend_resolved(self):
         """Resolve the backend knob against ``REPRO_BACKEND``.

@@ -387,28 +387,58 @@ class _Canonicalizer:
         value = node.inputs[0]
         stamp = value.stamp
         result = None
+        #: True: every *non-null* value with this stamp passes the
+        #: check; False: no value passes. None: undecided.
+        matches = None
         if stamp.is_null:
             result = 0
         elif node.exact:
-            if stamp.exact and stamp.non_null:
-                result = 1 if stamp.type_name == node.type_name else 0
-            elif stamp.exact and stamp.type_name != node.type_name:
-                result = 0
+            if stamp.exact:
+                matches = stamp.type_name == node.type_name
         else:
-            if stamp.non_null and stamp.asserts_type(self.program, node.type_name):
-                result = 1
+            if stamp.asserts_type(self.program, node.type_name):
+                matches = True
             elif stamp.excludes_type(self.program, node.type_name):
-                result = 0
+                matches = False
+        if matches is True and stamp.non_null:
+            result = 1
+        elif matches is False:
+            # null yields 0 too, so nullability cannot flip this.
+            result = 0
         if result is not None:
             self.stats.type_check_folds += 1
             self._replace(node, self._new_const(result, node))
+            return
+        if matches is True:
+            # The type is known to match but the value may be null: the
+            # whole subtype test reduces to a null test (null→0, else 1).
+            null = self._new_null(node)
+            test = self.graph.register(n.CompareNode(Op.REF_NE, value, null))
+            node.block.insert(node.block.instrs.index(node), test)
+            self.stats.type_check_folds += 1
+            self._replace(node, test)
 
     def _visit_checkcast(self, node):
         value = node.inputs[0]
         stamp = value.stamp
         if stamp.is_null or stamp.asserts_type(self.program, node.type_name):
             self.stats.type_check_folds += 1
-            self._replace(node, value)
+            # A provably-passing cast still folds away, but the cast
+            # node may carry facts the input's current stamp lacks
+            # (accumulated while the input was known more precisely):
+            # keep that narrowing as a Pi instead of handing users the
+            # wider raw value.
+            refined = stamp.join(node.stamp, self.program)
+            if (
+                refined.kind != st.Stamp.BOTTOM
+                and refined != stamp
+                and not stamp.is_null
+            ):
+                pi = self.graph.register(n.PiNode(value, refined))
+                node.block.insert(node.block.instrs.index(node), pi)
+                self._replace(node, pi)
+            else:
+                self._replace(node, value)
             return
         refined = stamp.join(st.ref_stamp(node.type_name), self.program)
         if refined.kind != st.Stamp.BOTTOM and refined != node.stamp:

@@ -137,6 +137,13 @@ class OptimizationPipeline:
                     "pass", name="peel", iteration=0,
                     before=before_peel, after=graph.node_count(),
                 )
+        if observe and stats.type_check_folds:
+            # Trial-time folds (simplify_only) are deliberately not
+            # counted: trial graphs are discarded, so only folds in
+            # graphs that actually compile reach the metric.
+            obs.metrics.counter("opt.type_check_folds").inc(
+                stats.type_check_folds
+            )
         return stats
 
     def simplify_only(self, graph):

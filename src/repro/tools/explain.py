@@ -42,6 +42,7 @@ _DECISION_KINDS = (
     "inline.reject",
     "inline.typeswitch",
     "inline.speculation",
+    "inline.typecheck",
 )
 
 
@@ -97,6 +98,11 @@ class CallSite:
             elif kind == "decline":
                 if final[0] == "never-considered" or final[0] == "not-expanded":
                     final = ("not-expanded", reason, attrs)
+            elif kind == "typecheck":
+                if attrs.get("speculate"):
+                    final = ("typecheck-speculated", None, attrs)
+                else:
+                    final = ("typecheck-kept", reason, attrs)
         return final
 
 
@@ -194,6 +200,19 @@ def _verdict_line(site):
             _fmt(attrs.get("size"), "%d"),
             _fmt(attrs.get("threshold")),
         )
+    if decision == "typecheck-speculated":
+        return "typecheck speculated: %s %s pinned to exact %s" % (
+            attrs.get("check"),
+            attrs.get("type"),
+            attrs.get("observed"),
+        )
+    if decision == "typecheck-kept":
+        return "typecheck kept (%s): %s %s observed=%s" % (
+            reason or "?",
+            attrs.get("check"),
+            attrs.get("type"),
+            attrs.get("observed"),
+        )
     return decision
 
 
@@ -265,9 +284,14 @@ def render_site_history(compilations, root_pattern, site_pattern):
                    compilation.root)
             )
             for kind, attrs in site.events:
-                lines.append("  round %s: %s" % (
-                    attrs.get("round", "?"), _event_line(kind, attrs),
-                ))
+                if kind == "typecheck":
+                    # Type-check decisions are made once per build,
+                    # outside the inlining rounds.
+                    lines.append("  %s" % _event_line(kind, attrs))
+                else:
+                    lines.append("  round %s: %s" % (
+                        attrs.get("round", "?"), _event_line(kind, attrs),
+                    ))
             decision, reason, _ = site.verdict()
             lines.append(
                 "  verdict: %s%s"
@@ -323,6 +347,20 @@ def _event_line(kind, attrs):
             "guard" if attrs.get("speculate") else "fallback",
             attrs.get("reason"),
             _fmt(attrs.get("coverage"), "%.2f"),
+        )
+    if kind == "typecheck":
+        if attrs.get("speculate"):
+            return "typecheck %s %s: speculated on exact %s (site %s)" % (
+                attrs.get("check"),
+                attrs.get("type"),
+                attrs.get("observed"),
+                attrs.get("site") or "?",
+            )
+        return "typecheck %s %s: kept (%s, observed=%s)" % (
+            attrs.get("check"),
+            attrs.get("type"),
+            attrs.get("reason"),
+            attrs.get("observed"),
         )
     return kind
 

@@ -1,17 +1,18 @@
 """Composability of the environment pins.
 
 ``REPRO_SPECULATE=off``, ``REPRO_PRIORITY_CACHE=off``,
-``REPRO_GRAPH_COPY=reference``, ``REPRO_OSR=off`` and
-``REPRO_BACKEND=machine`` each pin one engineering fast path back to
-its reference behaviour; every exercised combination must be
-bit-identical on a pinned workload (same values, same program output).
-The priority-cache and graph-copy pins are read at module import time,
-so every combination runs in a fresh subprocess.
+``REPRO_GRAPH_COPY=reference``, ``REPRO_OSR=off``,
+``REPRO_BACKEND=machine`` and ``REPRO_TYPESPEC=off`` each pin one
+engineering fast path back to its reference behaviour; every exercised
+combination must be bit-identical on a pinned workload (same values,
+same program output). The priority-cache and graph-copy pins are read
+at module import time, so every combination runs in a fresh subprocess.
 
 The first four pins run as the full sixteen-combination cross-product.
-The backend pin is *sampled* on top (the py tier is bit-identical by
-construction, cycles included, so four representative combinations
-suffice) to keep subprocess count bounded instead of doubling to 32.
+The backend and typespec pins are *sampled* on top (the py tier is
+bit-identical by construction, cycles included; the typespec pin's
+observable contract is exactly the speculation pin's), keeping the
+subprocess count bounded instead of quadrupling to 64.
 """
 
 import itertools
@@ -29,16 +30,27 @@ PINS = [
     ("REPRO_GRAPH_COPY", "reference"),
     ("REPRO_OSR", "off"),
     ("REPRO_BACKEND", "machine"),
+    ("REPRO_TYPESPEC", "off"),
 ]
 
 #: Sampled combinations with the backend pinned back to the machine
 #: executor: the all-off / all-on corners plus each cycle-relevant pin
 #: alone, so a backend/pin interaction in any cycle group would show.
 BACKEND_PINNED_COMBOS = [
-    (False, False, False, False, True),
-    (True, False, False, False, True),
-    (False, False, False, True, True),
-    (True, True, True, True, True),
+    (False, False, False, False, True, False),
+    (True, False, False, False, True, False),
+    (False, False, False, True, True, False),
+    (True, True, True, True, True, False),
+]
+
+#: Sampled combinations with type-check speculation pinned off: alone,
+#: stacked on the speculation pin (which already disables it — the
+#: double-off corner must not diverge), and the everything-pinned
+#: corner.
+TYPESPEC_PINNED_COMBOS = [
+    (False, False, False, False, False, True),
+    (True, False, False, False, False, True),
+    (True, True, True, True, True, True),
 ]
 
 # The pinned workload, two parts:
@@ -53,6 +65,11 @@ BACKEND_PINNED_COMBOS = [
 #    code is an OSR transfer at the loop backedge, so the OSR pin also
 #    changes real compiled-code paths (loop finishes in the OSR
 #    continuation vs. stays interpreted).
+#
+# 3. The classify driver from the typespec tests on a third engine:
+#    monomorphic warmup lets the compiler guard the instanceof on the
+#    profiled exact type, then alternating operand types refute it —
+#    so the typespec pin changes real compiled-code paths too.
 CHILD = r"""
 import json
 
@@ -87,6 +104,21 @@ for _ in range(2):
     osr_values.append(result.value)
     osr_cycles.append(result.total_cycles)
 
+from tests.test_typespec import classify_program
+
+ts_engine = Engine(
+    classify_program(),
+    JitConfig(hot_threshold=4, speculate=True, typespec=True,
+              backend="py"),
+    tuned_inliner(1.0),
+)
+ts_values, ts_cycles = [], []
+for i in range(16):
+    kind = i % 2 if i >= 10 else 0
+    result = ts_engine.run_iteration("Main", "drive", [kind])
+    ts_values.append(result.value)
+    ts_cycles.append(result.total_cycles)
+
 print(json.dumps({
     "values": values,
     "cycles": cycles,
@@ -96,7 +128,12 @@ print(json.dumps({
     "osr_cycles": osr_cycles,
     "osr_output": list(osr_engine.vm.output),
     "osr_entries": osr_engine.osr_entry_count,
-    "py_execs": engine.py_exec_count + osr_engine.py_exec_count,
+    "ts_values": ts_values,
+    "ts_cycles": ts_cycles,
+    "ts_output": list(ts_engine.vm.output),
+    "ts_deopts": ts_engine.deopt_count,
+    "py_execs": engine.py_exec_count + osr_engine.py_exec_count
+    + ts_engine.py_exec_count,
 }))
 """
 
@@ -121,9 +158,9 @@ def _run_combo(bits):
 
 def test_env_pin_matrix_bit_identical():
     combos = [
-        bits + (False,)
-        for bits in itertools.product((False, True), repeat=len(PINS) - 1)
-    ] + BACKEND_PINNED_COMBOS
+        bits + (False, False)
+        for bits in itertools.product((False, True), repeat=len(PINS) - 2)
+    ] + BACKEND_PINNED_COMBOS + TYPESPEC_PINNED_COMBOS
     results = {bits: _run_combo(bits) for bits in combos}
     baseline = results[(False,) * len(PINS)]
 
@@ -133,6 +170,8 @@ def test_env_pin_matrix_bit_identical():
         assert result["output"] == baseline["output"], bits
         assert result["osr_values"] == baseline["osr_values"], bits
         assert result["osr_output"] == baseline["osr_output"], bits
+        assert result["ts_values"] == baseline["ts_values"], bits
+        assert result["ts_output"] == baseline["ts_output"], bits
 
     # The cycle model may legitimately differ between speculative and
     # pinned-off runs (different compiled code), but the cache, copy
@@ -158,15 +197,33 @@ def test_env_pin_matrix_bit_identical():
         ]
         assert all(cycles == group[0] for cycles in group), osr_off
 
+    # The classify driver's cycles depend only on whether its guard was
+    # ever speculated: the typespec pin, the speculation pin (which
+    # gates the frame-state capture the guards need) and the config bit
+    # collapse to one effective boolean.
+    for ts_off in (False, True):
+        group = [
+            result["ts_cycles"]
+            for bits, result in results.items()
+            if (bits[0] or bits[5]) == ts_off
+        ]
+        assert all(cycles == group[0] for cycles in group), ts_off
+
     # Sanity: the pinned bits changed real behaviour — unpinned runs
     # took a deopt on the receiver flip, transferred the hot loop into
-    # compiled code mid-method, and served compiled calls from the
-    # Python tier (the engines request backend="py"); pinned runs
-    # never did.
+    # compiled code mid-method, refuted the classify guard on the first
+    # Circle, and served compiled calls from the Python tier (the
+    # engines request backend="py"); pinned runs never did.
     assert baseline["deopts"] == 1
     assert baseline["osr_entries"] >= 1
+    assert baseline["ts_deopts"] >= 1
     assert baseline["py_execs"] > 0
-    assert results[(True, False, False, False, False)]["deopts"] == 0
-    assert results[(False, False, False, True, False)]["osr_entries"] == 0
+    assert results[(True,) + (False,) * 5]["deopts"] == 0
+    assert results[(False, False, False, True, False, False)][
+        "osr_entries"
+    ] == 0
     for bits in BACKEND_PINNED_COMBOS:
         assert results[bits]["py_execs"] == 0, bits
+    for bits in results:
+        if bits[0] or bits[5]:
+            assert results[bits]["ts_deopts"] == 0, bits

@@ -12,8 +12,9 @@ runs, comparing every observable.
 
 import pytest
 
+from repro.bytecode import MethodBuilder
 from repro.bytecode.opcodes import Op
-from repro.errors import LinkError, VMError
+from repro.errors import LinkError, TrapError, VMError
 from repro.interp import Interpreter
 from repro.interp.profiles import ProfileStore
 from repro.jit.config import JitConfig
@@ -41,6 +42,10 @@ def _method_dump(profile):
         "receivers": {
             pc: (dict(cell.counts), cell.overflow, cell.total)
             for pc, cell in profile.receivers.items()
+        },
+        "typechecks": {
+            pc: (dict(cell.counts), cell.overflow, cell.nulls, cell.total)
+            for pc, cell in profile.typechecks.items()
         },
     }
 
@@ -90,6 +95,86 @@ def test_shapes_program_identical():
 )
 def test_integer_edge_cases(op, a, b, expected):
     assert _run_both(_binop_program(op), "T", "f", [a, b]) == expected
+
+
+def _typecheck_program():
+    """Shapes plus ``Main.probe(k)``: INSTANCEOF/CHECKCAST over a
+    null (k=0), ObjRef (k=1) or ArrayRef (k=2) operand."""
+    program = shapes_program()
+    b = MethodBuilder("probe", ["int"], "int", is_static=True)
+    pick_obj = b.new_label()
+    pick_arr = b.new_label()
+    check = b.new_label()
+    slot = b.alloc_local()
+    b.null().store(slot)
+    b.load(0).const(1).eq().if_true(pick_obj)
+    b.load(0).const(2).eq().if_true(pick_arr)
+    b.goto(check)
+    b.place(pick_obj).new("Square").store(slot).goto(check)
+    b.place(pick_arr).const(3).newarray("int").store(slot).goto(check)
+    b.place(check)
+    b.load(slot).instanceof("Shape")
+    b.load(slot).instanceof("int[]").add()
+    b.load(slot).checkcast("Object").store(slot)
+    b.load(slot).instanceof("Square").add()
+    b.retv()
+    program.klass("Main").add_method(b.build())
+    return program
+
+
+def test_typecheck_profile_parity():
+    """Classic pops-then-appends vs predecode in-place stack mutation:
+    results and recorded type-check histograms must be bit-identical
+    over null, object and array operands."""
+    program = _typecheck_program()
+    assert _run_both(program, "Main", "probe", [0]) == 0
+    assert _run_both(program, "Main", "probe", [1]) == 2
+    assert _run_both(program, "Main", "probe", [2]) == 1
+
+
+def test_typecheck_profile_parity_accumulates():
+    """One interpreter pair across a mixed operand sequence: the full
+    type-check histograms (counts, nulls, totals) stay identical."""
+    program = _typecheck_program()
+    method = program.lookup_method("Main", "probe")
+    vm_c = VMState(program)
+    classic = Interpreter(vm_c, predecode=False)
+    vm_p = VMState(program)
+    fast = Interpreter(vm_p, predecode=True)
+    for k in (0, 1, 2, 1, 0):
+        assert fast.execute(method, [k]) == classic.execute(method, [k])
+    assert _profile_dump(fast.profiles) == _profile_dump(classic.profiles)
+    profile = classic.profiles.of(method)
+    assert profile.typechecks, "no type-check cells recorded"
+    merged = {}
+    for cell in profile.typechecks.values():
+        for name, count in cell.counts.items():
+            merged[name] = merged.get(name, 0) + count
+    assert merged.get("Square", 0) > 0
+    assert merged.get("int[]", 0) > 0
+    assert any(cell.nulls for cell in profile.typechecks.values())
+
+
+def test_failing_cast_profile_parity():
+    """A cast that always traps still records its operand type — in
+    both tiers, identically, with the same trap kind."""
+    program = shapes_program()
+    b = MethodBuilder("bad", [], "int", is_static=True)
+    b.new("Circle").checkcast("Square").instanceof("Square").retv()
+    program.klass("Main").add_method(b.build())
+    method = program.lookup_method("Main", "bad")
+    vm_c = VMState(program)
+    classic = Interpreter(vm_c, predecode=False)
+    vm_p = VMState(program)
+    fast = Interpreter(vm_p, predecode=True)
+    with pytest.raises(TrapError) as trap_c:
+        classic.execute(method, [])
+    with pytest.raises(TrapError) as trap_p:
+        fast.execute(method, [])
+    assert trap_p.value.kind == trap_c.value.kind
+    assert _profile_dump(fast.profiles) == _profile_dump(classic.profiles)
+    cells = classic.profiles.of(method).typechecks
+    assert any(cell.counts.get("Circle") for cell in cells.values())
 
 
 def test_backedge_recording_parity():

@@ -196,6 +196,89 @@ class TestTypeSystemFolds:
         ]
         assert returns[0].value().stamp.constant_value() == 0
 
+    def test_instanceof_nullable_match_folds_to_null_test(self):
+        # The operand's type provably matches but the value may be
+        # null: the subtype test must still fold — to a null test
+        # (null→0, else 1) — instead of being given up on.
+        program = shapes_program()
+        b = MethodBuilder("t", ["int"], "int", is_static=True)
+        other = b.new_label()
+        join = b.new_label()
+        slot = b.alloc_local()
+        b.load(0).if_true(other)
+        b.null().store(slot).goto(join)
+        b.place(other).new("Square").store(slot)
+        b.place(join).load(slot).instanceof("Square").retv()
+        program.klass("Main").add_method(b.build())
+        graph, stats = _canon(program, "Main", "t")
+        assert stats.type_check_folds >= 1
+        checks = [
+            x
+            for block in graph.blocks
+            for x in block.instrs
+            if isinstance(x, n.InstanceOfNode)
+        ]
+        assert not checks
+        tests = [
+            x
+            for block in graph.blocks
+            for x in block.instrs
+            if isinstance(x, n.CompareNode) and x.op == Op.REF_NE
+        ]
+        assert tests
+        assert compare_tiers(program, "Main", "t", [0]) == 0
+        assert compare_tiers(program, "Main", "t", [1]) == 1
+
+    def test_checkcast_fold_keeps_narrowed_stamp(self):
+        # A provably-passing cast folds away, but facts the cast node
+        # carries beyond the input's current stamp (here: exactness
+        # learned while the input was known more precisely) must
+        # survive as a Pi — the dominated devirtualization below
+        # depends on them.
+        program = shapes_program()
+        sub = program.define_class("FancySquare", superclass="Square")
+        b = MethodBuilder("area", [], "int")
+        b.const(99).retv()
+        sub.add_method(b.build())
+        b = MethodBuilder("t", ["Shape"], "int", is_static=True)
+        b.load(0).checkcast("Square")
+        b.invokeinterface("Shape", "area").retv()
+        program.klass("Main").add_method(b.build())
+        graph = build_graph(program.lookup_method("Main", "t"), program)
+        (cast,) = [
+            x
+            for block in graph.blocks
+            for x in block.instrs
+            if isinstance(x, n.CheckCastNode)
+        ]
+        # Stale-but-sound input stamp: the cast node accumulated an
+        # exact non-null stamp from an earlier, more precise stamp of
+        # the same value; the value itself now reads wider.
+        cast.stamp = stm.ref_stamp("Square", exact=True, non_null=True)
+        graph.params[0].stamp = stm.ref_stamp("Square")
+        stats = canonicalize(graph, program)
+        check_graph(graph, program)
+        casts = [
+            x
+            for block in graph.blocks
+            for x in block.instrs
+            if isinstance(x, n.CheckCastNode)
+        ]
+        assert not casts
+        assert stats.type_check_folds >= 1
+        pis = [
+            x
+            for block in graph.blocks
+            for x in block.instrs
+            if isinstance(x, n.PiNode)
+        ]
+        assert pis and pis[0].stamp.exact and pis[0].stamp.non_null
+        # Without the Pi the receiver reads as inexact Square, CHA
+        # sees {Square, FancySquare} and the call stays virtual.
+        (invoke,) = graph.invokes()
+        assert invoke.kind == "direct"
+        assert invoke.target.qualified_name == "Square.area"
+
     def test_checkcast_elided_when_proven(self):
         program = shapes_program()
         b = MethodBuilder("t", [], "int", is_static=True)

@@ -15,6 +15,7 @@ these tests fails and names the disagreeing pair.
 
 import pytest
 
+from repro.bytecode import MethodBuilder
 from repro.bytecode.opcodes import Op
 from repro.interp import Interpreter
 from repro.ir import build_graph
@@ -132,3 +133,109 @@ class TestDivisionByZeroAgreement:
     def test_folder_refuses_zero_divisor(self):
         assert _fold_binop(Op.DIV, 1, 0) is None
         assert _fold_binop(Op.REM, 1, 0) is None
+
+
+# ----------------------------------------------------------------------
+# Type-check semantics: INSTANCEOF / CHECKCAST across every tier
+# ----------------------------------------------------------------------
+
+# (id, operand kind, checked type, instanceof result, cast passes).
+# Operand kinds: "null", a class name (fresh instance), or "T[]"
+# (fresh array of element type T). Covers arrays (covariant in their
+# element type, primitive arrays invariant), interfaces, self-type,
+# Object, and null.
+TYPECHECK_CASES = [
+    ("null_iface", "null", "Shape", 0, True),
+    ("null_array", "null", "int[]", 0, True),
+    ("obj_iface", "Square", "Shape", 1, True),
+    ("obj_self", "Square", "Square", 1, True),
+    ("obj_wrong", "Square", "Circle", 0, False),
+    ("obj_object", "Square", "Object", 1, True),
+    ("intarr_self", "int[]", "int[]", 1, True),
+    ("intarr_object", "int[]", "Object", 1, True),
+    ("intarr_iface", "int[]", "Shape", 0, False),
+    ("refarr_covariant", "Square[]", "Shape[]", 1, True),
+    ("refarr_contra", "Shape[]", "Square[]", 0, False),
+    ("mixed_arr", "int[]", "Shape[]", 0, False),
+]
+
+#: The oracle configurations the type-check table runs under: classic
+#: reference interpreter (implicit), predecode tier, machine-model JIT
+#: and the Python-codegen backend.
+_TYPECHECK_CONFIGS = ["interp-predecode", "jit", "jit-py"]
+
+
+def _push_operand(b, kind):
+    if kind == "null":
+        b.null()
+    elif kind.endswith("[]"):
+        b.const(2).newarray(kind[:-2])
+    else:
+        b.new(kind)
+
+
+def _typecheck_case_program(kind, check_type):
+    from tests.helpers import shapes_program
+
+    program = shapes_program()
+    main = program.klass("Main")
+    b = MethodBuilder("io", [], "int", is_static=True)
+    _push_operand(b, kind)
+    b.instanceof(check_type).retv()
+    main.add_method(b.build())
+    b = MethodBuilder("cc", [], "int", is_static=True)
+    _push_operand(b, kind)
+    b.checkcast(check_type).instanceof(check_type).retv()
+    main.add_method(b.build())
+    return program
+
+
+@pytest.mark.parametrize(
+    "case_id,kind,check,expected,cast_ok",
+    TYPECHECK_CASES,
+    ids=[c[0] for c in TYPECHECK_CASES],
+)
+def test_typecheck_differential(case_id, kind, check, expected, cast_ok):
+    from repro.errors import TrapError
+    from repro.fuzz.oracle import check_program
+
+    program = _typecheck_case_program(kind, check)
+    vm = VMState(program)
+    assert Interpreter(vm).call_static("Main", "io", ()) == expected
+    if not cast_ok:
+        with pytest.raises(TrapError) as trap:
+            Interpreter(VMState(program)).call_static("Main", "cc", ())
+        assert trap.value.kind == "ClassCast"
+    assert check_program(program, ("Main", "io"), _TYPECHECK_CONFIGS) is None
+    assert check_program(program, ("Main", "cc"), _TYPECHECK_CONFIGS) is None
+
+
+def test_typecheck_nullable_merge_differential():
+    """The operand alternates null/Square across iterations via a
+    static counter: the canonicalizer's nullable-match fold
+    (instanceof of a provably-matching-but-maybe-null value becomes a
+    null test) must preserve semantics on both paths in every tier."""
+    from repro.bytecode.klass import FieldDef
+    from repro.fuzz.oracle import check_program
+    from tests.helpers import shapes_program
+
+    program = shapes_program()
+    main = program.klass("Main")
+    main.add_field(FieldDef("tick", "int", is_static=True))
+    b = MethodBuilder("flip", [], "int", is_static=True)
+    slot = b.alloc_local()
+    use = b.new_label()
+    done = b.new_label()
+    b.getstatic("Main", "tick").const(1).add().putstatic("Main", "tick")
+    b.null().store(slot)
+    b.getstatic("Main", "tick").const(2).rem().if_true(use)
+    b.goto(done)
+    b.place(use).new("Square").store(slot)
+    b.place(done).load(slot).instanceof("Square").retv()
+    main.add_method(b.build())
+    assert (
+        check_program(
+            program, ("Main", "flip"), _TYPECHECK_CONFIGS, iterations=8
+        )
+        is None
+    )

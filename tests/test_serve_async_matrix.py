@@ -18,7 +18,10 @@ The workload engines request ``backend="py"`` (the Python-codegen top
 tier), and a sampled set of combinations re-runs with
 ``REPRO_BACKEND=machine`` pinned on top — the backend is bit-identical
 by construction, so four representative combinations suffice instead
-of doubling the cross-product to 32.
+of doubling the cross-product to 32. ``REPRO_TYPESPEC=off`` is sampled
+the same way: its observable contract is the speculation pin's, so
+three representative combinations cover it instead of another
+doubling.
 """
 
 import itertools
@@ -36,16 +39,28 @@ PINS = [
     ("REPRO_OSR", "off"),
     ("REPRO_INTERP", "predecode"),
     ("REPRO_BACKEND", "machine"),
+    ("REPRO_TYPESPEC", "off"),
 ]
 
 #: Sampled combinations with the backend pinned back to the machine
 #: executor: both compile modes, alone and with everything else pinned,
 #: so a backend/pipeline interaction would show in either mode.
 BACKEND_PINNED_COMBOS = [
-    (False, False, False, False, True),
-    (True, False, False, False, True),
-    (True, True, True, True, True),
-    (False, True, True, True, True),
+    (False, False, False, False, True, False),
+    (True, False, False, False, True, False),
+    (True, True, True, True, True, True),
+    (False, True, True, True, True, True),
+]
+
+#: Sampled combinations with type-check speculation pinned off: alone
+#: in both compile modes (a refuted type guard in async mode must
+#: cancel pending requests exactly like a receiver guard), and stacked
+#: on the speculation pin, which already disables it — the double-off
+#: corner must not diverge.
+TYPESPEC_PINNED_COMBOS = [
+    (False, False, False, False, False, True),
+    (True, False, False, False, False, True),
+    (False, True, False, False, False, True),
 ]
 
 # The pinned workload, three parts, each stressing a different
@@ -62,6 +77,12 @@ BACKEND_PINNED_COMBOS = [
 # 3. A trapping division driven through zero every fourth call: trap
 #    kinds must survive the compiled tier regardless of *when* the
 #    compiled code was installed.
+#
+# 4. The classify driver from the typespec tests: monomorphic warmup
+#    lets the compiler guard the instanceof on the profiled exact type,
+#    then alternating operand types refute it — a type guard refuted in
+#    async mode exercises the same cancellation edge as the receiver
+#    flip.
 CHILD = r"""
 import json
 
@@ -109,14 +130,29 @@ trap = Engine(
 )
 trap_outcomes = [observe(trap, "T", "f", [2 - i % 4]) for i in range(12)]
 
-engines = (flip, osr, trap)
+from tests.test_typespec import classify_program
+
+ts = Engine(
+    classify_program(),
+    JitConfig(hot_threshold=4, speculate=True, typespec=True,
+              backend="py"),
+    tuned_inliner(1.0),
+)
+ts_outcomes = [
+    observe(ts, "Main", "drive", [i % 2 if i >= 10 else 0])
+    for i in range(16)
+]
+
+engines = (flip, osr, trap, ts)
 result = {
     "flip": flip_outcomes,
     "osr": osr_outcomes,
     "trap": trap_outcomes,
+    "ts": ts_outcomes,
     "output": [list(e.vm.output) for e in engines],
     "deopts": flip.deopt_count,
     "osr_entries": osr.osr_entry_count,
+    "ts_deopts": ts.deopt_count,
     "async_installs": sum(e.async_installs for e in engines),
     "compilations": sum(e.compilation_count for e in engines),
     "py_execs": sum(e.py_exec_count for e in engines),
@@ -147,9 +183,9 @@ def _run_combo(bits):
 
 def test_async_pin_matrix_bit_identical():
     combos = [
-        bits + (False,)
-        for bits in itertools.product((False, True), repeat=len(PINS) - 1)
-    ] + BACKEND_PINNED_COMBOS
+        bits + (False, False)
+        for bits in itertools.product((False, True), repeat=len(PINS) - 2)
+    ] + BACKEND_PINNED_COMBOS + TYPESPEC_PINNED_COMBOS
     results = {bits: _run_combo(bits) for bits in combos}
     baseline = results[(False,) * len(PINS)]
 
@@ -159,6 +195,7 @@ def test_async_pin_matrix_bit_identical():
         assert result["flip"] == baseline["flip"], bits
         assert result["osr"] == baseline["osr"], bits
         assert result["trap"] == baseline["trap"], bits
+        assert result["ts"] == baseline["ts"], bits
         assert result["output"] == baseline["output"], bits
 
     # The deopt protocol is compile-mode independent: within each
@@ -193,8 +230,16 @@ def test_async_pin_matrix_bit_identical():
     # touched it.
     assert baseline["deopts"] == 1
     assert baseline["osr_entries"] >= 1
+    assert baseline["ts_deopts"] >= 1
     assert baseline["py_execs"] > 0
-    assert results[(False, True, False, False, False)]["deopts"] == 0
-    assert results[(False, False, True, False, False)]["osr_entries"] == 0
+    assert results[(False, True, False, False, False, False)]["deopts"] == 0
+    assert results[(False, False, True, False, False, False)][
+        "osr_entries"
+    ] == 0
     for bits in BACKEND_PINNED_COMBOS:
         assert results[bits]["py_execs"] == 0, bits
+    # The type guard never exists when either the speculation or the
+    # typespec pin is set, so those combinations never deopt on it.
+    for bits in results:
+        if bits[1] or bits[5]:
+            assert results[bits]["ts_deopts"] == 0, bits
